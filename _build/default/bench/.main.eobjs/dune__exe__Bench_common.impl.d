@@ -1,0 +1,1 @@
+bench/bench_common.ml: Array List Option Printf String Sys Unix

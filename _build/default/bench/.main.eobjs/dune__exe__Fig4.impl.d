@@ -1,0 +1,1 @@
+bench/fig4.ml: Array Bench_common Dolx_cam Dolx_core Dolx_policy Dolx_util Dolx_workload Dolx_xml List Printf

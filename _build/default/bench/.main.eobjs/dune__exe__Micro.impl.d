@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Bench_common Benchmark Dolx_cam Dolx_core Dolx_util Dolx_workload Dolx_xml Hashtbl Instance List Measure Printf Staged Test Time Toolkit

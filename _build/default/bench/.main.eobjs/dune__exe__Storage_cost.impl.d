@@ -1,0 +1,1 @@
+bench/storage_cost.ml: Array Bench_common Dolx_cam Dolx_core Dolx_policy Dolx_workload Dolx_xml Printf

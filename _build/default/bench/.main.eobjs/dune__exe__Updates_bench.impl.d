@@ -1,0 +1,1 @@
+bench/updates_bench.ml: Array Bench_common Dolx_core Dolx_storage Dolx_util Dolx_workload Dolx_xml Fun List Printf

@@ -1,0 +1,95 @@
+(** Figure 4 — single-subject compression: CAM labels vs DOL transition
+    nodes.
+
+    4(a): synthetic access controls on an XMark document, accessibility
+    ratio 10–90%, propagation ratios 10/30/50%.  The paper's metric is
+    the ratio (#CAM nodes) / (#DOL transition nodes): values < 1 favour
+    CAM on node count.
+
+    4(b): the LiveLink(-simulated) dataset, one average single user per
+    action mode. *)
+
+module Tree = Dolx_xml.Tree
+module Dol = Dolx_core.Dol
+module Cam = Dolx_cam.Cam
+module Prng = Dolx_util.Prng
+module Xmark = Dolx_workload.Xmark
+module Synth_acl = Dolx_workload.Synth_acl
+module Livelink = Dolx_workload.Livelink
+module Labeling = Dolx_policy.Labeling
+open Bench_common
+
+let run_a () =
+  header "Figure 4(a): CAM labels / DOL transition nodes (synthetic, XMark)";
+  let n_nodes = 50_000 * scale in
+  let tree = Xmark.generate_nodes ~seed:41 n_nodes in
+  Printf.printf "XMark instance: %d nodes\n" (Tree.size tree);
+  let accessibilities = [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9 ] in
+  let propagations = [ 0.1; 0.3; 0.5 ] in
+  let rows =
+    ("acc_ratio"
+     :: List.concat_map
+          (fun p ->
+            let pc = int_of_float (p *. 100.0) in
+            [ Printf.sprintf "cam(p=%d%%)" pc; Printf.sprintf "dol(p=%d%%)" pc;
+              Printf.sprintf "ratio(p=%d%%)" pc ])
+          propagations)
+    :: List.map
+         (fun a ->
+           Printf.sprintf "%.0f%%" (a *. 100.0)
+           :: List.concat_map
+                (fun p ->
+                  let params =
+                    { Synth_acl.propagation_ratio = p; accessibility_ratio = a;
+                      sibling_copy_p = 0.5 }
+                  in
+                  let bools = Synth_acl.generate_bool tree ~params (Prng.create 17) in
+                  let cam = Cam.label_count (Cam.build tree bools) in
+                  let dol = Dol.transition_count (Dol.of_bool_array bools) in
+                  [ fmt_i cam; fmt_i dol; fmt_f2 (float_of_int cam /. float_of_int dol) ])
+                propagations)
+         accessibilities
+  in
+  table rows
+
+let run_b () =
+  header "Figure 4(b): CAM vs DOL labels per average single user, LiveLink (simulated), 10 modes";
+  let ll =
+    Livelink.generate
+      ~config:
+        { Livelink.default_config with seed = 42; target_nodes = 20_000 * scale;
+          n_departments = 12; users_per_department = 20; n_modes = 10 }
+      ()
+  in
+  Printf.printf "LiveLink sim: %d nodes, %d subjects, %d modes\n"
+    (Tree.size ll.Livelink.tree)
+    (Dolx_policy.Subject.count ll.Livelink.subjects)
+    (Array.length ll.Livelink.labelings);
+  let rng = Prng.create 4242 in
+  let sample_users = 12 in
+  let rows =
+    [ "mode"; "avg CAM labels"; "avg DOL transitions"; "cam/dol" ]
+    :: List.init (Array.length ll.Livelink.labelings) (fun m ->
+           let lab = ll.Livelink.labelings.(m) in
+           let users = Array.copy ll.Livelink.users in
+           Prng.shuffle rng users;
+           let take = min sample_users (Array.length users) in
+           let cams = ref 0 and dols = ref 0 in
+           for i = 0 to take - 1 do
+             let bools = Labeling.to_bool_array lab ~subject:users.(i) in
+             cams := !cams + Cam.label_count (Cam.build ll.Livelink.tree bools);
+             dols := !dols + Dol.transition_count (Dol.of_bool_array bools)
+           done;
+           let avg x = float_of_int x /. float_of_int take in
+           [
+             Dolx_policy.Mode.name ll.Livelink.modes m;
+             fmt_f2 (avg !cams);
+             fmt_f2 (avg !dols);
+             fmt_f2 (float_of_int !cams /. float_of_int (max 1 !dols));
+           ])
+  in
+  table rows
+
+let run () =
+  run_a ();
+  run_b ()

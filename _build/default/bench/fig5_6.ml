@@ -1,0 +1,76 @@
+(** Figures 5 and 6 — multi-subject growth.
+
+    Fig. 5: codebook entries as a function of the number of subjects,
+    for the LiveLink and Unix-file-system datasets ("we selected a number
+    of subjects randomly and computed DOL codebooks for the selected
+    subjects only").
+
+    Fig. 6: DOL transition nodes as a function of the number of subjects.
+
+    The paper's finding: both grow much slower than the uncorrelated
+    worst case (exponential codebook, every-node-a-transition), because
+    real subjects' rights are strongly correlated. *)
+
+module Tree = Dolx_xml.Tree
+module Dol = Dolx_core.Dol
+module Codebook = Dolx_core.Codebook
+module Prng = Dolx_util.Prng
+module Labeling = Dolx_policy.Labeling
+module Subject = Dolx_policy.Subject
+module Livelink = Dolx_workload.Livelink
+module Unixfs = Dolx_workload.Unixfs
+open Bench_common
+
+let subset_sizes total =
+  List.filter (fun k -> k <= total) [ 1; 2; 5; 10; 25; 50; 100; 200; 400; 800; 1600 ]
+  @ [ total ]
+  |> List.sort_uniq compare
+
+let measure name tree labeling all_subjects =
+  ignore tree;
+  let rng = Prng.create 56 in
+  let total = Array.length all_subjects in
+  let rows =
+    [ "subjects"; "codebook entries"; "transition nodes"; "density"; "codebook bytes" ]
+    :: List.map
+         (fun k ->
+           let subjects = Array.copy all_subjects in
+           Prng.shuffle rng subjects;
+           let chosen = Array.sub subjects 0 k in
+           let projected = Labeling.project labeling chosen in
+           let dol = Dol.of_labeling projected in
+           [
+             fmt_i k;
+             fmt_i (Codebook.count (Dol.codebook dol));
+             fmt_i (Dol.transition_count dol);
+             Printf.sprintf "%.4f" (Dol.transition_density dol);
+             fmt_bytes (Dol.codebook_bytes dol);
+           ])
+         (subset_sizes total)
+  in
+  header (Printf.sprintf "Figures 5/6: codebook entries & transition nodes vs #subjects — %s" name);
+  table rows
+
+let run () =
+  let ll =
+    Livelink.generate
+      ~config:
+        { Livelink.default_config with seed = 51; target_nodes = 30_000 * scale;
+          n_departments = 20; users_per_department = 40; n_modes = 2 }
+      ()
+  in
+  Printf.printf "\nLiveLink sim: %d nodes, %d subjects\n"
+    (Tree.size ll.Livelink.tree)
+    (Subject.count ll.Livelink.subjects);
+  measure "LiveLink (simulated)" ll.Livelink.tree ll.Livelink.labelings.(0)
+    (Livelink.all_subjects ll);
+  let fs =
+    Unixfs.generate
+      ~config:{ Unixfs.seed = 52; target_nodes = 30_000 * scale; n_users = 182; n_groups = 65 }
+      ()
+  in
+  Printf.printf "\nUnix FS sim: %d nodes, %d subjects (182 users + 65 groups)\n"
+    (Tree.size fs.Unixfs.tree)
+    (Subject.count fs.Unixfs.subjects);
+  measure "Unix file system (simulated)" fs.Unixfs.tree fs.Unixfs.read_labeling
+    (Unixfs.all_subjects fs)

@@ -1,0 +1,354 @@
+(* dolx — command-line front end.
+
+   Subcommands:
+     generate     emit a synthetic XMark-like document
+     stats        shape statistics of an XML document
+     label        compile a policy file against a document; print DOL stats
+     query        evaluate a twig query as a subject
+     view         export a subject's secured view of a document
+     filter       stream a document through the one-pass secure filter
+     save-dol     compile a policy and persist the DOL
+     inspect-dol  print statistics of a persisted DOL
+     compile-db   compile document + policy into a one-file database
+     query-db     query a compiled database file
+
+   Policy files use the Dolx_policy.Policy_file language; node anchors
+   written as @<xpath> are resolved against the document. *)
+
+module Tree = Dolx_xml.Tree
+module Parser = Dolx_xml.Parser
+module Serializer = Dolx_xml.Serializer
+module Tree_stats = Dolx_xml.Tree_stats
+module Subject = Dolx_policy.Subject
+module Mode = Dolx_policy.Mode
+module Policy_file = Dolx_policy.Policy_file
+module Propagate = Dolx_policy.Propagate
+module Dol = Dolx_core.Dol
+module Codebook = Dolx_core.Codebook
+module Store = Dolx_core.Secure_store
+module Secure_view = Dolx_core.Secure_view
+module Cam = Dolx_cam.Cam
+module Engine = Dolx_nok.Engine
+module Tag_index = Dolx_index.Tag_index
+module Xmark = Dolx_workload.Xmark
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_doc path = Parser.parse (read_file path)
+
+(* Resolve @<xpath> policy anchors by evaluating the path insecurely. *)
+let make_resolver tree =
+  let index = lazy (Tag_index.build tree) in
+  let store =
+    lazy (Store.create tree (Dol.of_bool_array (Array.make (Tree.size tree) true)))
+  in
+  fun key ->
+    match Engine.query (Lazy.force store) (Lazy.force index) key Engine.Insecure with
+    | { Engine.answers = []; _ } ->
+        failwith (Printf.sprintf "policy anchor %S matches no node" key)
+    | { Engine.answers; _ } -> answers
+
+let load_policy tree path =
+  Policy_file.load ~resolve:(make_resolver tree) (read_file path)
+
+let compile tree path ~mode =
+  let subjects, modes, rules = load_policy tree path in
+  let mode_id =
+    match Mode.find_opt modes mode with
+    | Some m -> m
+    | None -> failwith (Printf.sprintf "mode %S not declared in policy" mode)
+  in
+  let labeling = Propagate.compile tree ~subjects ~mode:mode_id rules in
+  (subjects, modes, labeling)
+
+let subject_id subjects name =
+  match Subject.find_opt subjects name with
+  | Some s -> s
+  | None -> failwith (Printf.sprintf "subject %S not declared in policy" name)
+
+(* --- arguments --- *)
+
+let doc_arg =
+  Arg.(required & opt (some file) None & info [ "d"; "doc" ] ~docv:"FILE" ~doc:"XML document.")
+
+let policy_arg =
+  Arg.(required & opt (some file) None & info [ "p"; "policy" ] ~docv:"FILE" ~doc:"Policy file.")
+
+let mode_arg =
+  Arg.(value & opt string "read" & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"Action mode.")
+
+let subject_arg =
+  Arg.(required & opt (some string) None & info [ "s"; "subject" ] ~docv:"NAME" ~doc:"Subject.")
+
+(* --- generate --- *)
+
+let generate nodes seed output =
+  let tree = Xmark.generate_nodes ~seed nodes in
+  let xml = Serializer.to_string ~indent:true tree in
+  (match output with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc xml;
+      close_out oc
+  | None -> print_string xml);
+  Printf.eprintf "generated %d nodes\n" (Tree.size tree)
+
+let generate_cmd =
+  let nodes =
+    Arg.(value & opt int 10_000 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Approximate node count.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate a synthetic XMark-like document")
+    Term.(const generate $ nodes $ seed $ output)
+
+(* --- stats --- *)
+
+let stats doc =
+  let tree = load_doc doc in
+  Fmt.pr "%a@." Tree_stats.pp (Tree_stats.compute tree)
+
+let stats_cmd =
+  Cmd.v (Cmd.info "stats" ~doc:"Document shape statistics")
+    Term.(const stats $ doc_arg)
+
+(* --- label --- *)
+
+let label doc policy mode compare_cam =
+  let tree = load_doc doc in
+  let subjects, _, labeling = compile tree policy ~mode in
+  let dol = Dol.of_labeling labeling in
+  Fmt.pr "%a@." Dol.pp dol;
+  Printf.printf "codebook: %d entries, %d bytes; embedded codes: %d bytes; density %.4f\n"
+    (Codebook.count (Dol.codebook dol))
+    (Dol.codebook_bytes dol) (Dol.embedded_bytes dol)
+    (Dol.transition_density dol);
+  if compare_cam then begin
+    let total = ref 0 in
+    for s = 0 to Subject.count subjects - 1 do
+      let bools = Dolx_policy.Labeling.to_bool_array labeling ~subject:s in
+      total := !total + Cam.label_count (Cam.build tree bools)
+    done;
+    Printf.printf "per-subject CAMs: %d labels total across %d subjects\n" !total
+      (Subject.count subjects)
+  end
+
+let label_cmd =
+  let cam = Arg.(value & flag & info [ "cam" ] ~doc:"Also build per-subject CAMs.") in
+  Cmd.v (Cmd.info "label" ~doc:"Compile a policy into a DOL and report its size")
+    Term.(const label $ doc_arg $ policy_arg $ mode_arg $ cam)
+
+(* --- query --- *)
+
+let node_path tree v =
+  let rec go v acc =
+    if v = Tree.nil then acc
+    else go (Tree.parent tree v) ("/" ^ Tree.tag_name tree v ^ acc)
+  in
+  go v ""
+
+let query doc policy mode subject path_semantics q =
+  let tree = load_doc doc in
+  let subjects, _, labeling = compile tree policy ~mode in
+  let s = subject_id subjects subject in
+  let dol = Dol.of_labeling labeling in
+  let store = Store.create tree dol in
+  let index = Tag_index.build tree in
+  let sem = if path_semantics then Engine.Secure_path s else Engine.Secure s in
+  let r = Engine.query store index q sem in
+  List.iter
+    (fun v ->
+      let txt = Tree.text tree v in
+      Printf.printf "%s%s\n" (node_path tree v) (if txt = "" then "" else ": " ^ txt))
+    r.Engine.answers;
+  Printf.eprintf "%d answers\n" (List.length r.Engine.answers)
+
+let query_cmd =
+  let path_sem =
+    Arg.(value & flag & info [ "path-semantics" ]
+           ~doc:"Use the Gabillon-Bruno semantics (connecting paths must be accessible).")
+  in
+  let q = Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY") in
+  Cmd.v (Cmd.info "query" ~doc:"Evaluate a twig query as a subject")
+    Term.(const query $ doc_arg $ policy_arg $ mode_arg $ subject_arg $ path_sem $ q)
+
+(* --- view --- *)
+
+let view doc policy mode subject lift =
+  let tree = load_doc doc in
+  let subjects, _, labeling = compile tree policy ~mode in
+  let s = subject_id subjects subject in
+  let dol = Dol.of_labeling labeling in
+  let semantics =
+    if lift then Secure_view.Lift_children else Secure_view.Prune_subtree
+  in
+  match Secure_view.view ~semantics tree dol ~subject:s with
+  | v -> print_endline (Serializer.to_string ~indent:true v)
+  | exception Secure_view.Root_inaccessible ->
+      prerr_endline "subject cannot see the document root";
+      exit 1
+
+let view_cmd =
+  let lift =
+    Arg.(value & flag & info [ "lift" ]
+           ~doc:"Keep accessible descendants of hidden nodes (Cho-style view).")
+  in
+  Cmd.v (Cmd.info "view" ~doc:"Export a subject's secured view")
+    Term.(const view $ doc_arg $ policy_arg $ mode_arg $ subject_arg $ lift)
+
+(* --- filter: stream a document through the secure filter --- *)
+
+let filter doc policy mode subject lift output =
+  let tree = load_doc doc in
+  let subjects, _, labeling = compile tree policy ~mode in
+  let s = subject_id subjects subject in
+  let dol = Dol.of_labeling labeling in
+  let semantics =
+    if lift then Dolx_core.Stream_filter.Lift_children
+    else Dolx_core.Stream_filter.Prune_subtree
+  in
+  let out =
+    Dolx_core.Stream_filter.filter_string ~semantics dol ~subject:s (read_file doc)
+  in
+  match output with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc out;
+      close_out oc
+  | None -> print_endline out
+
+let filter_cmd =
+  let lift =
+    Arg.(value & flag & info [ "lift" ] ~doc:"Keep accessible descendants of hidden nodes.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "filter" ~doc:"Stream a document through the one-pass secure filter")
+    Term.(const filter $ doc_arg $ policy_arg $ mode_arg $ subject_arg $ lift $ output)
+
+(* --- save-dol / inspect-dol: persistence --- *)
+
+let save_dol doc policy mode output =
+  let tree = load_doc doc in
+  let _, _, labeling = compile tree policy ~mode in
+  let dol = Dol.of_labeling labeling in
+  Dolx_core.Persist.save output dol;
+  Printf.eprintf "wrote %s: %d transitions, %d codebook entries, %d bytes\n" output
+    (Dol.transition_count dol)
+    (Codebook.count (Dol.codebook dol))
+    (Dolx_core.Persist.serialized_bytes dol)
+
+let save_dol_cmd =
+  let output =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "save-dol" ~doc:"Compile a policy and persist the DOL to a file")
+    Term.(const save_dol $ doc_arg $ policy_arg $ mode_arg $ output)
+
+let inspect_dol path =
+  let dol = Dolx_core.Persist.load path in
+  Fmt.pr "%a@." Dol.pp dol;
+  Printf.printf "codebook: %d entries over %d subjects; density %.4f\n"
+    (Codebook.count (Dol.codebook dol))
+    (Codebook.width (Dol.codebook dol))
+    (Dol.transition_density dol)
+
+let inspect_dol_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "inspect-dol" ~doc:"Print statistics of a persisted DOL")
+    Term.(const inspect_dol $ path)
+
+(* --- explain --- *)
+
+let explain doc q =
+  let tree = load_doc doc in
+  let dol = Dol.of_bool_array (Array.make (Tree.size tree) true) in
+  let store = Store.create tree dol in
+  let index = Tag_index.build tree in
+  print_endline (Engine.explain store index (Dolx_nok.Xpath.parse q))
+
+let explain_cmd =
+  let q = Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY") in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Show the NoK decomposition and join plan for a query")
+    Term.(const explain $ doc_arg $ q)
+
+(* --- compile-db / query-db: the single-file database format --- *)
+
+let compile_db doc policy mode output =
+  let tree = load_doc doc in
+  let subjects, modes, labeling = compile tree policy ~mode in
+  let dol = Dol.of_labeling labeling in
+  let store = Store.create tree dol in
+  Dolx_core.Db_file.save ~subjects ~modes output store;
+  Printf.eprintf "wrote %s: %d nodes, %d pages, %d codebook entries\n" output
+    (Tree.size tree)
+    (Dolx_storage.Nok_layout.page_count (Store.layout store))
+    (Codebook.count (Dol.codebook dol))
+
+let compile_db_cmd =
+  let output =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "compile-db"
+       ~doc:"Compile document + policy into a single-file secured database")
+    Term.(const compile_db $ doc_arg $ policy_arg $ mode_arg $ output)
+
+let query_db db subject path_semantics q =
+  let store, registries = Dolx_core.Db_file.load db in
+  let tree = Store.tree store in
+  let index = Tag_index.build tree in
+  (* subject by name when the file embeds its registry, else a bit index *)
+  let bit =
+    match int_of_string_opt subject with
+    | Some i -> i
+    | None -> (
+        match registries with
+        | Some (subjects, _) -> subject_id subjects subject
+        | None -> failwith "database file has no subject registry; use a bit index")
+  in
+  let sem = if path_semantics then Engine.Secure_path bit else Engine.Secure bit in
+  let r = Engine.query store index q sem in
+  List.iter
+    (fun v ->
+      let txt = Tree.text tree v in
+      Printf.printf "%s%s\n" (node_path tree v) (if txt = "" then "" else ": " ^ txt))
+    r.Engine.answers;
+  Printf.eprintf "%d answers\n" (List.length r.Engine.answers)
+
+let query_db_cmd =
+  let db = Arg.(required & opt (some file) None & info [ "db" ] ~docv:"FILE") in
+  let subject_bit =
+    Arg.(required & opt (some string) None
+         & info [ "s"; "subject" ] ~docv:"NAME|BIT"
+             ~doc:"Subject name (when the file embeds its registry) or bit index.")
+  in
+  let path_sem = Arg.(value & flag & info [ "path-semantics" ]) in
+  let q = Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY") in
+  Cmd.v
+    (Cmd.info "query-db" ~doc:"Evaluate a twig query against a compiled database file")
+    Term.(const query_db $ db $ subject_bit $ path_sem $ q)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "dolx" ~version:"1.0.0"
+       ~doc:"Compact access-control labeling for secure XML query evaluation")
+    [
+      generate_cmd; stats_cmd; label_cmd; query_cmd; view_cmd; filter_cmd;
+      save_dol_cmd; inspect_dol_cmd; compile_db_cmd; query_db_cmd; explain_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

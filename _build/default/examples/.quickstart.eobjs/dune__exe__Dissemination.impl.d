@@ -1,0 +1,1 @@
+examples/dissemination.ml: Dolx_core Dolx_index Dolx_nok Dolx_policy Dolx_storage Dolx_util Dolx_workload Dolx_xml Hashtbl List Option Printf String

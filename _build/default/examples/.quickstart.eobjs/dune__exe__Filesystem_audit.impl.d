@@ -1,0 +1,1 @@
+examples/filesystem_audit.ml: Array Dolx_core Dolx_policy Dolx_util Dolx_workload Dolx_xml Hashtbl Printf

@@ -1,0 +1,1 @@
+examples/hospital_records.ml: Dolx_core Dolx_index Dolx_nok Dolx_policy Dolx_xml List Printf

@@ -1,0 +1,1 @@
+examples/policy_evolution.ml: Dolx_core Dolx_policy Dolx_util Dolx_workload Dolx_xml List Printf Unix

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dolx_core Dolx_index Dolx_nok Dolx_policy Dolx_xml Fmt List Option Printf String

@@ -1,0 +1,1 @@
+lib/cam/cam.ml: Array Dolx_xml Fmt Hashtbl List

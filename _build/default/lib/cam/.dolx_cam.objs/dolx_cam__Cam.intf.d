@@ -1,0 +1,1 @@
+lib/cam/cam.mli: Dolx_xml Format

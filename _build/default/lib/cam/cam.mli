@@ -1,0 +1,43 @@
+(** CAM — Compressed Accessibility Map (Yu et al., VLDB 2002), the
+    paper's single-subject baseline (§5.1).
+
+    A CAM is a set of labeled document nodes: a label [(sign, scope)] at
+    [v] asserts accessibility [sign] for [v] itself ([Self]), for [v]'s
+    proper descendants by default ([Desc]), or both ([Self_desc]); a
+    node's accessibility is its own self-covering label, else the nearest
+    ancestor's descendant-default, else deny.  Label placement is an
+    exact tree DP minimizing the label count. *)
+
+module Tree = Dolx_xml.Tree
+
+type sign = bool (** [true] = accessible *)
+
+type scope = Self | Desc | Self_desc
+
+type label = { sign : sign; scope : scope }
+
+type t
+
+(** Minimal CAM for accessibility vector [acc] (indexed by preorder).
+    @raise Invalid_argument on size mismatch. *)
+val build : Tree.t -> bool array -> t
+
+(** Number of CAM labels — the paper's Fig. 4 metric. *)
+val label_count : t -> int
+
+(** The labels as sorted [(preorder, label)] pairs. *)
+val labels : t -> (Tree.node * label) list
+
+(** Accessibility lookup: nearest self-covering label, else nearest
+    ancestor's descendant-covering label, else deny. *)
+val accessible : t -> Tree.node -> bool
+
+(** The paper's generous-to-CAM accounting: 2 bits of label (rounded to
+    a byte) + [pointer_bytes] per label (default 1, as in §5.1). *)
+val accounting_bytes : ?pointer_bytes:int -> t -> int
+
+(** Realistic accounting: label byte + 4-byte node reference + two
+    4-byte child pointers per label. *)
+val storage_bytes : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/codebook.ml: Array Dolx_util Hashtbl

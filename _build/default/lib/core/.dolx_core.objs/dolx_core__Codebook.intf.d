@@ -1,0 +1,1 @@
+lib/core/codebook.mli: Dolx_util

@@ -1,0 +1,1 @@
+lib/core/db_file.mli: Bytes Dolx_policy Secure_store

@@ -1,0 +1,1 @@
+lib/core/dol.ml: Array Codebook Dolx_policy Dolx_util Dolx_xml Fmt Printf

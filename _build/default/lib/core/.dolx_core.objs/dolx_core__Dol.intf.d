@@ -1,0 +1,1 @@
+lib/core/dol.mli: Codebook Dolx_policy Dolx_util Format

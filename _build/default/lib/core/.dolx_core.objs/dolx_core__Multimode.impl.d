@@ -1,0 +1,1 @@
+lib/core/multimode.ml: Array Dol Dolx_policy Dolx_util Hashtbl

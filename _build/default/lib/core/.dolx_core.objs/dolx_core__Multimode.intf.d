@@ -1,0 +1,1 @@
+lib/core/multimode.mli: Dol Dolx_policy

@@ -1,0 +1,1 @@
+lib/core/persist.ml: Array Buffer Bytes Codebook Dol Dolx_util List

@@ -1,0 +1,1 @@
+lib/core/secure_store.mli: Codebook Dol Dolx_storage Dolx_xml Format

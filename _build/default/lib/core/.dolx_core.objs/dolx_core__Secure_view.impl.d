@@ -1,0 +1,1 @@
+lib/core/secure_view.ml: Dol Dolx_xml List

@@ -1,0 +1,1 @@
+lib/core/secure_view.mli: Dol Dolx_xml

@@ -1,0 +1,1 @@
+lib/core/stream_filter.ml: Array Buffer Codebook Dol Dolx_xml Secure_view String

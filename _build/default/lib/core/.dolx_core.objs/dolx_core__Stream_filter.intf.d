@@ -1,0 +1,1 @@
+lib/core/stream_filter.mli: Dol Dolx_xml Secure_view

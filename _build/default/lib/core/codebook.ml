@@ -1,0 +1,133 @@
+(** The DOL codebook: dictionary compression of access control lists.
+
+    "Each distinct access control list that appears in the secured tree is
+    recorded once in a codebook… With each transition node in the DOL we
+    record a reference to the appropriate access control list in the code
+    book" (paper §2.1).  The codebook is kept in memory (§3.2).
+
+    Codes are dense ints.  The codebook owns its ACL bit-vectors; entries
+    are never removed (subject deletion shrinks their width instead, and
+    "any such redundancy can be corrected lazily", §3.4). *)
+
+module Bitset = Dolx_util.Bitset
+
+type code = int
+
+module Tbl = Hashtbl.Make (struct
+  type t = Bitset.t
+
+  let equal = Bitset.equal
+  let hash = Bitset.hash
+end)
+
+type t = {
+  mutable entries : Bitset.t array;
+  mutable codes : code Tbl.t;
+  mutable count : int;
+  mutable width : int; (* number of subjects *)
+}
+
+let create ~width =
+  { entries = Array.make 8 (Bitset.create width); codes = Tbl.create 64; count = 0; width }
+
+let width t = t.width
+
+(** Number of codebook entries (the paper's Fig. 5 metric). *)
+let count t = t.count
+
+(** Intern an ACL, returning its code. *)
+let intern t bits =
+  if Bitset.width bits <> t.width then invalid_arg "Codebook.intern: width mismatch";
+  match Tbl.find_opt t.codes bits with
+  | Some c -> c
+  | None ->
+      if t.count >= Array.length t.entries then begin
+        let entries = Array.make (2 * Array.length t.entries) bits in
+        Array.blit t.entries 0 entries 0 t.count;
+        t.entries <- entries
+      end;
+      let c = t.count in
+      t.entries.(c) <- bits;
+      Tbl.replace t.codes bits c;
+      t.count <- c + 1;
+      c
+
+let get t c =
+  if c < 0 || c >= t.count then invalid_arg "Codebook.get: unknown code";
+  t.entries.(c)
+
+(** "The s-th bit in that code book entry indicates the accessibility of
+    the node for subject s" (§3.3). *)
+let grants t c subject = Bitset.get (get t c) subject
+
+(** Code for the ACL equal to entry [c] with [subject]'s bit set to [b]. *)
+let with_bit t c subject b =
+  let bits = get t c in
+  if Bitset.get bits subject = b then c else intern t (Bitset.with_bit bits subject b)
+
+(** Add a new subject column.  If [like] is given, the new subject's
+    rights are initialized to match that existing subject's (paper §3.4:
+    "add a new subject … whose access rights initially match those of some
+    existing subject … by simply adding an additional column to each entry
+    in the in-memory codebook"). *)
+let add_subject t ?like () =
+  let new_width = t.width + 1 in
+  let fresh = Tbl.create (2 * t.count) in
+  for c = 0 to t.count - 1 do
+    let old_bits = t.entries.(c) in
+    let bits = Bitset.resize old_bits new_width in
+    let bits =
+      match like with
+      | Some s when Bitset.get old_bits s -> Bitset.with_bit bits t.width true
+      | _ -> bits
+    in
+    t.entries.(c) <- bits;
+    (* Distinct old entries stay distinct after adding a column. *)
+    Tbl.replace fresh bits c
+  done;
+  t.codes <- fresh;
+  t.width <- new_width;
+  t.width - 1
+
+(** Drop a subject column.  This may leave duplicate entries ("unnecessary
+    codes embedded in the structural data", §3.4) — they are kept, and the
+    intern table maps each ACL to the lowest code carrying it, so future
+    interning converges lazily. *)
+let remove_subject t subject =
+  if subject < 0 || subject >= t.width then invalid_arg "Codebook.remove_subject";
+  let new_width = t.width - 1 in
+  let fresh = Tbl.create (2 * t.count) in
+  for c = t.count - 1 downto 0 do
+    let bits = Bitset.remove_bit t.entries.(c) subject in
+    t.entries.(c) <- bits;
+    Tbl.replace fresh bits c
+  done;
+  t.codes <- fresh;
+  t.width <- new_width
+
+(** Number of duplicate (redundant) entries after subject removals. *)
+let redundant_entries t =
+  let seen = Tbl.create (2 * t.count) in
+  let dup = ref 0 in
+  for c = 0 to t.count - 1 do
+    if Tbl.mem seen t.entries.(c) then incr dup
+    else Tbl.replace seen t.entries.(c) ()
+  done;
+  !dup
+
+(** Bytes to store the codebook: one bit per subject per entry, as in the
+    paper's accounting ("at 1000 bytes per codebook entry — one bit per
+    subject for all 8000 subjects", §5.1). *)
+let storage_bytes t = t.count * ((t.width + 7) / 8)
+
+(** Bytes needed for one embedded code reference given the current number
+    of entries (the paper assumes "each DOL transition node requires a
+    2 byte access control code (for the 4000 codebook entries)"). *)
+let code_bytes t =
+  let rec go bytes cap = if cap >= t.count then bytes else go (bytes + 1) (cap * 256) in
+  go 1 256
+
+let iter f t =
+  for c = 0 to t.count - 1 do
+    f c t.entries.(c)
+  done

@@ -1,0 +1,245 @@
+(** Single-file database format: a complete secured store — page images,
+    node values, tag names and the DOL — in one file, so a labeled
+    document compiled once can be opened again (or shipped) without the
+    source XML or the policy.
+
+    Structure and values are stored separately, as in the paper's NoK
+    storage ("the structure of the data tree is stored separately from
+    the node values", §3.1): the page images carry structure + embedded
+    access-control codes; a value section carries the text content.
+
+    {v
+      file := "DOLXDB" u8(version=1)
+              varint page_size
+              varint n_tags   (len-prefixed tag names, id order)
+              varint dol_len  (Persist.to_bytes blob)
+              varint n_pages  (page images, logical order)
+              varint n_texts  (pairs: varint preorder, len-prefixed text;
+                               only non-empty texts are stored)
+              u8 has_registry
+              if has_registry:
+                varint n_subjects
+                  per subject: len-prefixed name, u8 kind (0 user/1 group),
+                               varint n_groups, varint group-id*
+                varint n_modes (len-prefixed names)
+    v} *)
+
+module Tree = Dolx_xml.Tree
+module Tag = Dolx_xml.Tag
+module Disk = Dolx_storage.Disk
+module Nok_layout = Dolx_storage.Nok_layout
+module Varint = Dolx_util.Varint
+
+let magic = "DOLXDB"
+
+let version = 1
+
+exception Corrupt of string
+
+let add_varint buf x =
+  let tmp = Bytes.create Varint.max_len in
+  let len = Varint.write tmp 0 x in
+  Buffer.add_subbytes buf tmp 0 len
+
+let add_string buf s =
+  add_varint buf (String.length s);
+  Buffer.add_string buf s
+
+module Subject = Dolx_policy.Subject
+module Mode = Dolx_policy.Mode
+
+(** Serialize a store.  Buffered pages are flushed first so the images
+    reflect all applied updates.  Passing the [subjects]/[modes]
+    registries makes the file self-describing: tools can then address
+    ACL bits by name. *)
+let to_bytes ?subjects ?modes store =
+  Dolx_storage.Buffer_pool.flush_all (Secure_store.pool store);
+  let tree = Secure_store.tree store in
+  let layout = Secure_store.layout store in
+  let buf = Buffer.create (64 * 1024) in
+  Buffer.add_string buf magic;
+  Buffer.add_uint8 buf version;
+  add_varint buf (Disk.page_size (Secure_store.disk store));
+  let table = Tree.tag_table tree in
+  add_varint buf (Tag.count table);
+  Tag.iter (fun _ name -> add_string buf name) table;
+  let dol_blob = Persist.to_bytes (Secure_store.dol store) in
+  add_varint buf (Bytes.length dol_blob);
+  Buffer.add_bytes buf dol_blob;
+  add_varint buf (Nok_layout.page_count layout);
+  for lp = 0 to Nok_layout.page_count layout - 1 do
+    Buffer.add_bytes buf (Nok_layout.page_image layout lp)
+  done;
+  let texts = ref [] in
+  let n_texts = ref 0 in
+  Tree.iter
+    (fun v ->
+      let txt = Tree.text tree v in
+      if txt <> "" then begin
+        texts := (v, txt) :: !texts;
+        incr n_texts
+      end)
+    tree;
+  add_varint buf !n_texts;
+  List.iter
+    (fun (v, txt) ->
+      add_varint buf v;
+      add_string buf txt)
+    (List.rev !texts);
+  (match subjects with
+  | None -> Buffer.add_uint8 buf 0
+  | Some registry ->
+      Buffer.add_uint8 buf 1;
+      add_varint buf (Subject.count registry);
+      for sid = 0 to Subject.count registry - 1 do
+        add_string buf (Subject.name registry sid);
+        Buffer.add_uint8 buf (match Subject.kind registry sid with
+          | Subject.User -> 0
+          | Subject.Group -> 1);
+        let groups = Subject.direct_groups registry sid in
+        add_varint buf (List.length groups);
+        List.iter (add_varint buf) groups
+      done;
+      (match modes with
+      | None -> add_varint buf 0
+      | Some m ->
+          add_varint buf (Mode.count m);
+          for i = 0 to Mode.count m - 1 do
+            add_string buf (Mode.name m i)
+          done));
+  Buffer.to_bytes buf
+
+(** Load a store from bytes.  @raise Corrupt on malformed input. *)
+let of_bytes ?pool_capacity buf =
+  let pos = ref 0 in
+  let need n =
+    if !pos + n > Bytes.length buf then raise (Corrupt "truncated database file")
+  in
+  need (String.length magic + 1);
+  if Bytes.sub_string buf 0 (String.length magic) <> magic then
+    raise (Corrupt "bad magic");
+  if Bytes.get_uint8 buf (String.length magic) <> version then
+    raise (Corrupt "unsupported version");
+  pos := String.length magic + 1;
+  let read_varint () =
+    need 1;
+    let x, p = Varint.read buf !pos in
+    pos := p;
+    x
+  in
+  let read_string () =
+    let len = read_varint () in
+    need len;
+    let s = Bytes.sub_string buf !pos len in
+    pos := !pos + len;
+    s
+  in
+  let page_size = read_varint () in
+  if page_size < 64 then raise (Corrupt "bad page size");
+  let n_tags = read_varint () in
+  let table = Tag.create () in
+  for _ = 1 to n_tags do
+    ignore (Tag.intern table (read_string ()))
+  done;
+  let dol_len = read_varint () in
+  need dol_len;
+  let dol =
+    try Persist.of_bytes (Bytes.sub buf !pos dol_len)
+    with Persist.Corrupt m -> raise (Corrupt ("embedded DOL: " ^ m))
+  in
+  pos := !pos + dol_len;
+  let n_pages = read_varint () in
+  if n_pages <= 0 then raise (Corrupt "no pages");
+  let disk = Disk.create ~page_size () in
+  for _ = 1 to n_pages do
+    need page_size;
+    let img = Bytes.sub buf !pos page_size in
+    pos := !pos + page_size;
+    let pid = Disk.allocate disk in
+    Disk.write disk pid img
+  done;
+  let layout =
+    try Nok_layout.attach disk ~n_pages
+    with Invalid_argument m -> raise (Corrupt m)
+  in
+  (* rebuild structure from the pages, then attach the values *)
+  let skeleton =
+    let pool = Dolx_storage.Buffer_pool.create ~capacity:8 disk in
+    Nok_layout.decode_tree layout pool ~tag_table:table
+  in
+  if Tree.size skeleton <> Dol.n_nodes dol then
+    raise (Corrupt "structure / DOL size mismatch");
+  let n_texts = read_varint () in
+  let texts = Array.make (Tree.size skeleton) "" in
+  for _ = 1 to n_texts do
+    let v = read_varint () in
+    if v < 0 || v >= Tree.size skeleton then raise (Corrupt "text for unknown node");
+    texts.(v) <- read_string ()
+  done;
+  (* replay the skeleton with texts to get the full tree *)
+  let b = Tree.Builder.create ~table () in
+  let rec copy v =
+    ignore (Tree.Builder.open_element b (Tree.tag_name skeleton v));
+    if texts.(v) <> "" then Tree.Builder.add_text b texts.(v);
+    Tree.iter_children copy skeleton v;
+    Tree.Builder.close_element b
+  in
+  copy Tree.root;
+  let tree = Tree.Builder.finish b in
+  let registry =
+    if !pos >= Bytes.length buf then None
+    else begin
+      need 1;
+      let flag = Bytes.get_uint8 buf !pos in
+      incr pos;
+      if flag = 0 then None
+      else begin
+        let n_subjects = read_varint () in
+        let registry = Subject.create () in
+        let memberships = ref [] in
+        for sid = 0 to n_subjects - 1 do
+          let name = read_string () in
+          need 1;
+          let kind =
+            match Bytes.get_uint8 buf !pos with
+            | 0 -> Subject.User
+            | 1 -> Subject.Group
+            | _ -> raise (Corrupt "bad subject kind")
+          in
+          incr pos;
+          ignore (Subject.add registry ~name ~kind);
+          let n_groups = read_varint () in
+          for _ = 1 to n_groups do
+            memberships := (sid, read_varint ()) :: !memberships
+          done
+        done;
+        List.iter
+          (fun (child, group) ->
+            if group < 0 || group >= n_subjects then
+              raise (Corrupt "membership out of range");
+            Subject.add_membership registry ~child ~group)
+          (List.rev !memberships);
+        let n_modes = read_varint () in
+        let modes = Mode.create () in
+        for _ = 1 to n_modes do
+          ignore (Mode.add modes (read_string ()))
+        done;
+        Some (registry, modes)
+      end
+    end
+  in
+  (Secure_store.assemble ?pool_capacity ~tree ~dol ~disk ~layout (), registry)
+
+(** File convenience. *)
+let save ?subjects ?modes path store =
+  let oc = open_out_bin path in
+  output_bytes oc (to_bytes ?subjects ?modes store);
+  close_out oc
+
+let load ?pool_capacity path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let buf = Bytes.create n in
+  really_input ic buf 0 n;
+  close_in ic;
+  of_bytes ?pool_capacity buf

@@ -1,0 +1,27 @@
+(** Single-file database format: page images + node values + tag names +
+    DOL in one file — compile a labeled document once, open or ship it
+    without the source XML or the policy.  Optionally self-describing:
+    the subject registry and mode names can be embedded so ACL bits are
+    addressable by name.  See docs/FORMAT.md. *)
+
+exception Corrupt of string
+
+(** Serialize a store (buffered pages are flushed first). *)
+val to_bytes :
+  ?subjects:Dolx_policy.Subject.registry -> ?modes:Dolx_policy.Mode.registry ->
+  Secure_store.t -> Bytes.t
+
+(** Load a store; also returns the embedded registries when present.
+    @raise Corrupt on malformed input. *)
+val of_bytes :
+  ?pool_capacity:int -> Bytes.t ->
+  Secure_store.t * (Dolx_policy.Subject.registry * Dolx_policy.Mode.registry) option
+
+val save :
+  ?subjects:Dolx_policy.Subject.registry -> ?modes:Dolx_policy.Mode.registry ->
+  string -> Secure_store.t -> unit
+
+(** @raise Corrupt on malformed input; [Sys_error] on I/O failure. *)
+val load :
+  ?pool_capacity:int -> string ->
+  Secure_store.t * (Dolx_policy.Subject.registry * Dolx_policy.Mode.registry) option

@@ -1,0 +1,187 @@
+(** DOL — Document Ordered Labeling (the paper's core contribution, §2).
+
+    "We define a transition node to be a secured tree node whose
+    accessibility is different from its document-order predecessor…  The
+    DOL corresponding to a given secured tree is simply a list, in
+    document order, of the tree's transition nodes, together with their
+    accessibilities."  For multiple subjects, each transition node carries
+    a code into the {!Codebook} (§2.1).
+
+    This module is the logical DOL: sorted parallel arrays of transition
+    preorders and codes, plus the codebook.  The physical, page-embedded
+    representation lives in {!Dol_store}. *)
+
+module Tree = Dolx_xml.Tree
+module Bitset = Dolx_util.Bitset
+module Binsearch = Dolx_util.Binsearch
+module Int_vec = Dolx_util.Int_vec
+module Labeling = Dolx_policy.Labeling
+module Acl = Dolx_policy.Acl
+
+type t = {
+  codebook : Codebook.t;
+  mutable trans_pre : int array;  (* sorted transition-node preorders; [0] = 0 *)
+  mutable trans_code : int array; (* parallel codes *)
+  mutable n_nodes : int;
+}
+
+let codebook t = t.codebook
+
+let n_nodes t = t.n_nodes
+
+(** The number of transition nodes (the paper's Fig. 6 metric). *)
+let transition_count t = Array.length t.trans_pre
+
+let transitions t = Array.to_list (Array.map2 (fun p c -> (p, c)) t.trans_pre t.trans_code)
+
+(** {1 Construction} *)
+
+(** Build from a materialized labeling in one document-order pass. *)
+let of_labeling labeling =
+  let store = Labeling.store labeling in
+  let n = Labeling.size labeling in
+  if n = 0 then invalid_arg "Dol.of_labeling: empty labeling";
+  let codebook = Codebook.create ~width:(Acl.width store) in
+  let pres = Int_vec.create () in
+  let codes = Int_vec.create () in
+  let prev = ref (-1) in
+  for v = 0 to n - 1 do
+    let acl_id = Labeling.acl_id labeling v in
+    (* The root is always a transition node (§2). *)
+    if acl_id <> !prev then begin
+      Int_vec.push pres v;
+      Int_vec.push codes (Codebook.intern codebook (Acl.get store acl_id));
+      prev := acl_id
+    end
+  done;
+  {
+    codebook;
+    trans_pre = Int_vec.to_array pres;
+    trans_code = Int_vec.to_array codes;
+    n_nodes = n;
+  }
+
+(** Build a single-subject DOL from a boolean accessibility array. *)
+let of_bool_array acc = of_labeling (Labeling.of_bool_array acc)
+
+(** Streaming one-pass construction (paper §2: "a document order encoding
+    of access rights can be constructed on-the-fly using a single pass
+    through a labeled XML document"; §7: embeddable "into streaming XML
+    data as control characters").  Feed ACLs in document order. *)
+module Streaming = struct
+  type builder = {
+    codebook : Codebook.t;
+    pres : Int_vec.t;
+    codes : Int_vec.t;
+    mutable last_code : int;
+    mutable next_pre : int;
+  }
+
+  let create ~width =
+    {
+      codebook = Codebook.create ~width;
+      pres = Int_vec.create ();
+      codes = Int_vec.create ();
+      last_code = -1;
+      next_pre = 0;
+    }
+
+  (** Feed the ACL of the next node in document order.  Returns [Some code]
+      if this node is a transition node (i.e. a control character would be
+      emitted into the stream), [None] otherwise. *)
+  let push b bits =
+    let code = Codebook.intern b.codebook bits in
+    let v = b.next_pre in
+    b.next_pre <- v + 1;
+    if code <> b.last_code then begin
+      Int_vec.push b.pres v;
+      Int_vec.push b.codes code;
+      b.last_code <- code;
+      Some code
+    end
+    else None
+
+  let finish b =
+    if b.next_pre = 0 then invalid_arg "Dol.Streaming.finish: no nodes";
+    {
+      codebook = b.codebook;
+      trans_pre = Int_vec.to_array b.pres;
+      trans_code = Int_vec.to_array b.codes;
+      n_nodes = b.next_pre;
+    }
+end
+
+(** {1 Lookup} *)
+
+(** Index (into the transition arrays) of the transition governing node
+    [v]: the nearest preceding transition node (§3.3). *)
+let governing_index t v =
+  if v < 0 || v >= t.n_nodes then invalid_arg "Dol: node out of range";
+  match Binsearch.predecessor t.trans_pre v with
+  | Some i -> i
+  | None -> assert false (* trans_pre.(0) = 0 covers every node *)
+
+(** The access-control code in force at node [v]. *)
+let code_at t v = t.trans_code.(governing_index t v)
+
+(** The full ACL in force at node [v]. *)
+let acl_at t v = Codebook.get t.codebook (code_at t v)
+
+(** [accessible t ~subject v] — the accessibility function (§2). *)
+let accessible t ~subject v = Codebook.grants t.codebook (code_at t v) subject
+
+(** Is [v] itself a transition node? *)
+let is_transition t v =
+  let i = governing_index t v in
+  t.trans_pre.(i) = v
+
+(** {1 Space accounting (paper §5.1)} *)
+
+(** Bytes for the in-memory codebook. *)
+let codebook_bytes t = Codebook.storage_bytes t.codebook
+
+(** Bytes for the embedded transition codes ("DOL … stores only an access
+    control code per transition node"). *)
+let embedded_bytes t = transition_count t * Codebook.code_bytes t.codebook
+
+let storage_bytes t = codebook_bytes t + embedded_bytes t
+
+(** Density: transition nodes per document node. *)
+let transition_density t =
+  float_of_int (transition_count t) /. float_of_int t.n_nodes
+
+(** {1 Verification helpers} *)
+
+(** Check that [t] agrees with [labeling] on every node and subject —
+    the defining property of a DOL.  Raises [Failure] on mismatch. *)
+let verify_against t labeling =
+  if Labeling.size labeling <> t.n_nodes then failwith "Dol.verify: size mismatch";
+  for v = 0 to t.n_nodes - 1 do
+    let want = Labeling.acl labeling v in
+    let got = acl_at t v in
+    if not (Bitset.equal want got) then
+      failwith (Printf.sprintf "Dol.verify: ACL mismatch at node %d" v)
+  done
+
+(** Internal invariants: strictly increasing preorders starting at 0, no
+    two consecutive transitions with the same code, all codes valid. *)
+let validate t =
+  let k = Array.length t.trans_pre in
+  if k = 0 then failwith "Dol.validate: no transitions";
+  if Array.length t.trans_code <> k then failwith "Dol.validate: parallel array mismatch";
+  if t.trans_pre.(0) <> 0 then failwith "Dol.validate: first transition must be the root";
+  for i = 0 to k - 1 do
+    if t.trans_code.(i) < 0 || t.trans_code.(i) >= Codebook.count t.codebook then
+      failwith "Dol.validate: dangling code";
+    if i > 0 then begin
+      if t.trans_pre.(i) <= t.trans_pre.(i - 1) then
+        failwith "Dol.validate: preorders not strictly increasing";
+      if t.trans_pre.(i) >= t.n_nodes then failwith "Dol.validate: transition out of range"
+    end
+  done
+
+let pp ppf t =
+  Fmt.pf ppf "DOL: %d nodes, %d transitions, %d codebook entries (%d B total)"
+    t.n_nodes (transition_count t)
+    (Codebook.count t.codebook)
+    (storage_bytes t)

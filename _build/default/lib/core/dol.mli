@@ -1,0 +1,96 @@
+(** DOL — Document Ordered Labeling, the paper's core contribution (§2).
+
+    "We define a transition node to be a secured tree node whose
+    accessibility is different from its document-order predecessor …
+    The DOL … is simply a list, in document order, of the tree's
+    transition nodes, together with their accessibilities"; for multiple
+    subjects each transition carries a {!Codebook} code (§2.1).
+
+    This is the logical DOL; the physical, page-embedded form lives in
+    {!Secure_store} / [Dolx_storage.Nok_layout].  The representation is
+    exposed (not abstract) because {!Update} performs transition-list
+    surgery on it; treat the fields as read-only elsewhere. *)
+
+type t = {
+  codebook : Codebook.t;
+  mutable trans_pre : int array;   (** sorted transition preorders; [.(0) = 0] *)
+  mutable trans_code : int array;  (** parallel codes *)
+  mutable n_nodes : int;
+}
+
+val codebook : t -> Codebook.t
+
+val n_nodes : t -> int
+
+(** Number of transition nodes — the paper's Fig. 6 metric. *)
+val transition_count : t -> int
+
+(** The transition list as sorted [(preorder, code)] pairs. *)
+val transitions : t -> (int * int) list
+
+(** {1 Construction} *)
+
+(** Build from a materialized labeling in one document-order pass. *)
+val of_labeling : Dolx_policy.Labeling.t -> t
+
+(** Single-subject DOL from a boolean accessibility array. *)
+val of_bool_array : bool array -> t
+
+(** Streaming one-pass construction (paper §2: "constructed on-the-fly
+    using a single pass through a labeled XML document"). *)
+module Streaming : sig
+  type builder
+
+  val create : width:int -> builder
+
+  (** Feed the ACL of the next node in document order.  Returns
+      [Some code] when the node is a transition node (a control
+      character would be emitted into the stream). *)
+  val push : builder -> Dolx_util.Bitset.t -> Codebook.code option
+
+  (** @raise Invalid_argument when no nodes were pushed. *)
+  val finish : builder -> t
+end
+
+(** {1 Lookup (§3.3)} *)
+
+(** Index of the transition governing node [v] — the nearest preceding
+    transition node. *)
+val governing_index : t -> int -> int
+
+(** The access-control code in force at node [v]. *)
+val code_at : t -> int -> Codebook.code
+
+(** The full ACL in force at node [v]. *)
+val acl_at : t -> int -> Dolx_util.Bitset.t
+
+(** The accessibility function of paper §2. *)
+val accessible : t -> subject:int -> int -> bool
+
+(** Is [v] itself a transition node? *)
+val is_transition : t -> int -> bool
+
+(** {1 Space accounting (paper §5.1)} *)
+
+(** Bytes of the in-memory codebook. *)
+val codebook_bytes : t -> int
+
+(** Bytes of the embedded transition codes. *)
+val embedded_bytes : t -> int
+
+val storage_bytes : t -> int
+
+(** Transition nodes per document node. *)
+val transition_density : t -> float
+
+(** {1 Verification} *)
+
+(** Check that the DOL answers exactly like [labeling] on every node and
+    subject.  @raise Failure on mismatch. *)
+val verify_against : t -> Dolx_policy.Labeling.t -> unit
+
+(** Check internal invariants (sorted transitions starting at the root,
+    valid codes).  @raise Failure on violation. *)
+val validate : t -> unit
+
+val pp : Format.formatter -> t -> unit

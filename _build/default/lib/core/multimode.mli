@@ -1,0 +1,23 @@
+(** Multi-mode DOL: one labeling across all (subject, mode) pairs — the
+    extension sketched in the paper's §2/§2.1 footnotes ("our approach
+    can also exploit correlations among action modes").  Bit of
+    (subject s, mode m) = [m * n_subjects + s]. *)
+
+type layout = { n_subjects : int; n_modes : int }
+
+(** Column index of a (subject, mode) pair.
+    @raise Invalid_argument out of range. *)
+val bit : layout -> subject:int -> mode:int -> int
+
+(** Combine one labeling per mode (same document, same subject universe)
+    into a single multi-mode DOL.
+    @raise Invalid_argument when the labelings disagree. *)
+val combine : Dolx_policy.Labeling.t array -> layout * Dol.t
+
+(** Accessibility of node [v] for [subject] under [mode]. *)
+val accessible : layout * Dol.t -> subject:int -> mode:int -> int -> bool
+
+(** Space of the alternative design: one independent DOL per mode. *)
+val per_mode_storage_bytes : Dolx_policy.Labeling.t array -> int
+
+val combined_storage_bytes : layout * Dol.t -> int

@@ -1,0 +1,148 @@
+(** Serialization of DOLs (codebook + transition list) to bytes.
+
+    DOL is "disk-oriented" (paper §1); the page-embedded codes live in
+    the {!Secure_store} layout, but the codebook and the logical
+    transition list also need a durable form — for shipping a secured
+    document to another site (dissemination), for restarting, and for
+    the streaming filter.  Format (little-endian):
+
+    {v
+      magic   "DOLX"            4 bytes
+      version u8                = 1
+      width   varint            subjects per ACL
+      nnodes  varint
+      ncodes  varint            codebook entries
+      entries ncodes * ceil(width/8) bytes, entry order = code order
+      ntrans  varint
+      trans   ntrans * (varint delta_pre, varint code)
+    v}
+
+    Transition preorders are delta-encoded: sorted ascending, the paper's
+    structural locality makes the deltas small, so they varint-compress
+    well. *)
+
+module Bitset = Dolx_util.Bitset
+module Varint = Dolx_util.Varint
+
+let magic = "DOLX"
+
+let version = 1
+
+exception Corrupt of string
+
+let bitset_to_bytes bits =
+  let width = Bitset.width bits in
+  let nbytes = (width + 7) / 8 in
+  let out = Bytes.make nbytes '\000' in
+  Bitset.iter_set
+    (fun i ->
+      let b = Bytes.get_uint8 out (i / 8) in
+      Bytes.set_uint8 out (i / 8) (b lor (1 lsl (i mod 8))))
+    bits;
+  out
+
+let bitset_of_bytes ~width buf pos =
+  let bits = Bitset.create width in
+  for i = 0 to width - 1 do
+    if Bytes.get_uint8 buf (pos + (i / 8)) land (1 lsl (i mod 8)) <> 0 then
+      Bitset.set bits i true
+  done;
+  bits
+
+(** Serialize a DOL. *)
+let to_bytes (dol : Dol.t) =
+  let cb = Dol.codebook dol in
+  let width = Codebook.width cb in
+  let entry_bytes = (width + 7) / 8 in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf magic;
+  Buffer.add_uint8 buf version;
+  let add_varint x =
+    let tmp = Bytes.create Varint.max_len in
+    let len = Varint.write tmp 0 x in
+    Buffer.add_subbytes buf tmp 0 len
+  in
+  add_varint width;
+  add_varint (Dol.n_nodes dol);
+  add_varint (Codebook.count cb);
+  Codebook.iter
+    (fun _ bits ->
+      let b = bitset_to_bytes bits in
+      assert (Bytes.length b = entry_bytes);
+      Buffer.add_bytes buf b)
+    cb;
+  let transitions = Dol.transitions dol in
+  add_varint (List.length transitions);
+  let prev = ref 0 in
+  List.iter
+    (fun (pre, code) ->
+      add_varint (pre - !prev);
+      add_varint code;
+      prev := pre)
+    transitions;
+  Buffer.to_bytes buf
+
+(** Deserialize.  @raise Corrupt on malformed input. *)
+let of_bytes buf =
+  let pos = ref 0 in
+  let need n =
+    if !pos + n > Bytes.length buf then raise (Corrupt "truncated input")
+  in
+  need 5;
+  if Bytes.sub_string buf 0 4 <> magic then raise (Corrupt "bad magic");
+  if Bytes.get_uint8 buf 4 <> version then raise (Corrupt "unsupported version");
+  pos := 5;
+  let read_varint () =
+    need 1;
+    let x, p = Varint.read buf !pos in
+    pos := p;
+    x
+  in
+  let width = read_varint () in
+  let n_nodes = read_varint () in
+  let n_codes = read_varint () in
+  if width < 0 || n_nodes <= 0 || n_codes <= 0 then raise (Corrupt "bad header");
+  let entry_bytes = (width + 7) / 8 in
+  let cb = Codebook.create ~width in
+  for _ = 1 to n_codes do
+    need entry_bytes;
+    let bits = bitset_of_bytes ~width buf !pos in
+    pos := !pos + entry_bytes;
+    ignore (Codebook.intern cb bits)
+  done;
+  if Codebook.count cb <> n_codes then
+    raise (Corrupt "duplicate codebook entries");
+  let n_trans = read_varint () in
+  if n_trans <= 0 then raise (Corrupt "no transitions");
+  let pres = Array.make n_trans 0 in
+  let codes = Array.make n_trans 0 in
+  let prev = ref 0 in
+  for i = 0 to n_trans - 1 do
+    let delta = read_varint () in
+    let code = read_varint () in
+    if code >= n_codes then raise (Corrupt "dangling code");
+    let pre = !prev + delta in
+    if (i = 0 && pre <> 0) || (i > 0 && delta = 0) || pre >= n_nodes then
+      raise (Corrupt "bad transition order");
+    pres.(i) <- pre;
+    codes.(i) <- code;
+    prev := pre
+  done;
+  { Dol.codebook = cb; trans_pre = pres; trans_code = codes; n_nodes }
+
+(** File convenience. *)
+let save path dol =
+  let oc = open_out_bin path in
+  output_bytes oc (to_bytes dol);
+  close_out oc
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let buf = Bytes.create n in
+  really_input ic buf 0 n;
+  close_in ic;
+  of_bytes buf
+
+(** Serialized size in bytes, without materializing. *)
+let serialized_bytes dol = Bytes.length (to_bytes dol)

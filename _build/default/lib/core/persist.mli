@@ -1,0 +1,19 @@
+(** Serialization of DOLs (codebook + transition list) to a compact byte
+    format — for shipping secured documents (dissemination), restarts,
+    and the streaming filter.  Transition preorders are delta-encoded;
+    structural locality makes the deltas varint-friendly. *)
+
+exception Corrupt of string
+
+val to_bytes : Dol.t -> Bytes.t
+
+(** @raise Corrupt on malformed input. *)
+val of_bytes : Bytes.t -> Dol.t
+
+val save : string -> Dol.t -> unit
+
+(** @raise Corrupt on malformed input; [Sys_error] on I/O failure. *)
+val load : string -> Dol.t
+
+(** Size of {!to_bytes} output. *)
+val serialized_bytes : Dol.t -> int

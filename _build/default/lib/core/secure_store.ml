@@ -1,0 +1,160 @@
+(** A secured XML store: the NoK page layout with embedded DOL codes, a
+    buffer pool, and the in-memory codebook + page-header table (§3.2).
+
+    All navigation used by query evaluation goes through this module so
+    that page touches, buffer hits and disk reads are accounted; the
+    access check for a node is served from the node's own (already
+    resident) page — "the access control check for d requires no
+    additional I/O" (§3.3). *)
+
+module Tree = Dolx_xml.Tree
+module Nok_layout = Dolx_storage.Nok_layout
+module Buffer_pool = Dolx_storage.Buffer_pool
+module Disk = Dolx_storage.Disk
+
+type t = {
+  tree : Tree.t;
+  mutable dol : Dol.t;
+  layout : Nok_layout.t;
+  pool : Buffer_pool.t;
+  disk : Disk.t;
+  pool_capacity : int;
+  mutable access_checks : int;
+  mutable header_skips : int; (* page loads avoided via the header check *)
+}
+
+let create ?(page_size = 4096) ?(pool_capacity = 64) ?(fill = 0.9) tree dol =
+  if Dol.n_nodes dol <> Tree.size tree then
+    invalid_arg "Secure_store.create: tree / DOL size mismatch";
+  let disk = Disk.create ~page_size () in
+  let transitions =
+    Array.of_list (Dol.transitions dol)
+  in
+  let layout = Nok_layout.build ~fill disk tree ~transitions in
+  let pool = Buffer_pool.create ~capacity:pool_capacity disk in
+  { tree; dol; layout; pool; disk; pool_capacity; access_checks = 0; header_skips = 0 }
+
+(** Assemble a store from pre-built parts (database-file loading): the
+    layout must already live on [disk]. *)
+let assemble ?(pool_capacity = 64) ~tree ~dol ~disk ~layout () =
+  if Dol.n_nodes dol <> Tree.size tree then
+    invalid_arg "Secure_store.assemble: tree / DOL size mismatch";
+  let pool = Buffer_pool.create ~capacity:pool_capacity disk in
+  { tree; dol; layout; pool; disk; pool_capacity; access_checks = 0; header_skips = 0 }
+
+let tree t = t.tree
+let dol t = t.dol
+let layout t = t.layout
+let pool t = t.pool
+let disk t = t.disk
+let codebook t = Dol.codebook t.dol
+
+(** {1 Statistics} *)
+
+type io_stats = {
+  page_touches : int;
+  pool_hits : int;
+  pool_misses : int;
+  disk_reads : int;
+  disk_writes : int;
+  access_checks : int;
+  header_skips : int;
+}
+
+let io_stats t =
+  let ps = Buffer_pool.stats t.pool in
+  let ds = Disk.stats t.disk in
+  {
+    page_touches = ps.Buffer_pool.touches;
+    pool_hits = ps.Buffer_pool.hits;
+    pool_misses = ps.Buffer_pool.misses;
+    disk_reads = ds.Disk.reads;
+    disk_writes = ds.Disk.writes;
+    access_checks = t.access_checks;
+    header_skips = t.header_skips;
+  }
+
+let reset_stats t =
+  Buffer_pool.reset_stats t.pool;
+  Disk.reset_stats t.disk;
+  t.access_checks <- 0;
+  t.header_skips <- 0
+
+let pp_io ppf s =
+  Fmt.pf ppf
+    "touches=%d hits=%d misses=%d disk_reads=%d disk_writes=%d checks=%d skips=%d"
+    s.page_touches s.pool_hits s.pool_misses s.disk_reads s.disk_writes
+    s.access_checks s.header_skips
+
+(** {1 Navigation (with I/O accounting)}
+
+    The structural answers come from the succinct encoding; every visited
+    node costs a touch of its page, which is how the paper's NoK evaluator
+    behaves ("nodes connected by next-of-kin relationships are clustered …
+    a NoK query processor can match a NoK pattern using just a few I/O
+    operations", §3.1). *)
+
+let touch t v = ignore (Nok_layout.touch t.layout t.pool v)
+
+(** FIRST-CHILD of Algorithm 1: position of the first child, computed from
+    the succinct structure without fetching the child's page — the caller
+    decides whether to visit (fetch) it, which is what lets the header
+    optimization of §3.3 skip provably-inaccessible pages.  Returns
+    [Tree.nil] if none. *)
+let first_child t v = Tree.first_child t.tree v
+
+(** FOLLOWING-SIBLING of Algorithm 1.  Returns [Tree.nil] if none. *)
+let following_sibling t v = Tree.next_sibling t.tree v
+
+let parent t v = Tree.parent t.tree v
+
+let subtree_end t v = Tree.subtree_end t.tree v
+
+let tag t v = Tree.tag t.tree v
+
+let text t v = Tree.text t.tree v
+
+(** {1 Access checks (§3.3)} *)
+
+(** ACCESS of Algorithm 1: the code in force at [v] is found on [v]'s own
+    page, so this incurs no I/O beyond the page the evaluator already
+    loaded to visit [v]. *)
+let accessible (t : t) ~subject v =
+  t.access_checks <- t.access_checks + 1;
+  let code = Nok_layout.code_in_force t.layout t.pool v in
+  Codebook.grants (Dol.codebook t.dol) code subject
+
+(** Header-only test: true when the in-memory page table already proves
+    every node on [v]'s page is inaccessible to [subject] ("if the
+    starting transition node in the header indicates non-accessible …
+    and the change bit … is not set … the query processor could avoid
+    loading that page", §3.3). *)
+let page_provably_inaccessible t ~subject v =
+  let lp = Nok_layout.page_of t.layout v in
+  let h = Nok_layout.header t.layout lp in
+  (not h.Nok_layout.change)
+  && not (Codebook.grants (Dol.codebook t.dol) h.Nok_layout.first_code subject)
+
+(** ACCESS with the header optimization: consult the in-memory header
+    first and only fall back to loading the page when it cannot decide. *)
+let accessible_with_skip (t : t) ~subject v =
+  t.access_checks <- t.access_checks + 1;
+  if page_provably_inaccessible t ~subject v then begin
+    t.header_skips <- t.header_skips + 1;
+    false
+  end
+  else
+    let code = Nok_layout.code_in_force t.layout t.pool v in
+    Codebook.grants (Dol.codebook t.dol) code subject
+
+(** {1 Structural reorganization}
+
+    Accessibility updates are applied in place (see {!Update}); structural
+    updates (subtree insert/delete/move) change every following preorder,
+    which a dense-preorder layout cannot absorb locally — the paper's
+    scheme renumbers too, since nodes are identified by document position.
+    [rebuild] lays the new document + DOL out on a fresh disk, reusing the
+    page-size/fill configuration of [t]. *)
+let rebuild t tree dol =
+  let page_size = Dolx_storage.Disk.page_size t.disk in
+  create ~page_size ~pool_capacity:t.pool_capacity tree dol

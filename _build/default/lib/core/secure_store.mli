@@ -1,0 +1,97 @@
+(** A secured XML store: the NoK page layout with embedded DOL codes, a
+    buffer pool, and the in-memory codebook + page-header table (paper
+    §3.2).  All navigation used by query evaluation goes through this
+    module so page touches, buffer hits and disk I/O are accounted. *)
+
+module Tree = Dolx_xml.Tree
+
+type t
+
+(** Lay [tree] and its DOL out on a fresh simulated disk.  [fill] bounds
+    page occupancy at build time (slack absorbs update growth, §3.4).
+    @raise Invalid_argument on tree/DOL size mismatch. *)
+val create :
+  ?page_size:int -> ?pool_capacity:int -> ?fill:float -> Tree.t -> Dol.t -> t
+
+(** Assemble from pre-built parts (used by {!Db_file}); the layout must
+    already live on [disk]. *)
+val assemble :
+  ?pool_capacity:int -> tree:Tree.t -> dol:Dol.t ->
+  disk:Dolx_storage.Disk.t -> layout:Dolx_storage.Nok_layout.t -> unit -> t
+
+val tree : t -> Tree.t
+
+val dol : t -> Dol.t
+
+val layout : t -> Dolx_storage.Nok_layout.t
+
+val pool : t -> Dolx_storage.Buffer_pool.t
+
+val disk : t -> Dolx_storage.Disk.t
+
+val codebook : t -> Codebook.t
+
+(** {1 Statistics} *)
+
+type io_stats = {
+  page_touches : int;   (** logical page accesses through the pool *)
+  pool_hits : int;
+  pool_misses : int;
+  disk_reads : int;
+  disk_writes : int;
+  access_checks : int;  (** ACCESS evaluations (§3.3) *)
+  header_skips : int;   (** page loads avoided via the header check *)
+}
+
+val io_stats : t -> io_stats
+
+val reset_stats : t -> unit
+
+val pp_io : Format.formatter -> io_stats -> unit
+
+(** {1 Navigation}
+
+    Positions come from the succinct structure without I/O; the caller
+    decides whether to visit (fetch) a node — that is what lets the
+    header optimization of §3.3 skip provably-inaccessible pages. *)
+
+(** Fetch the page holding [v] (accounted I/O). *)
+val touch : t -> Tree.node -> unit
+
+(** FIRST-CHILD of Algorithm 1; {!Tree.nil} if none. *)
+val first_child : t -> Tree.node -> Tree.node
+
+(** FOLLOWING-SIBLING of Algorithm 1; {!Tree.nil} if none. *)
+val following_sibling : t -> Tree.node -> Tree.node
+
+val parent : t -> Tree.node -> Tree.node
+
+val subtree_end : t -> Tree.node -> Tree.node
+
+val tag : t -> Tree.node -> Dolx_xml.Tag.id
+
+val text : t -> Tree.node -> string
+
+(** {1 Access checks (§3.3)} *)
+
+(** ACCESS of Algorithm 1: the code in force is found on [v]'s own page,
+    so no I/O beyond the page the evaluator already loaded to visit
+    [v]. *)
+val accessible : t -> subject:int -> Tree.node -> bool
+
+(** Header-only test: the in-memory page table already proves every node
+    on [v]'s page inaccessible to [subject] (first code denies, change
+    bit clear). No I/O. *)
+val page_provably_inaccessible : t -> subject:int -> Tree.node -> bool
+
+(** ACCESS with the header optimization: consult the in-memory header
+    first; fetch the page only when it cannot decide. *)
+val accessible_with_skip : t -> subject:int -> Tree.node -> bool
+
+(** {1 Structural reorganization}
+
+    Accessibility updates are applied in place (see {!Update}); a
+    structural update renumbers every following preorder, so the store is
+    rebuilt: [rebuild t tree' dol'] lays the new document out on a fresh
+    disk with [t]'s page-size and pool configuration. *)
+val rebuild : t -> Tree.t -> Dol.t -> t

@@ -1,0 +1,74 @@
+(** Secure views: materialize the sub-document a subject is allowed to
+    see.
+
+    Two pruning semantics mirror the query semantics of §4:
+
+    - {!Prune_subtree} (Gabillon–Bruno, [11]): an inaccessible node hides
+      its entire subtree, accessible descendants included.
+    - {!Lift_children} (the view analogue of Cho et al.): an inaccessible
+      node is elided but its accessible descendants are kept, re-attached
+      to the nearest accessible ancestor (preserving document order).
+
+    This implements the dissemination use-case from the paper's
+    conclusion ("The DOL approach can be similarly used for dissemination
+    of XML data to multiple users"), and the one-pass structure makes it
+    suitable for streaming: the view is produced by a single document-
+    order scan consulting the DOL. *)
+
+module Tree = Dolx_xml.Tree
+
+type semantics = Prune_subtree | Lift_children
+
+exception Root_inaccessible
+
+(** Build the view tree for [subject].  Raises {!Root_inaccessible} if
+    the subject cannot see the document root (under either semantics
+    there is then nothing to attach children to — [Lift_children] with an
+    invisible root would need a synthetic root, which callers can add
+    themselves). *)
+let view ?(semantics = Prune_subtree) tree dol ~subject =
+  if Dol.n_nodes dol <> Tree.size tree then
+    invalid_arg "Secure_view.view: tree / DOL mismatch";
+  if not (Dol.accessible dol ~subject Tree.root) then raise Root_inaccessible;
+  (* share the tag table so view node tests and indexes keep the
+     original document's tag ids *)
+  let b = Tree.Builder.create ~table:(Tree.tag_table tree) () in
+  let rec copy v =
+    (* pre-condition: v is accessible *)
+    ignore (Tree.Builder.open_element b (Tree.tag_name tree v));
+    let txt = Tree.text tree v in
+    if txt <> "" then Tree.Builder.add_text b txt;
+    Tree.iter_children (fun c -> descend c) tree v;
+    Tree.Builder.close_element b
+  and descend v =
+    if Dol.accessible dol ~subject v then copy v
+    else
+      match semantics with
+      | Prune_subtree -> ()
+      | Lift_children -> Tree.iter_children (fun c -> descend c) tree v
+  in
+  copy Tree.root;
+  Tree.Builder.finish b
+
+(** Nodes of the original document visible in the view, in document
+    order — useful for counting without materializing. *)
+let visible_nodes ?(semantics = Prune_subtree) tree dol ~subject =
+  let acc = ref [] in
+  let rec go v ~path_ok =
+    let ok = Dol.accessible dol ~subject v in
+    let visible =
+      match semantics with Prune_subtree -> ok && path_ok | Lift_children -> ok
+    in
+    if visible then acc := v :: !acc;
+    let child_path_ok =
+      match semantics with Prune_subtree -> ok && path_ok | Lift_children -> true
+    in
+    if child_path_ok || semantics = Lift_children then
+      Tree.iter_children (fun c -> go c ~path_ok:child_path_ok) tree v
+  in
+  go Tree.root ~path_ok:true;
+  List.rev !acc
+
+(** Number of visible nodes. *)
+let visible_count ?semantics tree dol ~subject =
+  List.length (visible_nodes ?semantics tree dol ~subject)

@@ -1,0 +1,25 @@
+(** Secure views: materialize the sub-document a subject may see — the
+    dissemination use-case of the paper's conclusion.  Produced by one
+    document-order scan consulting the DOL, so also suitable for
+    streaming. *)
+
+module Tree = Dolx_xml.Tree
+
+type semantics =
+  | Prune_subtree
+      (** Gabillon–Bruno: an inaccessible node hides its whole subtree. *)
+  | Lift_children
+      (** Cho-style: an inaccessible node is elided, its accessible
+          descendants re-attach to the nearest accessible ancestor. *)
+
+exception Root_inaccessible
+
+(** Build the view tree for [subject] (default {!Prune_subtree}).
+    @raise Root_inaccessible when the subject cannot see the root. *)
+val view : ?semantics:semantics -> Tree.t -> Dol.t -> subject:int -> Tree.t
+
+(** Nodes of the original document visible in the view, document order. *)
+val visible_nodes :
+  ?semantics:semantics -> Tree.t -> Dol.t -> subject:int -> Tree.node list
+
+val visible_count : ?semantics:semantics -> Tree.t -> Dol.t -> subject:int -> int

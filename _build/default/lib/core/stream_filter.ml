@@ -1,0 +1,135 @@
+(** Secure filtering of streaming XML (paper §7: "The physical layout
+    makes it easy to embed into streaming XML data as control characters
+    and many one-pass algorithms on streaming XML data can be made
+    secure").
+
+    The filter consumes SAX events in document order together with the
+    DOL (whose transition codes are exactly the "control characters"
+    interleaved in the stream), and re-emits only the events a subject
+    may see.  Constant state beyond the element stack: the current
+    position in the transition list and a suppression depth.
+
+    Semantics match {!Secure_view}:
+    - [Prune_subtree]: an inaccessible element suppresses its whole
+      subtree (Gabillon–Bruno);
+    - [Lift_children]: only the inaccessible element's own markup and
+      text are dropped; accessible descendants pass through (their events
+      splice into the enclosing accessible element). *)
+
+module Parser = Dolx_xml.Parser
+
+type semantics = Secure_view.semantics = Prune_subtree | Lift_children
+
+type t = {
+  dol : Dol.t;
+  subject : int;
+  semantics : semantics;
+  emit : Parser.event -> unit;
+  mutable next_pre : int;      (* preorder of the next Start event *)
+  mutable trans_idx : int;     (* position in the transition list *)
+  mutable accessible_now : bool;
+  (* per open element: was it emitted (true) or filtered (false)? *)
+  mutable emitted_stack : bool list;
+  (* depth below a pruned element, Prune_subtree only *)
+  mutable pruned_depth : int;
+  mutable events_in : int;
+  mutable events_out : int;
+}
+
+let create ?(semantics = Prune_subtree) dol ~subject ~emit =
+  {
+    dol;
+    subject;
+    semantics;
+    emit;
+    next_pre = 0;
+    trans_idx = 0;
+    accessible_now = false;
+    emitted_stack = [];
+    pruned_depth = 0;
+    events_in = 0;
+    events_out = 0;
+  }
+
+let events_in t = t.events_in
+
+let events_out t = t.events_out
+
+(* Advance the transition cursor to the element about to start; this is
+   the stream consuming one embedded control character when present. *)
+let advance_access t =
+  let pres = t.dol.Dol.trans_pre in
+  if
+    t.trans_idx + 1 < Array.length pres
+    && pres.(t.trans_idx + 1) = t.next_pre
+  then t.trans_idx <- t.trans_idx + 1;
+  t.accessible_now <-
+    Codebook.grants t.dol.Dol.codebook
+      t.dol.Dol.trans_code.(t.trans_idx)
+      t.subject
+
+let out t ev =
+  t.events_out <- t.events_out + 1;
+  t.emit ev
+
+(** Feed one event.  Events must arrive in document order and be well
+    nested.  @raise Invalid_argument when more elements arrive than the
+    DOL covers. *)
+let push t (ev : Parser.event) =
+  t.events_in <- t.events_in + 1;
+  match ev with
+  | Parser.Start (name, attrs) ->
+      if t.next_pre >= Dol.n_nodes t.dol then
+        invalid_arg "Stream_filter: more elements than the DOL covers";
+      advance_access t;
+      t.next_pre <- t.next_pre + 1;
+      if t.pruned_depth > 0 then begin
+        (* inside a pruned subtree *)
+        t.pruned_depth <- t.pruned_depth + 1;
+        t.emitted_stack <- false :: t.emitted_stack
+      end
+      else if t.accessible_now then begin
+        t.emitted_stack <- true :: t.emitted_stack;
+        out t (Parser.Start (name, attrs))
+      end
+      else begin
+        t.emitted_stack <- false :: t.emitted_stack;
+        match t.semantics with
+        | Prune_subtree -> t.pruned_depth <- 1
+        | Lift_children -> ()
+      end
+  | Parser.Text s -> (
+      match t.emitted_stack with
+      | true :: _ when t.pruned_depth = 0 -> out t (Parser.Text s)
+      | _ -> ())
+  | Parser.End name -> (
+      match t.emitted_stack with
+      | [] -> invalid_arg "Stream_filter: unbalanced End event"
+      | emitted :: rest ->
+          t.emitted_stack <- rest;
+          if t.pruned_depth > 0 then t.pruned_depth <- t.pruned_depth - 1
+          else if emitted then out t (Parser.End name))
+
+(** Filter a whole document string; returns the filtered serialization.
+    Convenience wrapper for tests and tools: [Stream_filter] itself is
+    incremental. *)
+let filter_string ?semantics dol ~subject input =
+  let buf = Buffer.create (String.length input) in
+  let depth = ref 0 in
+  let emit (ev : Parser.event) =
+    match ev with
+    | Parser.Start (name, _) ->
+        Buffer.add_char buf '<';
+        Buffer.add_string buf name;
+        Buffer.add_char buf '>';
+        incr depth
+    | Parser.Text s -> Buffer.add_string buf (Dolx_xml.Serializer.escape_text s)
+    | Parser.End name ->
+        Buffer.add_string buf "</";
+        Buffer.add_string buf name;
+        Buffer.add_char buf '>';
+        decr depth
+  in
+  let t = create ?semantics dol ~subject ~emit in
+  Parser.parse_events input (push t);
+  Buffer.contents buf

@@ -1,0 +1,30 @@
+(** Secure filtering of streaming XML (paper §7: "many one-pass
+    algorithms on streaming XML data can be made secure"): consume SAX
+    events in document order alongside the DOL's transition codes (the
+    embedded "control characters") and re-emit only what the subject may
+    see.  State is constant beyond the element stack. *)
+
+module Parser = Dolx_xml.Parser
+
+type semantics = Secure_view.semantics = Prune_subtree | Lift_children
+
+type t
+
+(** [create dol ~subject ~emit] — [emit] receives the surviving events. *)
+val create :
+  ?semantics:semantics -> Dol.t -> subject:int -> emit:(Parser.event -> unit) -> t
+
+(** Events consumed so far. *)
+val events_in : t -> int
+
+(** Events emitted so far. *)
+val events_out : t -> int
+
+(** Feed one event (document order, well nested).
+    @raise Invalid_argument when more elements arrive than the DOL
+    covers or End events are unbalanced. *)
+val push : t -> Parser.event -> unit
+
+(** Filter a whole document string; returns the filtered serialization.
+    Convenience for tests and tools — the filter itself is incremental. *)
+val filter_string : ?semantics:semantics -> Dol.t -> subject:int -> string -> string

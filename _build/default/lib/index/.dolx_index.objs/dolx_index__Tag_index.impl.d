@@ -1,0 +1,1 @@
+lib/index/tag_index.ml: Btree Dolx_xml List

@@ -1,0 +1,1 @@
+lib/index/tag_index.mli: Dolx_xml

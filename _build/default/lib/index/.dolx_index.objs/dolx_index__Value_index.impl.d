@@ -1,0 +1,1 @@
+lib/index/value_index.ml: Btree Char Dolx_xml List String

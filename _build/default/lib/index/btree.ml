@@ -1,0 +1,337 @@
+(** A B+-tree over int keys.
+
+    The NoK query processor "uses B+ trees on the subtree root's value or
+    tag names to start the matching" (paper §4.1); {!Tag_index} builds on
+    this structure.  Keys are unique; duplicate logical entries are
+    expressed by composite keys (see {!Tag_index}).
+
+    Standard top-down insertion with preemptive splits; deletion removes
+    the key from its leaf without eager merging (underflowed leaves are
+    reclaimed only when empty), which is the strategy production B-trees
+    such as PostgreSQL's nbtree use.  Leaves are chained for range
+    scans. *)
+
+type node = {
+  mutable is_leaf : bool;
+  mutable n : int;                 (* number of keys in use *)
+  keys : int array;                (* capacity = order *)
+  vals : int array;                (* leaves only *)
+  children : node option array;    (* internal only; capacity = order + 1 *)
+  mutable next : node option;      (* leaf chain *)
+}
+
+type t = {
+  order : int; (* max keys per node; split at order *)
+  mutable root : node;
+  mutable count : int;
+  mutable height : int;
+}
+
+let make_node ~order ~is_leaf =
+  {
+    is_leaf;
+    n = 0;
+    keys = Array.make order 0;
+    vals = (if is_leaf then Array.make order 0 else [||]);
+    children = (if is_leaf then [||] else Array.make (order + 1) None);
+    next = None;
+  }
+
+let create ?(order = 64) () =
+  if order < 4 then invalid_arg "Btree.create: order must be >= 4";
+  { order; root = make_node ~order ~is_leaf:true; count = 0; height = 1 }
+
+let count t = t.count
+
+let height t = t.height
+
+(* Index of the first key in [node] that is >= [key]. *)
+let lower_bound node key =
+  let lo = ref 0 and hi = ref node.n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if node.keys.(mid) < key then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Child to descend into for [key] in an internal node: first separator
+   strictly greater than key determines the child. *)
+let child_index node key =
+  let lo = ref 0 and hi = ref node.n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if node.keys.(mid) <= key then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let get_child node i =
+  match node.children.(i) with
+  | Some c -> c
+  | None -> failwith "Btree: missing child (corrupt tree)"
+
+(** Point lookup. *)
+let find t key =
+  let rec go node =
+    if node.is_leaf then begin
+      let i = lower_bound node key in
+      if i < node.n && node.keys.(i) = key then Some node.vals.(i) else None
+    end
+    else go (get_child node (child_index node key))
+  in
+  go t.root
+
+let mem t key = find t key <> None
+
+(* Split full child [i] of internal (non-full) [parent].  The child has
+   [order] keys; left keeps ceil(order/2). *)
+let split_child t parent i =
+  let child = get_child parent i in
+  let order = t.order in
+  let mid = order / 2 in
+  let right = make_node ~order ~is_leaf:child.is_leaf in
+  if child.is_leaf then begin
+    (* all keys stay in leaves; separator = first key of right *)
+    let move = order - mid in
+    Array.blit child.keys mid right.keys 0 move;
+    Array.blit child.vals mid right.vals 0 move;
+    right.n <- move;
+    child.n <- mid;
+    right.next <- child.next;
+    child.next <- Some right;
+    (* shift parent entries *)
+    for j = parent.n downto i + 1 do
+      parent.keys.(j) <- parent.keys.(j - 1)
+    done;
+    for j = parent.n + 1 downto i + 2 do
+      parent.children.(j) <- parent.children.(j - 1)
+    done;
+    parent.keys.(i) <- right.keys.(0);
+    parent.children.(i + 1) <- Some right;
+    parent.n <- parent.n + 1
+  end
+  else begin
+    (* internal: middle key moves up *)
+    let move = order - mid - 1 in
+    Array.blit child.keys (mid + 1) right.keys 0 move;
+    Array.blit child.children (mid + 1) right.children 0 (move + 1);
+    right.n <- move;
+    let sep = child.keys.(mid) in
+    child.n <- mid;
+    Array.fill child.children (mid + 1) (t.order - mid) None;
+    for j = parent.n downto i + 1 do
+      parent.keys.(j) <- parent.keys.(j - 1)
+    done;
+    for j = parent.n + 1 downto i + 2 do
+      parent.children.(j) <- parent.children.(j - 1)
+    done;
+    parent.keys.(i) <- sep;
+    parent.children.(i + 1) <- Some right;
+    parent.n <- parent.n + 1
+  end
+
+(** Insert (or overwrite) [key -> value]. *)
+let insert t key value =
+  if t.root.n = t.order then begin
+    let new_root = make_node ~order:t.order ~is_leaf:false in
+    new_root.children.(0) <- Some t.root;
+    t.root <- new_root;
+    t.height <- t.height + 1;
+    split_child t new_root 0
+  end;
+  let rec go node =
+    if node.is_leaf then begin
+      let i = lower_bound node key in
+      if i < node.n && node.keys.(i) = key then node.vals.(i) <- value
+      else begin
+        for j = node.n downto i + 1 do
+          node.keys.(j) <- node.keys.(j - 1);
+          node.vals.(j) <- node.vals.(j - 1)
+        done;
+        node.keys.(i) <- key;
+        node.vals.(i) <- value;
+        node.n <- node.n + 1;
+        t.count <- t.count + 1
+      end
+    end
+    else begin
+      let i = child_index node key in
+      let child = get_child node i in
+      if child.n = t.order then begin
+        split_child t node i;
+        go node (* re-route after split *)
+      end
+      else go child
+    end
+  in
+  go t.root
+
+(** Remove [key] if present; returns whether it was. *)
+let remove t key =
+  let rec go node =
+    if node.is_leaf then begin
+      let i = lower_bound node key in
+      if i < node.n && node.keys.(i) = key then begin
+        for j = i to node.n - 2 do
+          node.keys.(j) <- node.keys.(j + 1);
+          node.vals.(j) <- node.vals.(j + 1)
+        done;
+        node.n <- node.n - 1;
+        t.count <- t.count - 1;
+        true
+      end
+      else false
+    end
+    else go (get_child node (child_index node key))
+  in
+  go t.root
+
+(** Bulk-load from strictly-increasing (key, value) pairs: leaves are
+    packed left to right at ~85% occupancy and internal levels built
+    bottom-up — O(n), versus O(n log n) repeated inserts.  This is how
+    the document indexes are built, since a one-pass scan can sort its
+    keys first. *)
+let of_sorted ?(order = 64) pairs =
+  if order < 4 then invalid_arg "Btree.of_sorted: order must be >= 4";
+  let t = create ~order () in
+  match pairs with
+  | [] -> t
+  | _ ->
+      let target = max 2 (order * 85 / 100) in
+      (* build the leaf level *)
+      let leaves = ref [] in
+      let current = ref (make_node ~order ~is_leaf:true) in
+      let flush () =
+        if !current.n > 0 then begin
+          leaves := !current :: !leaves;
+          current := make_node ~order ~is_leaf:true
+        end
+      in
+      let last_key = ref min_int in
+      List.iter
+        (fun (k, v) ->
+          if k <= !last_key then
+            invalid_arg "Btree.of_sorted: keys must be strictly increasing";
+          last_key := k;
+          if !current.n >= target then flush ();
+          !current.keys.(!current.n) <- k;
+          !current.vals.(!current.n) <- v;
+          !current.n <- !current.n + 1;
+          t.count <- t.count + 1)
+        pairs;
+      flush ();
+      let leaves = List.rev !leaves in
+      (* chain the leaves *)
+      let rec chain = function
+        | a :: (b :: _ as rest) ->
+            a.next <- Some b;
+            chain rest
+        | _ -> ()
+      in
+      chain leaves;
+      (* build internal levels bottom-up; separator for a child = its
+         smallest key (computed recursively) *)
+      let rec smallest node =
+        if node.is_leaf then node.keys.(0) else smallest (get_child node 0)
+      in
+      let rec build_level nodes height =
+        match nodes with
+        | [ root ] ->
+            t.root <- root;
+            t.height <- height
+        | _ ->
+            let parents = ref [] in
+            let current = ref (make_node ~order ~is_leaf:false) in
+            let child_count = ref 0 in
+            let flush () =
+              if !child_count > 0 then begin
+                parents := !current :: !parents;
+                current := make_node ~order ~is_leaf:false;
+                child_count := 0
+              end
+            in
+            List.iter
+              (fun child ->
+                if !child_count > target then flush ();
+                if !child_count = 0 then !current.children.(0) <- Some child
+                else begin
+                  !current.keys.(!current.n) <- smallest child;
+                  !current.n <- !current.n + 1;
+                  !current.children.(!current.n) <- Some child
+                end;
+                incr child_count)
+              nodes;
+            flush ();
+            (* A trailing parent with a single child (n = 0) is invalid:
+               borrow the previous parent's last child. *)
+            (match !parents with
+            | last :: prev :: rest when last.n = 0 ->
+                let borrowed = get_child prev prev.n in
+                prev.children.(prev.n) <- None;
+                prev.n <- prev.n - 1;
+                let only = get_child last 0 in
+                last.children.(0) <- Some borrowed;
+                last.keys.(0) <- smallest only;
+                last.children.(1) <- Some only;
+                last.n <- 1;
+                parents := last :: prev :: rest
+            | _ -> ());
+            build_level (List.rev !parents) (height + 1)
+      in
+      build_level leaves 1;
+      t
+
+(* Leftmost leaf whose range may contain [key]. *)
+let rec seek_leaf node key =
+  if node.is_leaf then node else seek_leaf (get_child node (child_index node key)) key
+
+(** [iter_range t ~lo ~hi f] applies [f key value] to all entries with
+    lo <= key <= hi, in ascending key order. *)
+let iter_range t ~lo ~hi f =
+  let leaf = seek_leaf t.root lo in
+  let rec scan leaf i =
+    if i >= leaf.n then
+      match leaf.next with None -> () | Some nxt -> scan nxt 0
+    else begin
+      let k = leaf.keys.(i) in
+      if k > hi then ()
+      else begin
+        if k >= lo then f k leaf.vals.(i);
+        scan leaf (i + 1)
+      end
+    end
+  in
+  scan leaf (lower_bound leaf lo)
+
+(** All entries in [lo, hi] as a list. *)
+let range t ~lo ~hi =
+  let acc = ref [] in
+  iter_range t ~lo ~hi (fun k v -> acc := (k, v) :: !acc);
+  List.rev !acc
+
+(** Structural invariants, used by property tests: key ordering within
+    nodes, separator correctness, leaf-chain ordering, and count. *)
+let validate t =
+  let seen = ref 0 in
+  let rec go node ~lo ~hi ~depth =
+    if node.n < 0 || node.n > t.order then failwith "Btree: bad fanout";
+    for i = 0 to node.n - 1 do
+      if i > 0 && node.keys.(i - 1) >= node.keys.(i) then
+        failwith "Btree: keys not strictly increasing";
+      (match lo with Some l -> if node.keys.(i) < l then failwith "Btree: key below range" | None -> ());
+      match hi with Some h -> if node.keys.(i) >= h then failwith "Btree: key above range" | None -> ()
+    done;
+    if node.is_leaf then begin
+      if depth <> t.height then failwith "Btree: leaves at different depths";
+      seen := !seen + node.n
+    end
+    else begin
+      if node.n = 0 then failwith "Btree: empty internal node";
+      for i = 0 to node.n do
+        let lo' = if i = 0 then lo else Some node.keys.(i - 1) in
+        let hi' = if i = node.n then hi else Some node.keys.(i) in
+        go (get_child node i) ~lo:lo' ~hi:hi' ~depth:(depth + 1)
+      done
+    end
+  in
+  go t.root ~lo:None ~hi:None ~depth:1;
+  if !seen <> t.count then failwith "Btree: count mismatch"

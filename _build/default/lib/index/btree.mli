@@ -1,0 +1,42 @@
+(** A B+-tree over int keys — the index structure behind {!Tag_index}
+    ("B+ trees on the subtree root's value or tag names", paper §4.1).
+
+    Keys are unique (duplicates are expressed with composite keys).
+    Top-down insertion with preemptive splits; deletion removes from the
+    leaf without eager merging (the strategy of production B-trees such
+    as PostgreSQL's nbtree).  Leaves are chained for range scans. *)
+
+type t
+
+(** @raise Invalid_argument when [order < 4]. *)
+val create : ?order:int -> unit -> t
+
+(** Number of keys stored. *)
+val count : t -> int
+
+val height : t -> int
+
+val find : t -> int -> int option
+
+val mem : t -> int -> bool
+
+(** Insert, overwriting any existing value for the key. *)
+val insert : t -> int -> int -> unit
+
+(** Bulk-load from strictly-increasing (key, value) pairs — O(n).
+    @raise Invalid_argument on unsorted input or [order < 4]. *)
+val of_sorted : ?order:int -> (int * int) list -> t
+
+(** Remove [key] if present; returns whether it was. *)
+val remove : t -> int -> bool
+
+(** [iter_range t ~lo ~hi f] applies [f key value] to all entries with
+    [lo <= key <= hi], ascending. *)
+val iter_range : t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+
+(** Entries in [lo, hi], ascending. *)
+val range : t -> lo:int -> hi:int -> (int * int) list
+
+(** Structural invariants (ordering, separators, uniform leaf depth,
+    count).  @raise Failure on violation. *)
+val validate : t -> unit

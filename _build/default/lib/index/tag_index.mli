@@ -1,0 +1,27 @@
+(** Tag index: for each element name, the document-order list of nodes
+    carrying it, backed by the {!Btree} with composite
+    [tag * 2^40 + preorder] keys — the "B+ trees on … tag names to start
+    the matching" of paper §4.1. *)
+
+type t
+
+(** Index every node of the document.
+    @raise Invalid_argument on documents with >= 2^40 nodes. *)
+val build : Dolx_xml.Tree.t -> t
+
+(** All nodes with the tag, in document order. *)
+val postings : t -> Dolx_xml.Tag.id -> Dolx_xml.Tree.node list
+
+(** Postings restricted to the preorder range [lo, hi] — evaluates
+    descendant steps inside a known subtree. *)
+val postings_in : t -> Dolx_xml.Tag.id -> lo:int -> hi:int -> Dolx_xml.Tree.node list
+
+val count : t -> Dolx_xml.Tag.id -> int
+
+(** Maintenance on structural updates. *)
+val insert : t -> Dolx_xml.Tag.id -> int -> unit
+
+val remove : t -> Dolx_xml.Tag.id -> int -> unit
+
+(** Total indexed entries (= document size after {!build}). *)
+val entry_count : t -> int

@@ -1,0 +1,1 @@
+lib/nok/decompose.ml: Fmt List Pattern

@@ -1,0 +1,1 @@
+lib/nok/decompose.mli: Format Pattern

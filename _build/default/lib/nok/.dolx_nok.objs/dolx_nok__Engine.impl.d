@@ -1,0 +1,1 @@
+lib/nok/engine.ml: Buffer Decompose Dolx_core Dolx_index Dolx_xml Fmt Fun List Nok_match Pattern Printf Structural_join Xpath

@@ -1,0 +1,1 @@
+lib/nok/engine.mli: Dolx_core Dolx_index Dolx_xml Nok_match Pattern

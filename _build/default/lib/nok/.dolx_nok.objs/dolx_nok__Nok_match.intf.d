@@ -1,0 +1,1 @@
+lib/nok/nok_match.mli: Dolx_core Dolx_index Dolx_xml Pattern

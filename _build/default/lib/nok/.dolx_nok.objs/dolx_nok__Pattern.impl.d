@@ -1,0 +1,1 @@
+lib/nok/pattern.ml: Fmt List Option

@@ -1,0 +1,1 @@
+lib/nok/pattern.mli: Format

@@ -1,0 +1,1 @@
+lib/nok/structural_join.ml: Array Dolx_core Dolx_xml Hashtbl Lazy List

@@ -1,0 +1,1 @@
+lib/nok/structural_join.mli: Dolx_core

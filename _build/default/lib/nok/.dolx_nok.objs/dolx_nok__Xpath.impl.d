@@ -1,0 +1,1 @@
+lib/nok/xpath.ml: Pattern String

@@ -1,0 +1,72 @@
+(** Pattern-tree decomposition (paper §3.1): "The NoK query processor
+    first partitions the pattern tree into NoK subtrees, each containing
+    only parent-child or following-sibling relationships … Then the
+    processor finds matches for these NoK subtrees … Finally it combines
+    the matched results using structural joins on the ancestor-descendant
+    relationship."
+
+    The trunk (root → returning node) is cut at every descendant-axis
+    edge; each resulting [segment] is a NoK pattern over child edges whose
+    non-trunk branches are evaluated as existential predicates.  A
+    predicate branch may itself contain descendant edges; those are
+    handled inside the match primitive rather than by a separate join,
+    which is sound because predicates are existential. *)
+
+type step = {
+  pnode : Pattern.pnode;           (* the trunk node *)
+  preds : Pattern.pnode list;      (* non-trunk children: predicates *)
+}
+
+type segment = {
+  entry_axis : Pattern.axis;       (* how the segment root attaches *)
+  steps : step list;               (* linked by Child axis *)
+}
+
+type plan = { segments : segment list; pattern : Pattern.t }
+
+let plan pattern =
+  let trunk = Pattern.trunk pattern in
+  let trunk_ids =
+    List.fold_left (fun s (p : Pattern.pnode) -> p.Pattern.id :: s) [] trunk
+  in
+  let is_trunk (p : Pattern.pnode) = List.mem p.Pattern.id trunk_ids in
+  let to_step (p : Pattern.pnode) =
+    { pnode = p; preds = List.filter (fun c -> not (is_trunk c)) p.Pattern.children }
+  in
+  (* split the trunk at Descendant edges *)
+  let rec split acc current entry = function
+    | [] -> List.rev ({ entry_axis = entry; steps = List.rev current } :: acc)
+    | (p : Pattern.pnode) :: rest ->
+        if current = [] then split acc [ to_step p ] entry rest
+        else if p.Pattern.axis = Pattern.Descendant then
+          split
+            ({ entry_axis = entry; steps = List.rev current } :: acc)
+            [ to_step p ] Pattern.Descendant rest
+        else split acc (to_step p :: current) entry rest
+  in
+  let entry =
+    match trunk with p :: _ -> p.Pattern.axis | [] -> Pattern.Child
+  in
+  { segments = split [] [] entry trunk; pattern }
+
+(** Number of NoK subtrees along the trunk (= number of structural joins
+    + 1). *)
+let segment_count plan = List.length plan.segments
+
+(** Does the plan need any structural join at all? *)
+let needs_join plan = segment_count plan > 1
+
+let pp_segment ppf s =
+  Fmt.pf ppf "%s%a"
+    (match s.entry_axis with
+    | Pattern.Child -> "/"
+    | Pattern.Descendant -> "//"
+    | Pattern.Following_sibling -> "/following-sibling::")
+    (Fmt.list ~sep:(Fmt.any "/") (fun ppf st ->
+         match st.pnode.Pattern.test with
+         | Pattern.Tag t -> Fmt.string ppf t
+         | Pattern.Wildcard -> Fmt.string ppf "*"))
+    s.steps
+
+let pp ppf plan =
+  Fmt.pf ppf "plan[%a]" (Fmt.list ~sep:(Fmt.any " <AD> ") pp_segment) plan.segments

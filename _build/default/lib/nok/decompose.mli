@@ -1,0 +1,28 @@
+(** Pattern-tree decomposition (paper §3.1): the trunk (root → returning
+    node) is cut at every descendant-axis edge; each resulting NoK
+    [segment] runs over next-of-kin edges, with non-trunk branches
+    evaluated as existential predicates.  Consecutive segments are
+    combined by structural joins. *)
+
+type step = {
+  pnode : Pattern.pnode;       (** the trunk node *)
+  preds : Pattern.pnode list;  (** non-trunk children: predicates *)
+}
+
+type segment = {
+  entry_axis : Pattern.axis;   (** how the segment root attaches *)
+  steps : step list;           (** linked by next-of-kin axes *)
+}
+
+type plan = { segments : segment list; pattern : Pattern.t }
+
+val plan : Pattern.t -> plan
+
+(** Number of NoK subtrees along the trunk (= structural joins + 1). *)
+val segment_count : plan -> int
+
+val needs_join : plan -> bool
+
+val pp_segment : Format.formatter -> segment -> unit
+
+val pp : Format.formatter -> plan -> unit

@@ -1,0 +1,63 @@
+(** Secure twig-query evaluation (paper §4): tag-index seeded NoK
+    subtree matching combined with (ε-)Stack-Tree-Desc structural joins.
+
+    Semantics: under {!Secure} (Cho et al., the paper's default) a
+    binding survives iff every bound node is accessible — intermediate
+    nodes on ancestor–descendant paths are unconstrained, so plain STD
+    suffices after ε-NoK (the paper's Theorem 1).  Under {!Secure_path}
+    (Gabillon–Bruno, §4.2) connecting paths must be fully accessible
+    too, enforced by ε-STD and path-checked predicates. *)
+
+module Store = Dolx_core.Secure_store
+
+type semantics =
+  | Insecure            (** plain NoK evaluation, no access control *)
+  | Secure of int       (** ε-NoK for the given subject (Cho et al.) *)
+  | Secure_path of int  (** ε-NoK + ε-STD (Gabillon–Bruno, §4.2) *)
+
+(** Evaluation options. *)
+type options = {
+  header_skip : bool;  (** use the in-memory page-header optimization (§3.3) *)
+}
+
+val default_options : options
+
+val match_mode : options -> semantics -> Nok_match.mode
+
+type result = {
+  answers : int list;  (** returning-node bindings, document order, distinct *)
+  segments : int;      (** NoK subtrees evaluated *)
+  joins : int;         (** structural joins performed *)
+  candidates_scanned : int;
+}
+
+(** Evaluate a pattern.  When a [value_index] is supplied, segment roots
+    with a text-equality constraint draw their candidates from it
+    instead of the (larger) tag postings. *)
+val run :
+  ?options:options -> ?value_index:Dolx_index.Value_index.t -> Store.t ->
+  Dolx_index.Tag_index.t -> Pattern.t -> semantics -> result
+
+(** Parse and evaluate an XPath string.
+    @raise Xpath.Parse_error on a malformed query. *)
+val query :
+  ?options:options -> ?value_index:Dolx_index.Value_index.t -> Store.t ->
+  Dolx_index.Tag_index.t -> string -> semantics -> result
+
+(** Number of answers only. *)
+val count :
+  ?options:options -> ?value_index:Dolx_index.Value_index.t -> Store.t ->
+  Dolx_index.Tag_index.t -> string -> semantics -> int
+
+(** Materialize full trunk-binding tuples — the paper's §4 result model
+    ("all of the possible sets of bindings"): each tuple lists one data
+    node per trunk step, in trunk order; predicates remain existential.
+    A navigational product for result construction and auditing, not the
+    I/O-optimal join path.  [limit] caps the tuples materialized. *)
+val bindings :
+  ?options:options -> ?limit:int -> Store.t -> Dolx_index.Tag_index.t ->
+  Pattern.t -> semantics -> Dolx_xml.Tree.node list list
+
+(** Human-readable evaluation plan: segments, joins, per-segment index
+    candidate counts. *)
+val explain : Store.t -> Dolx_index.Tag_index.t -> Pattern.t -> string

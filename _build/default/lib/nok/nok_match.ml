@@ -1,0 +1,199 @@
+(** NoK pattern matching against the secured store, secure (ε-NoK,
+    Algorithm 1) and unsecured.
+
+    Evaluation modes:
+    - [Insecure]: the plain NoK evaluator — no access checks.
+    - [Secure subject]: ε-NoK — every node is checked as it is visited
+      ("a node's accessibility is checked immediately after it is loaded
+      (by FIRST-CHILD or FOLLOWING-SIBLING)", §4.1); inaccessible nodes
+      are skipped together with their subtrees, which implements the
+      binding-elimination semantics of Cho et al. for NoK (child-edge)
+      patterns.
+    - [Secure_skip subject]: ε-NoK plus the in-memory page-header
+      optimization of §3.3 (avoid loading pages that are provably fully
+      inaccessible). *)
+
+module Store = Dolx_core.Secure_store
+module Tree = Dolx_xml.Tree
+module Tag = Dolx_xml.Tag
+module Tag_index = Dolx_index.Tag_index
+
+(** Evaluation mode.  [subject = None] disables access control;
+    [header_skip] enables the §3.3 page-header optimization;
+    [path_semantics] switches predicate evaluation to the Gabillon–Bruno
+    semantics, where descendant steps additionally require every node on
+    the connecting path to be accessible. *)
+type mode = { subject : int option; header_skip : bool; path_semantics : bool }
+
+let insecure = { subject = None; header_skip = false; path_semantics = false }
+
+let secure ?(header_skip = true) ?(path_semantics = false) subject =
+  { subject = Some subject; header_skip; path_semantics }
+
+let subject_of mode = mode.subject
+
+(** Visit node [v]: fetch its page (accounted I/O) and check access.
+    Returns whether evaluation may bind or traverse [v]. *)
+let visit store mode v =
+  match mode.subject with
+  | None ->
+      Store.touch store v;
+      true
+  | Some s ->
+      if mode.header_skip then Store.accessible_with_skip store ~subject:s v
+      else begin
+        Store.touch store v;
+        Store.accessible store ~subject:s v
+      end
+
+(** Under path semantics: are all nodes strictly between [ctx] and its
+    descendant [u] accessible?  (Both endpoints are checked by [visit]
+    at their own binding sites.) *)
+let path_clear store mode ~ctx u =
+  (not mode.path_semantics)
+  ||
+  match mode.subject with
+  | None -> true
+  | Some _ ->
+      let tree = Store.tree store in
+      let rec up v = v = ctx || (visit store mode v && up (Tree.parent tree v)) in
+      up (Tree.parent tree u)
+
+let test_ok store (test : Pattern.test) v =
+  match test with
+  | Pattern.Wildcard -> true
+  | Pattern.Tag name -> (
+      let table = Tree.tag_table (Store.tree store) in
+      match Tag.find_opt table name with
+      | Some id -> Store.tag store v = id
+      | None -> false)
+
+let value_ok store (value : string option) v =
+  match value with None -> true | Some s -> Store.text store v = s
+
+(** Existential match of pattern node [p] (with its axis) in the context
+    of data node [ctx]: does some data node under [ctx] satisfy [p] and,
+    recursively, all of [p]'s children?  Used for predicates. *)
+let rec exists_match store index mode (p : Pattern.pnode) ctx =
+  match p.Pattern.axis with
+  | (Pattern.Child | Pattern.Following_sibling) as axis ->
+      let rec scan u =
+        if u = Tree.nil then false
+        else if
+          visit store mode u && test_ok store p.Pattern.test u
+          && value_ok store p.Pattern.value u
+          && children_match store index mode p u
+        then true
+        else scan (Store.following_sibling store u)
+      in
+      let start =
+        match axis with
+        | Pattern.Child -> Store.first_child store ctx
+        | Pattern.Following_sibling | Pattern.Descendant ->
+            Store.following_sibling store ctx
+      in
+      scan start
+  | Pattern.Descendant -> (
+      let last = Store.subtree_end store ctx in
+      match p.Pattern.test with
+      | Pattern.Tag name -> (
+          let table = Tree.tag_table (Store.tree store) in
+          match Tag.find_opt table name with
+          | None -> false
+          | Some id ->
+              List.exists
+                (fun u ->
+                  visit store mode u
+                  && value_ok store p.Pattern.value u
+                  && path_clear store mode ~ctx u
+                  && children_match store index mode p u)
+                (Tag_index.postings_in index id ~lo:(ctx + 1) ~hi:last))
+      | Pattern.Wildcard ->
+          let rec scan u =
+            u <= last
+            && ((visit store mode u
+                && value_ok store p.Pattern.value u
+                && path_clear store mode ~ctx u
+                && children_match store index mode p u)
+               || scan (u + 1))
+          in
+          scan (ctx + 1))
+
+and children_match store index mode (p : Pattern.pnode) v =
+  List.for_all (fun c -> exists_match store index mode c v) p.Pattern.children
+
+(** Full qualification of a candidate binding [v] for pattern node [p]:
+    test, value, access, and all predicate children.  [v]'s axis
+    relationship to its context must already hold. *)
+let qualifies store index mode (p : Pattern.pnode) ~preds v =
+  visit store mode v && test_ok store p.Pattern.test v
+  && value_ok store p.Pattern.value v
+  && List.for_all (fun c -> exists_match store index mode c v) preds
+
+(** {1 Algorithm 1, verbatim}
+
+    A faithful port of the paper's ε-NoK "NPM(proot, sroot, R)" for
+    child-only (single NoK subtree) patterns with unordered children.  It
+    is used by the test-suite as an executable specification to
+    cross-check the production evaluator on single-segment queries whose
+    returning node has no further descendants to enumerate.
+
+    Pre-condition (as in the paper): sroot is accessible and matches
+    proot's test. *)
+let rec npm store mode (proot : Pattern.pnode) sroot r =
+  let saved = !r in
+  (* lines 1-2: LIST-APPEND(R, sroot) when proot is the returning node *)
+  if proot.Pattern.returning then r := sroot :: !r;
+  (* line 3: S <- all children of proot *)
+  let s = ref proot.Pattern.children in
+  (* line 4: u <- FIRST-CHILD(sroot) *)
+  let u = ref (Store.first_child store sroot) in
+  (* lines 5-13: repeat … until u = NIL or S = {} *)
+  while !u <> Tree.nil && !s <> [] do
+    (* line 6: ACCESS(u) — checked as soon as the node is reached; the
+       recursion is skipped entirely for inaccessible children *)
+    if visit store mode !u then begin
+      let rec try_patterns = function
+        | [] -> ()
+        | p :: rest ->
+            (* line 7: s matches u "with both tag name and value
+               constraints" *)
+            if
+              test_ok store p.Pattern.test !u
+              && value_ok store p.Pattern.value !u
+            then begin
+              (* line 9: b <- NPM(s, u, R); lines 10-11: remove s on
+                 success *)
+              if npm store mode p !u r then
+                s := List.filter (fun q -> q.Pattern.id <> p.Pattern.id) !s
+              else try_patterns rest
+            end
+            else try_patterns rest
+      in
+      try_patterns !s
+    end;
+    (* line 12: u <- FOLLOWING-SIBLING(u) *)
+    u := Store.following_sibling store !u
+  done;
+  (* lines 14-16: failure resets R *)
+  if !s <> [] then begin
+    r := saved;
+    false
+  end
+  else true
+
+(** Run Algorithm 1 from a candidate subtree root.  Returns the matches
+    of the returning node (in discovery order), or [None] if the pattern
+    does not match at [sroot].  The pre-condition check (sroot accessible
+    and matching the pattern root) happens here. *)
+let npm_run store mode pattern sroot =
+  let root = pattern.Pattern.root in
+  if
+    visit store mode sroot
+    && test_ok store root.Pattern.test sroot
+    && value_ok store root.Pattern.value sroot
+  then begin
+    let r = ref [] in
+    if npm store mode root sroot r then Some (List.rev !r) else None
+  end
+  else None

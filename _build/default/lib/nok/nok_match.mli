@@ -1,0 +1,67 @@
+(** NoK pattern matching against the secured store: the visit/check
+    primitives of ε-NoK and a verbatim port of the paper's Algorithm 1.
+
+    Every node visited costs a page touch; in secure modes the node's
+    accessibility is checked "immediately after it is loaded (by
+    FIRST-CHILD or FOLLOWING-SIBLING)" (§4.1), and inaccessible nodes are
+    skipped with their subtrees — the binding-elimination semantics of
+    Cho et al. for next-of-kin patterns. *)
+
+module Store = Dolx_core.Secure_store
+
+(** Evaluation mode.  [subject = None] disables access control;
+    [header_skip] enables the §3.3 page-header optimization;
+    [path_semantics] switches descendant steps (including those inside
+    predicates) to the Gabillon–Bruno semantics, where every node on the
+    connecting path must be accessible. *)
+type mode = { subject : int option; header_skip : bool; path_semantics : bool }
+
+val insecure : mode
+
+val secure : ?header_skip:bool -> ?path_semantics:bool -> int -> mode
+
+val subject_of : mode -> int option
+
+(** Visit node [v]: fetch its page (accounted I/O, or header-skip) and
+    check access.  [true] when evaluation may bind or traverse [v]. *)
+val visit : Store.t -> mode -> Dolx_xml.Tree.node -> bool
+
+(** Under path semantics: all nodes strictly between [ctx] and its
+    descendant [u] accessible? *)
+val path_clear : Store.t -> mode -> ctx:Dolx_xml.Tree.node -> Dolx_xml.Tree.node -> bool
+
+(** Does [v] pass the pattern node's tag test? *)
+val test_ok : Store.t -> Pattern.test -> Dolx_xml.Tree.node -> bool
+
+(** Does [v] pass the text-equality constraint? *)
+val value_ok : Store.t -> string option -> Dolx_xml.Tree.node -> bool
+
+(** Existential match of pattern node [p] (with its axis) in the context
+    of data node [ctx] — the predicate-evaluation primitive. *)
+val exists_match : Store.t -> Dolx_index.Tag_index.t -> mode -> Pattern.pnode ->
+  Dolx_xml.Tree.node -> bool
+
+(** Full qualification of a candidate binding: visit/test/value plus all
+    [preds] existentially. *)
+val qualifies :
+  Store.t -> Dolx_index.Tag_index.t -> mode -> Pattern.pnode ->
+  preds:Pattern.pnode list -> Dolx_xml.Tree.node -> bool
+
+(** {1 Algorithm 1, verbatim}
+
+    A faithful port of the paper's ε-NoK "NPM(proot, sroot, R)" for
+    child-only patterns with unordered children — the executable
+    specification the test-suite checks the engine against. *)
+
+(** [npm store mode proot sroot r]: match [proot]'s pattern subtree at
+    [sroot], appending returning-node witnesses to [r] (reset on
+    failure, as in the paper's lines 14–16).  Pre-condition: [sroot] is
+    accessible and matches [proot]'s test. *)
+val npm : Store.t -> mode -> Pattern.pnode -> Dolx_xml.Tree.node ->
+  Dolx_xml.Tree.node list ref -> bool
+
+(** Run Algorithm 1 from a candidate root, with the pre-condition check;
+    [Some witnesses] on a match. *)
+val npm_run :
+  Store.t -> mode -> Pattern.t -> Dolx_xml.Tree.node ->
+  Dolx_xml.Tree.node list option

@@ -1,0 +1,96 @@
+(** Twig-query pattern trees (paper §3.1: "A NoK query processor accepts
+    twig queries described by pattern trees").
+
+    Each pattern node carries the axis of the edge connecting it to its
+    parent ([Child] or [Descendant]); the root's axis describes how it
+    relates to the document (a leading [/] or [//]).  Exactly one node is
+    the returning node (§4.1: "One node in the NoK pattern tree is set as
+    returning node"). *)
+
+type axis =
+  | Child
+  | Descendant
+  | Following_sibling
+      (** the other next-of-kin relationship of NoK subtrees (§3.1) *)
+
+type test = Tag of string | Wildcard
+
+type pnode = {
+  id : int;
+  axis : axis;
+  test : test;
+  value : string option; (* equality constraint on the node's text *)
+  children : pnode list;
+  returning : bool;
+}
+
+type t = { root : pnode; node_count : int }
+
+let rec fold f acc p = List.fold_left (fold f) (f acc p) p.children
+
+let node_count t = t.node_count
+
+let returning_node t =
+  match fold (fun acc p -> if p.returning then p :: acc else acc) [] t.root with
+  | [ p ] -> p
+  | [] -> invalid_arg "Pattern: no returning node"
+  | _ -> invalid_arg "Pattern: multiple returning nodes"
+
+(** Path of pattern nodes from the root to the returning node — the
+    query's trunk. *)
+let trunk t =
+  let rec find p =
+    if p.returning then Some [ p ]
+    else
+      List.fold_left
+        (fun acc c -> match acc with Some _ -> acc | None -> Option.map (fun l -> p :: l) (find c))
+        None p.children
+  in
+  match find t.root with
+  | Some l -> l
+  | None -> invalid_arg "Pattern: no returning node"
+
+(** {1 Construction} *)
+
+let next_id = ref 0
+
+let fresh_id () =
+  let id = !next_id in
+  incr next_id;
+  id
+
+let make ?(axis = Child) ?(value = None) ?(returning = false) test children =
+  { id = fresh_id (); axis; test; value; children; returning }
+
+let of_root root =
+  let count = fold (fun acc _ -> acc + 1) 0 root in
+  let returning = fold (fun acc p -> if p.returning then acc + 1 else acc) 0 root in
+  if returning <> 1 then invalid_arg "Pattern.of_root: exactly one returning node required";
+  { root; node_count = count }
+
+(** Does this pattern contain only next-of-kin (parent/child and
+    following-sibling) edges below the root — i.e. is it a single NoK
+    subtree (paper §3.1)? *)
+let is_single_nok t =
+  let rec go ~is_root p =
+    (is_root || p.axis = Child || p.axis = Following_sibling)
+    && List.for_all (go ~is_root:false) p.children
+  in
+  go ~is_root:true t.root
+
+let rec pp_pnode ppf p =
+  let axis =
+    match p.axis with
+    | Child -> "/"
+    | Descendant -> "//"
+    | Following_sibling -> "/following-sibling::"
+  in
+  let test = match p.test with Tag s -> s | Wildcard -> "*" in
+  Fmt.pf ppf "%s%s%s%s" axis test
+    (match p.value with Some v -> Fmt.str "=%S" v | None -> "")
+    (if p.returning then "!" else "");
+  match p.children with
+  | [] -> ()
+  | kids -> Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any ";") pp_pnode) kids
+
+let pp ppf t = pp_pnode ppf t.root

@@ -1,0 +1,51 @@
+(** Twig-query pattern trees (paper §3.1).  Each pattern node carries the
+    axis of the edge to its parent; the root's axis describes how it
+    attaches to the document (leading [/] or [//]).  Exactly one node is
+    the returning node (§4.1). *)
+
+type axis =
+  | Child
+  | Descendant
+  | Following_sibling
+      (** the other next-of-kin relationship of NoK subtrees (§3.1) *)
+
+type test = Tag of string | Wildcard
+
+type pnode = {
+  id : int;               (** unique within the process *)
+  axis : axis;
+  test : test;
+  value : string option;  (** equality constraint on the node's text *)
+  children : pnode list;
+  returning : bool;
+}
+
+type t = { root : pnode; node_count : int }
+
+(** Depth-first fold over a pattern subtree. *)
+val fold : ('a -> pnode -> 'a) -> 'a -> pnode -> 'a
+
+val node_count : t -> int
+
+(** @raise Invalid_argument unless exactly one returning node exists. *)
+val returning_node : t -> pnode
+
+(** Pattern nodes from the root to the returning node — the trunk. *)
+val trunk : t -> pnode list
+
+(** Construct a pattern node (fresh id). *)
+val make :
+  ?axis:axis -> ?value:string option -> ?returning:bool -> test -> pnode list ->
+  pnode
+
+(** Package a pattern-node tree.
+    @raise Invalid_argument unless exactly one node is returning. *)
+val of_root : pnode -> t
+
+(** Only next-of-kin (child / following-sibling) edges below the root —
+    a single NoK subtree (§3.1)? *)
+val is_single_nok : t -> bool
+
+val pp_pnode : Format.formatter -> pnode -> unit
+
+val pp : Format.formatter -> t -> unit

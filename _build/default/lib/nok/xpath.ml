@@ -1,0 +1,151 @@
+(** Parser for the XPath subset used by the paper's workload (Table 1):
+    absolute paths with child ([/]) and descendant ([//]) axes, name tests
+    and wildcards, nested structural predicates, and text-equality
+    predicates.
+
+    Grammar:
+    {v
+      query     ::= axis step (axis step)*
+      axis      ::= '/' | '//' | '/child::' | '/following-sibling::'
+      step      ::= test predicate*
+      test      ::= name | '*'
+      predicate ::= '[' relpath ('=' string)? ']'
+      relpath   ::= step (axis step)*        (leading axis is Child)
+      string    ::= '"' chars '"'
+    v}
+
+    The returning node is the final step of the outermost path.  Examples:
+    [/site/regions/africa/item\[location\]\[name\]\[quantity\]],
+    [//listitem//keyword], [/site/people/person\[name="alice"\]]. *)
+
+exception Parse_error of { position : int; message : string }
+
+let error pos msg = raise (Parse_error { position = pos; message = msg })
+
+type state = { input : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let eof st = st.pos >= String.length st.input
+
+let skip_ws st =
+  while (match peek st with Some (' ' | '\t') -> true | _ -> false) do
+    st.pos <- st.pos + 1
+  done
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.' || c = ':'
+
+let parse_name st =
+  let start = st.pos in
+  while (match peek st with Some c when is_name_char c -> true | _ -> false) do
+    st.pos <- st.pos + 1
+  done;
+  if st.pos = start then error start "expected an element name";
+  String.sub st.input start (st.pos - start)
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.input && String.sub st.input st.pos n = s
+
+let parse_axis st =
+  match peek st with
+  | Some '/' ->
+      st.pos <- st.pos + 1;
+      if peek st = Some '/' then begin
+        st.pos <- st.pos + 1;
+        Some Pattern.Descendant
+      end
+      else if looking_at st "following-sibling::" then begin
+        st.pos <- st.pos + String.length "following-sibling::";
+        Some Pattern.Following_sibling
+      end
+      else if looking_at st "child::" then begin
+        st.pos <- st.pos + String.length "child::";
+        Some Pattern.Child
+      end
+      else Some Pattern.Child
+  | _ -> None
+
+let parse_test st =
+  match peek st with
+  | Some '*' ->
+      st.pos <- st.pos + 1;
+      Pattern.Wildcard
+  | _ -> Pattern.Tag (parse_name st)
+
+let parse_string st =
+  (match peek st with
+  | Some '"' -> st.pos <- st.pos + 1
+  | _ -> error st.pos "expected a string literal");
+  let start = st.pos in
+  while (match peek st with Some c when c <> '"' -> true | _ -> false) do
+    st.pos <- st.pos + 1
+  done;
+  if eof st then error start "unterminated string literal";
+  let s = String.sub st.input start (st.pos - start) in
+  st.pos <- st.pos + 1;
+  s
+
+(* A step list builds a right-nested chain of pattern nodes; the deepest
+   step of a predicate path may carry a value constraint. *)
+let rec parse_steps st ~first_axis ~returning_last =
+  let axis = first_axis in
+  skip_ws st;
+  let test = parse_test st in
+  let preds = parse_predicates st [] in
+  let rest_axis = parse_axis st in
+  match rest_axis with
+  | Some a ->
+      let tail = parse_steps st ~first_axis:a ~returning_last in
+      Pattern.make ~axis ~returning:false test (preds @ [ tail ])
+  | None ->
+      (* value constraint directly on the last step: name="v" *)
+      let value =
+        skip_ws st;
+        if peek st = Some '=' then begin
+          st.pos <- st.pos + 1;
+          skip_ws st;
+          Some (parse_string st)
+        end
+        else None
+      in
+      Pattern.make ~axis ~value ~returning:returning_last test preds
+
+and parse_predicates st acc =
+  skip_ws st;
+  match peek st with
+  | Some '[' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      let axis =
+        match parse_axis st with Some a -> a | None -> Pattern.Child
+      in
+      let p = parse_steps st ~first_axis:axis ~returning_last:false in
+      skip_ws st;
+      (match peek st with
+      | Some ']' -> st.pos <- st.pos + 1
+      | _ -> error st.pos "expected ']'");
+      parse_predicates st (acc @ [ p ])
+  | _ -> acc
+
+(** Parse an absolute twig query. *)
+let parse input =
+  let st = { input; pos = 0 } in
+  skip_ws st;
+  let axis =
+    match parse_axis st with
+    | Some Pattern.Following_sibling ->
+        error st.pos "a query cannot start with following-sibling::"
+    | Some a -> a
+    | None -> error st.pos "query must start with / or //"
+  in
+  let root = parse_steps st ~first_axis:axis ~returning_last:true in
+  skip_ws st;
+  if not (eof st) then error st.pos "trailing input after query";
+  Pattern.of_root root
+
+let parse_exn = parse
+
+let parse_opt input = try Some (parse input) with Parse_error _ -> None

@@ -1,0 +1,14 @@
+(** Parser for the XPath subset of the paper's workload (Table 1):
+    absolute paths with child ([/]), descendant ([//]) and
+    [following-sibling::] axes, name tests and wildcards, nested
+    structural predicates, and text-equality predicates ([name="v"]).
+    The returning node is the final step of the outermost path. *)
+
+exception Parse_error of { position : int; message : string }
+
+(** Parse an absolute twig query.  @raise Parse_error on bad input. *)
+val parse : string -> Pattern.t
+
+val parse_exn : string -> Pattern.t
+
+val parse_opt : string -> Pattern.t option

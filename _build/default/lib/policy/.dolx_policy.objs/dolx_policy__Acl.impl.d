@@ -1,0 +1,1 @@
+lib/policy/acl.ml: Array Dolx_util Hashtbl

@@ -1,0 +1,1 @@
+lib/policy/acl.mli: Dolx_util

@@ -1,0 +1,1 @@
+lib/policy/incremental.ml: Acl Array Dolx_xml Labeling List Mode Propagate Rule Subject

@@ -1,0 +1,1 @@
+lib/policy/incremental.mli: Dolx_xml Labeling Mode Propagate Rule Subject

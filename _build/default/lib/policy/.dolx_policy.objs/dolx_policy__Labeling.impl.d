@@ -1,0 +1,1 @@
+lib/policy/labeling.ml: Acl Array Dolx_util Dolx_xml Hashtbl List Subject

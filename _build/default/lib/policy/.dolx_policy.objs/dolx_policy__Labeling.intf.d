@@ -1,0 +1,1 @@
+lib/policy/labeling.mli: Acl Dolx_xml Subject

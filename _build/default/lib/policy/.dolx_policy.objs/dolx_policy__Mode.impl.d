@@ -1,0 +1,1 @@
+lib/policy/mode.ml: Array Hashtbl

@@ -1,0 +1,1 @@
+lib/policy/policy_file.ml: List Mode Printf Rule String Subject

@@ -1,0 +1,1 @@
+lib/policy/policy_file.mli: Dolx_xml Mode Rule Subject

@@ -1,0 +1,1 @@
+lib/policy/propagate.ml: Acl Array Dolx_xml Labeling List Mode Rule Subject

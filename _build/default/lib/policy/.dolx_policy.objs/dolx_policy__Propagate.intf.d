@@ -1,0 +1,1 @@
+lib/policy/propagate.mli: Dolx_xml Labeling Mode Rule Subject

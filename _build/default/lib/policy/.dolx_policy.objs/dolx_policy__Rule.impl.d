@@ -1,0 +1,1 @@
+lib/policy/rule.ml: Dolx_xml Fmt Mode Subject

@@ -1,0 +1,1 @@
+lib/policy/rule.mli: Dolx_xml Format Mode Subject

@@ -1,0 +1,1 @@
+lib/policy/subject.ml: Array Hashtbl List

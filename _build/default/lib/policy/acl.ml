@@ -1,0 +1,73 @@
+(** Hash-consed access-control lists.
+
+    An ACL is a bit-vector with one bit per subject (paper §2.1).  The
+    propagation engine interns every distinct ACL it produces, so a
+    labeling stores one small int per node and structurally equal ACLs are
+    physically shared.  The DOL codebook (dictionary compression of
+    distinct ACLs) is a re-numbering of exactly these interned values. *)
+
+module Bitset = Dolx_util.Bitset
+
+type id = int
+
+module Tbl = Hashtbl.Make (struct
+  type t = Bitset.t
+
+  let equal = Bitset.equal
+  let hash = Bitset.hash
+end)
+
+type store = {
+  mutable acls : Bitset.t array;
+  ids : id Tbl.t;
+  mutable count : int;
+  mutable width : int;
+}
+
+let create ~width =
+  { acls = Array.make 16 (Bitset.create width); ids = Tbl.create 64; count = 0; width }
+
+let width s = s.width
+
+(** Number of distinct interned ACLs. *)
+let count s = s.count
+
+(** Intern [bits], returning its dense id.  The bitset must not be mutated
+    afterwards; use {!Bitset.with_bit} for updates. *)
+let intern s bits =
+  if Bitset.width bits <> s.width then invalid_arg "Acl.intern: width mismatch";
+  match Tbl.find_opt s.ids bits with
+  | Some id -> id
+  | None ->
+      if s.count >= Array.length s.acls then begin
+        let acls = Array.make (2 * Array.length s.acls) bits in
+        Array.blit s.acls 0 acls 0 s.count;
+        s.acls <- acls
+      end;
+      let id = s.count in
+      s.acls.(id) <- bits;
+      Tbl.replace s.ids bits id;
+      s.count <- id + 1;
+      id
+
+let get s id =
+  if id < 0 || id >= s.count then invalid_arg "Acl.get: unknown id";
+  s.acls.(id)
+
+(** Does ACL [id] grant subject [subject]? *)
+let grants s id subject = Bitset.get (get s id) subject
+
+let empty s = intern s (Bitset.create s.width)
+
+let full s = intern s (Bitset.full s.width)
+
+(** Intern the ACL obtained from [id] by setting [subject]'s bit to [b]. *)
+let with_bit s id subject b =
+  let bits = get s id in
+  if Bitset.get bits subject = b then id
+  else intern s (Bitset.with_bit bits subject b)
+
+let iter f s =
+  for id = 0 to s.count - 1 do
+    f id s.acls.(id)
+  done

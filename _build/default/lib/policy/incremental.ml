@@ -1,0 +1,142 @@
+(** Incrementally maintained accessibility maps (paper §1: "it is
+    desirable to [compile] the net effect of these access control rules
+    into incrementally maintainable accessibility maps").
+
+    Under Most-Specific-Override, a rule anchored at node [v] can only
+    influence [v]'s subtree, so adding or removing a rule re-derives the
+    labeling over that subtree alone: the inherited context is recomputed
+    from the rules on the root-to-parent path (O(depth) rule lookups) and
+    the subtree is re-walked once.  The touched nodes are returned as
+    maximal preorder runs so a DOL can be patched range-by-range instead
+    of rebuilt. *)
+
+module Tree = Dolx_xml.Tree
+
+type t = {
+  tree : Tree.t;
+  subjects : Subject.registry;
+  mode : Mode.id;
+  default : Propagate.default;
+  (* rules bucketed by anchor, split by scope — the compiled policy *)
+  self_rules : Rule.t list array;
+  subtree_rules : Rule.t list array;
+  store : Acl.store;
+  node_acl : Acl.id array; (* shared with [labeling] *)
+  labeling : Labeling.t;
+}
+
+let labeling t = t.labeling
+
+let tree t = t.tree
+
+(* Deny-over-grant application of one node's rules onto a context id. *)
+let apply_rules store acl_id rules =
+  let grants, denies = List.partition (fun (r : Rule.t) -> r.Rule.sign = Rule.Grant) rules in
+  let acl_id =
+    List.fold_left (fun id (r : Rule.t) -> Acl.with_bit store id r.Rule.subject true) acl_id grants
+  in
+  List.fold_left (fun id (r : Rule.t) -> Acl.with_bit store id r.Rule.subject false) acl_id denies
+
+let initial_context t =
+  match t.default with
+  | Propagate.Closed -> Acl.empty t.store
+  | Propagate.Open -> Acl.full t.store
+
+(* The subtree context in force when entering [v]: the initial context
+   folded through the subtree rules of v's ancestors and of v itself. *)
+let context_at t v =
+  let rec ancestors u acc =
+    if u = Tree.nil then acc else ancestors (Tree.parent t.tree u) (u :: acc)
+  in
+  List.fold_left
+    (fun ctx u -> apply_rules t.store ctx t.subtree_rules.(u))
+    (initial_context t)
+    (ancestors v [])
+
+(* Re-derive the labeling over [v]'s subtree; returns the changed nodes
+   as maximal preorder runs [(lo, hi)]. *)
+let relabel_subtree t v =
+  let parent_ctx =
+    let p = Tree.parent t.tree v in
+    if p = Tree.nil then initial_context t else context_at t p
+  in
+  let changed = ref [] in
+  let run_start = ref (-1) in
+  let last_changed = ref (-2) in
+  let note u =
+    if u = !last_changed + 1 && !run_start >= 0 then last_changed := u
+    else begin
+      if !run_start >= 0 then changed := (!run_start, !last_changed) :: !changed;
+      run_start := u;
+      last_changed := u
+    end
+  in
+  let rec go u ctx =
+    let ctx' = apply_rules t.store ctx t.subtree_rules.(u) in
+    let own = apply_rules t.store ctx' t.self_rules.(u) in
+    if t.node_acl.(u) <> own then begin
+      t.node_acl.(u) <- own;
+      note u
+    end;
+    Tree.iter_children (fun c -> go c ctx') t.tree u
+  in
+  go v parent_ctx;
+  if !run_start >= 0 then changed := (!run_start, !last_changed) :: !changed;
+  List.rev !changed
+
+let check_rule t (r : Rule.t) =
+  if r.Rule.mode <> t.mode then invalid_arg "Incremental: rule for a different mode";
+  if r.Rule.node < 0 || r.Rule.node >= Tree.size t.tree then
+    invalid_arg "Incremental: rule anchored outside the tree"
+
+(** Compile an initial policy.  Rules for other modes are ignored. *)
+let create tree ~subjects ~mode ?(default = Propagate.Closed) rules =
+  let n = Tree.size tree in
+  let rules = List.filter (fun (r : Rule.t) -> r.Rule.mode = mode) rules in
+  let base = Propagate.compile tree ~subjects ~mode ~default rules in
+  (* Rebuild the per-node ACL ids in a store we own. *)
+  let store = Labeling.store base in
+  let node_acl = Array.init n (fun v -> Labeling.acl_id base v) in
+  let labeling = Labeling.create ~store ~node_acl in
+  let self_rules = Array.make n [] in
+  let subtree_rules = Array.make n [] in
+  List.iter
+    (fun (r : Rule.t) ->
+      match r.Rule.scope with
+      | Rule.Self -> self_rules.(r.Rule.node) <- r :: self_rules.(r.Rule.node)
+      | Rule.Subtree -> subtree_rules.(r.Rule.node) <- r :: subtree_rules.(r.Rule.node))
+    rules;
+  { tree; subjects; mode; default; self_rules; subtree_rules; store; node_acl; labeling }
+
+(** Add a rule; returns the changed preorder runs (possibly empty). *)
+let add_rule t (r : Rule.t) =
+  check_rule t r;
+  (match r.Rule.scope with
+  | Rule.Self -> t.self_rules.(r.Rule.node) <- r :: t.self_rules.(r.Rule.node)
+  | Rule.Subtree -> t.subtree_rules.(r.Rule.node) <- r :: t.subtree_rules.(r.Rule.node));
+  relabel_subtree t r.Rule.node
+
+(** Remove one occurrence of a rule; returns the changed runs.
+    @raise Not_found when the rule is not present. *)
+let remove_rule t (r : Rule.t) =
+  check_rule t r;
+  let remove_once l =
+    let rec go acc = function
+      | [] -> raise Not_found
+      | x :: rest when x = r -> List.rev_append acc rest
+      | x :: rest -> go (x :: acc) rest
+    in
+    go [] l
+  in
+  (match r.Rule.scope with
+  | Rule.Self -> t.self_rules.(r.Rule.node) <- remove_once t.self_rules.(r.Rule.node)
+  | Rule.Subtree ->
+      t.subtree_rules.(r.Rule.node) <- remove_once t.subtree_rules.(r.Rule.node));
+  relabel_subtree t r.Rule.node
+
+(** Current rules, in no particular order. *)
+let rules t =
+  let acc = ref [] in
+  Array.iter (fun l -> acc := l @ !acc) t.self_rules;
+  Array.iter (fun l -> acc := l @ !acc) t.subtree_rules;
+  !acc

@@ -1,0 +1,33 @@
+(** Incrementally maintained accessibility maps (paper §1): adding or
+    removing a rule re-derives the labeling over the anchor's subtree
+    only and reports the changed nodes as maximal preorder runs, so a
+    DOL can be patched range-by-range ([Dolx_core.Update.sync_ranges])
+    instead of rebuilt. *)
+
+module Tree = Dolx_xml.Tree
+
+type t
+
+(** Compile an initial policy for one mode (rules for other modes are
+    ignored). *)
+val create :
+  Tree.t -> subjects:Subject.registry -> mode:Mode.id ->
+  ?default:Propagate.default -> Rule.t list -> t
+
+(** The maintained labeling.  Mutates in place as rules change; do not
+    cache derived structures across updates without re-syncing. *)
+val labeling : t -> Labeling.t
+
+val tree : t -> Tree.t
+
+(** Add a rule; returns the changed preorder runs (possibly empty).
+    @raise Invalid_argument for rules of another mode or anchored
+    outside the tree. *)
+val add_rule : t -> Rule.t -> (int * int) list
+
+(** Remove one occurrence of a rule; returns the changed runs.
+    @raise Not_found when the rule is not present. *)
+val remove_rule : t -> Rule.t -> (int * int) list
+
+(** Current rules, in no particular order. *)
+val rules : t -> Rule.t list

@@ -1,0 +1,117 @@
+(** A labeling is the materialized accessibility function for one action
+    mode: for every document node, the interned ACL describing which
+    subjects can access it.  This is the paper's "accessibility map"
+    (§1), the input from which DOLs and CAMs are built. *)
+
+module Tree = Dolx_xml.Tree
+module Bitset = Dolx_util.Bitset
+
+type t = {
+  store : Acl.store;
+  node_acl : Acl.id array; (* indexed by preorder *)
+}
+
+let create ~store ~node_acl = { store; node_acl }
+
+let store t = t.store
+
+let size t = Array.length t.node_acl
+
+let acl_id t v = t.node_acl.(v)
+
+let acl t v = Acl.get t.store t.node_acl.(v)
+
+(** Accessibility of node [v] for a single subject. *)
+let accessible t ~subject v = Acl.grants t.store t.node_acl.(v) subject
+
+(** Accessibility for a user given the subject hierarchy: the union of the
+    user's own rights and those of all groups it belongs to. *)
+let accessible_user t ~registry ~user v =
+  let bits = acl t v in
+  List.exists (fun s -> Bitset.get bits s) (Subject.closure registry user)
+
+(** Number of nodes accessible to [subject]. *)
+let count_accessible t ~subject =
+  let n = ref 0 in
+  Array.iter (fun id -> if Acl.grants t.store id subject then incr n) t.node_acl;
+  !n
+
+(** Fraction of nodes accessible to [subject]. *)
+let accessibility_ratio t ~subject =
+  float_of_int (count_accessible t ~subject) /. float_of_int (size t)
+
+(** Per-subject boolean view, for baselines (CAM) that are single-subject. *)
+let to_bool_array t ~subject =
+  Array.map (fun id -> Acl.grants t.store id subject) t.node_acl
+
+(** Build a single-subject labeling directly from a boolean array — used
+    by tests and by the synthetic generators. *)
+let of_bool_array bits =
+  let store = Acl.create ~width:1 in
+  let f = Acl.empty store in
+  let t' = Acl.with_bit store f 0 true in
+  let node_acl = Array.map (fun b -> if b then t' else f) bits in
+  { store; node_acl }
+
+(** Restrict a labeling to a subset of subjects (used to study codebook
+    growth as a function of the number of subjects, paper §5.1).  Subjects
+    are renumbered 0..k-1 in the order given. *)
+let project t subjects =
+  let k = Array.length subjects in
+  let store = Acl.create ~width:k in
+  let cache = Hashtbl.create 256 in
+  let node_acl =
+    Array.map
+      (fun old_id ->
+        match Hashtbl.find_opt cache old_id with
+        | Some id -> id
+        | None ->
+            let bits = Acl.get t.store old_id in
+            let nb = Bitset.create k in
+            Array.iteri (fun i s -> if Bitset.get bits s then Bitset.set nb i true) subjects;
+            let id = Acl.intern store nb in
+            Hashtbl.replace cache old_id id;
+            id)
+      t.node_acl
+  in
+  { store; node_acl }
+
+(** Materialize effective user rights: a labeling over the registry's
+    users only (renumbered 0..U-1 in [Subject.users] order) where a
+    user's bit is set iff the user or any group it transitively belongs
+    to is granted — the operational semantics of paper footnote 4
+    ("a user's access rights may include her own plus those of any
+    groups of which she is a member"), precomputed so queries run under
+    a single subject bit. *)
+let materialize_users t ~registry =
+  let users = Array.of_list (Subject.users registry) in
+  let closures = Array.map (fun u -> Subject.closure registry u) users in
+  let k = Array.length users in
+  let store' = Acl.create ~width:k in
+  let cache = Hashtbl.create 256 in
+  let node_acl =
+    Array.map
+      (fun old_id ->
+        match Hashtbl.find_opt cache old_id with
+        | Some id -> id
+        | None ->
+            let bits = Acl.get t.store old_id in
+            let nb = Bitset.create k in
+            Array.iteri
+              (fun i closure ->
+                if List.exists (fun s -> Bitset.get bits s) closure then
+                  Bitset.set nb i true)
+              closures;
+            let id = Acl.intern store' nb in
+            Hashtbl.replace cache old_id id;
+            id)
+      t.node_acl
+  in
+  ({ store = store'; node_acl }, users)
+
+(** Number of distinct ACLs that actually occur in the labeling (may be
+    smaller than [Acl.count store] if the store is shared). *)
+let distinct_acls t =
+  let seen = Hashtbl.create 64 in
+  Array.iter (fun id -> Hashtbl.replace seen id ()) t.node_acl;
+  Hashtbl.length seen

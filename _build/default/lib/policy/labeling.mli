@@ -1,0 +1,50 @@
+(** A labeling is the materialized accessibility function for one action
+    mode: for every document node, the interned ACL of subjects that may
+    access it — the paper's "accessibility map" (§1), the input from
+    which DOLs and CAMs are built. *)
+
+type t
+
+(** [node_acl.(v)] is the ACL id of preorder [v] in [store]. *)
+val create : store:Acl.store -> node_acl:Acl.id array -> t
+
+val store : t -> Acl.store
+
+(** Number of nodes covered. *)
+val size : t -> int
+
+val acl_id : t -> Dolx_xml.Tree.node -> Acl.id
+
+val acl : t -> Dolx_xml.Tree.node -> Acl.Bitset.t
+
+(** The accessibility function of paper §2, for one subject. *)
+val accessible : t -> subject:Subject.id -> Dolx_xml.Tree.node -> bool
+
+(** A user's effective accessibility: own rights unioned with those of
+    all groups it (transitively) belongs to (paper footnote 4). *)
+val accessible_user :
+  t -> registry:Subject.registry -> user:Subject.id -> Dolx_xml.Tree.node -> bool
+
+val count_accessible : t -> subject:Subject.id -> int
+
+(** Fraction of nodes accessible to [subject]. *)
+val accessibility_ratio : t -> subject:Subject.id -> float
+
+(** Per-subject boolean view, for single-subject baselines (CAM). *)
+val to_bool_array : t -> subject:Subject.id -> bool array
+
+(** Single-subject labeling from a boolean accessibility array. *)
+val of_bool_array : bool array -> t
+
+(** Restrict to a subject subset, renumbered 0..k-1 in the given order —
+    used to study codebook growth vs subject count (paper Figs. 5/6). *)
+val project : t -> Subject.id array -> t
+
+(** Materialize effective user rights (paper footnote 4): a labeling
+    over users only, bit set iff the user or any of its (transitive)
+    groups is granted.  Returns the new labeling and the user ids in
+    bit order. *)
+val materialize_users : t -> registry:Subject.registry -> t * Subject.id array
+
+(** Number of distinct ACLs that occur in the labeling. *)
+val distinct_acls : t -> int

@@ -1,0 +1,41 @@
+(** Action modes (paper §2: "a set of access control modes, such as read
+    and write, denoted by M").  A registry of named modes with dense ids;
+    labelings, DOLs and CAMs are all built per mode. *)
+
+type id = int
+
+type registry = {
+  mutable names : string array;
+  by_name : (string, id) Hashtbl.t;
+  mutable count : int;
+}
+
+let create () = { names = Array.make 8 ""; by_name = Hashtbl.create 8; count = 0 }
+
+let add r name =
+  if Hashtbl.mem r.by_name name then invalid_arg ("Mode.add: duplicate " ^ name);
+  if r.count >= Array.length r.names then begin
+    let names = Array.make (2 * Array.length r.names) "" in
+    Array.blit r.names 0 names 0 r.count;
+    r.names <- names
+  end;
+  let id = r.count in
+  r.names.(id) <- name;
+  Hashtbl.replace r.by_name name id;
+  r.count <- id + 1;
+  id
+
+let count r = r.count
+
+let name r id =
+  if id < 0 || id >= r.count then invalid_arg "Mode.name";
+  r.names.(id)
+
+let find_opt r name = Hashtbl.find_opt r.by_name name
+
+(** The common read/write pair, for examples and tests. *)
+let read_write () =
+  let r = create () in
+  let read = add r "read" in
+  let write = add r "write" in
+  (r, read, write)

@@ -1,0 +1,21 @@
+(** Action modes (paper §2: "a set of access control modes, such as read
+    and write").  Labelings, DOLs and CAMs are all built per mode. *)
+
+type id = int
+
+type registry
+
+val create : unit -> registry
+
+(** @raise Invalid_argument on a duplicate name. *)
+val add : registry -> string -> id
+
+val count : registry -> int
+
+val name : registry -> id -> string
+
+val find_opt : registry -> string -> id option
+
+(** A fresh registry holding the common read/write pair; returns
+    [(registry, read, write)]. *)
+val read_write : unit -> registry * id * id

@@ -1,0 +1,128 @@
+(** A small textual policy language, so tools and examples can keep
+    access-control policies next to the documents they protect.
+
+    Line-oriented; [#] starts a comment.  Directives:
+    {v
+      mode   <name>                      declare an action mode
+      user   <name>                      declare a user subject
+      group  <name>                      declare a group subject
+      member <subject> <group>           subject belongs to group
+      grant  <subject> <mode> <node> [self]    grant, cascading by default
+      deny   <subject> <mode> <node> [self]    deny, cascading by default
+    v}
+
+    [<node>] is a preorder number or [@]-prefixed later resolution key —
+    tools that know the document resolve keys (e.g. XPath strings) to
+    anchor nodes before compiling; see {!rules_with_resolver}. *)
+
+type directive =
+  | Mode of string
+  | User of string
+  | Group of string
+  | Member of string * string
+  | Access of {
+      sign : Rule.sign;
+      subject : string;
+      mode : string;
+      node : string; (* preorder literal or @key *)
+      scope : Rule.scope;
+    }
+
+exception Syntax_error of { line : int; message : string }
+
+let error line message = raise (Syntax_error { line; message })
+
+let parse_line lineno line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+  | [] -> None
+  | [ "mode"; name ] -> Some (Mode name)
+  | [ "user"; name ] -> Some (User name)
+  | [ "group"; name ] -> Some (Group name)
+  | [ "member"; subject; group ] -> Some (Member (subject, group))
+  | ("grant" | "deny") :: rest as all -> (
+      let sign = if List.hd all = "grant" then Rule.Grant else Rule.Deny in
+      match rest with
+      | [ subject; mode; node ] ->
+          Some (Access { sign; subject; mode; node; scope = Rule.Subtree })
+      | [ subject; mode; node; "self" ] ->
+          Some (Access { sign; subject; mode; node; scope = Rule.Self })
+      | [ subject; mode; node; "subtree" ] ->
+          Some (Access { sign; subject; mode; node; scope = Rule.Subtree })
+      | _ -> error lineno "expected: grant|deny <subject> <mode> <node> [self|subtree]")
+  | word :: _ -> error lineno (Printf.sprintf "unknown directive %S" word)
+
+let parse_string text =
+  let lines = String.split_on_char '\n' text in
+  List.filteri (fun _ _ -> true) lines
+  |> List.mapi (fun i l -> (i + 1, l))
+  |> List.filter_map (fun (i, l) -> parse_line i l)
+
+(** Compile directives into registries + rules.  [resolve] maps each
+    [@key] (without the [@]) to the anchor nodes it denotes; plain
+    integers need no resolution.  Each resolved anchor yields one rule. *)
+let compile ?(resolve = fun key -> failwith ("unresolved node key @" ^ key))
+    directives =
+  let subjects = Subject.create () in
+  let modes = Mode.create () in
+  let pending_members = ref [] in
+  let rules = ref [] in
+  let subject_id name =
+    match Subject.find_opt subjects name with
+    | Some id -> id
+    | None -> failwith ("undeclared subject " ^ name)
+  in
+  let mode_id name =
+    match Mode.find_opt modes name with
+    | Some id -> id
+    | None -> failwith ("undeclared mode " ^ name)
+  in
+  List.iter
+    (fun d ->
+      match d with
+      | Mode name -> ignore (Mode.add modes name)
+      | User name -> ignore (Subject.add_user subjects name)
+      | Group name -> ignore (Subject.add_group subjects name)
+      | Member (child, group) -> pending_members := (child, group) :: !pending_members
+      | Access { sign; subject; mode; node; scope } ->
+          let anchors =
+            if String.length node > 0 && node.[0] = '@' then
+              resolve (String.sub node 1 (String.length node - 1))
+            else
+              match int_of_string_opt node with
+              | Some v -> [ v ]
+              | None -> failwith ("bad node reference " ^ node)
+          in
+          let subject = subject_id subject and mode = mode_id mode in
+          List.iter
+            (fun anchor ->
+              rules := Rule.make ~subject ~mode ~node:anchor ~sign ~scope :: !rules)
+            anchors)
+    directives;
+  List.iter
+    (fun (child, group) ->
+      Subject.add_membership subjects ~child:(subject_id child) ~group:(subject_id group))
+    (List.rev !pending_members);
+  (subjects, modes, List.rev !rules)
+
+(** Parse + compile in one step. *)
+let load ?resolve text = compile ?resolve (parse_string text)
+
+(** Render one directive in the concrete syntax {!parse_string} accepts. *)
+let print_directive = function
+  | Mode name -> "mode " ^ name
+  | User name -> "user " ^ name
+  | Group name -> "group " ^ name
+  | Member (subject, group) -> Printf.sprintf "member %s %s" subject group
+  | Access { sign; subject; mode; node; scope } ->
+      Printf.sprintf "%s %s %s %s%s"
+        (match sign with Rule.Grant -> "grant" | Rule.Deny -> "deny")
+        subject mode node
+        (match scope with Rule.Self -> " self" | Rule.Subtree -> "")
+
+(** Render a whole policy; [parse_string (print directives) = directives]. *)
+let print directives = String.concat "\n" (List.map print_directive directives) ^ "\n"

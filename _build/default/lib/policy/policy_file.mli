@@ -1,0 +1,51 @@
+(** A small textual policy language so tools can keep access-control
+    policies next to the documents they protect.
+
+    Line-oriented; [#] starts a comment.  Directives:
+    {v
+      mode   <name>
+      user   <name>
+      group  <name>
+      member <subject> <group>
+      grant  <subject> <mode> <node> [self|subtree]
+      deny   <subject> <mode> <node> [self|subtree]
+    v}
+    [<node>] is either a preorder number or a [@]-prefixed key resolved
+    by the caller (e.g. an XPath string resolved against the document). *)
+
+type directive =
+  | Mode of string
+  | User of string
+  | Group of string
+  | Member of string * string
+  | Access of {
+      sign : Rule.sign;
+      subject : string;
+      mode : string;
+      node : string;  (** preorder literal or [@key] *)
+      scope : Rule.scope;
+    }
+
+exception Syntax_error of { line : int; message : string }
+
+(** Parse the directive list.  @raise Syntax_error on a malformed line. *)
+val parse_string : string -> directive list
+
+(** Compile directives into registries and rules.  [resolve key] maps
+    each [@key] (without the [@]) to its anchor nodes; each anchor yields
+    one rule.  @raise Failure on undeclared subjects/modes or unresolved
+    references. *)
+val compile :
+  ?resolve:(string -> Dolx_xml.Tree.node list) -> directive list ->
+  Subject.registry * Mode.registry * Rule.t list
+
+(** {!parse_string} followed by {!compile}. *)
+val load :
+  ?resolve:(string -> Dolx_xml.Tree.node list) -> string ->
+  Subject.registry * Mode.registry * Rule.t list
+
+(** Render one directive in the concrete syntax {!parse_string} accepts. *)
+val print_directive : directive -> string
+
+(** Render a whole policy; [parse_string (print d) = d]. *)
+val print : directive list -> string

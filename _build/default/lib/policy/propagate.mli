@@ -1,0 +1,21 @@
+(** Rule propagation: compile a rule set into a {!Labeling} under
+    Most-Specific-Override (paper §5; Jajodia et al. [12]) — a node
+    inherits its accessibility from the closest labeled ancestor; at a
+    single node, [Self] rules beat [Subtree] rules and Deny beats Grant.
+
+    One document-order pass carrying a hash-consed ACL context:
+    O(nodes + rules · intern) regardless of the number of subjects. *)
+
+(** Default accessibility for subjects no rule applies to. *)
+type default = Closed | Open
+
+(** Compile the rules of one action [mode].
+    @raise Invalid_argument when a rule is anchored outside the tree. *)
+val compile :
+  Dolx_xml.Tree.t -> subjects:Subject.registry -> mode:Mode.id ->
+  ?default:default -> Rule.t list -> Labeling.t
+
+(** One labeling per registered mode, indexed by mode id. *)
+val compile_all_modes :
+  Dolx_xml.Tree.t -> subjects:Subject.registry -> modes:Mode.registry ->
+  ?default:default -> Rule.t list -> Labeling.t array

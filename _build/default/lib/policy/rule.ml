@@ -1,0 +1,38 @@
+(** Instance-level access-control rules.
+
+    The paper assumes a rule language whose "net effect … over a database
+    instance can be captured by an accessibility function" (§2).  We
+    provide the standard node-anchored rule model of Jajodia et al. and
+    Bertino et al. (the papers cited there): a rule grants or denies a
+    subject an action mode at a node, either for the node alone ([Self])
+    or for its whole subtree ([Subtree], i.e. cascading propagation).
+    Conflicts are resolved by Most-Specific-Override — the rule anchored
+    at the closest ancestor wins — with denial taking precedence among
+    rules anchored at the same node. *)
+
+type sign = Grant | Deny
+
+type scope = Self | Subtree
+
+type t = {
+  subject : Subject.id;
+  mode : Mode.id;
+  node : Dolx_xml.Tree.node;
+  sign : sign;
+  scope : scope;
+}
+
+let make ~subject ~mode ~node ~sign ~scope = { subject; mode; node; sign; scope }
+
+let grant ?(scope = Subtree) ~subject ~mode node =
+  { subject; mode; node; sign = Grant; scope }
+
+let deny ?(scope = Subtree) ~subject ~mode node =
+  { subject; mode; node; sign = Deny; scope }
+
+let pp subjects modes ppf r =
+  Fmt.pf ppf "%s %s@@node(%d) %s %s"
+    (match r.sign with Grant -> "grant" | Deny -> "deny")
+    (Mode.name modes r.mode) r.node
+    (match r.scope with Self -> "self" | Subtree -> "subtree")
+    (Subject.name subjects r.subject)

@@ -1,0 +1,30 @@
+(** Instance-level access-control rules in the style of Jajodia et al. /
+    Bertino et al. (the paper's citations [12], [5]): a rule grants or
+    denies a subject an action mode at a node, for the node alone
+    ([Self]) or cascading over its subtree ([Subtree]).  Conflicts
+    resolve by Most-Specific-Override with Deny beating Grant at equal
+    specificity — see {!Propagate}. *)
+
+type sign = Grant | Deny
+
+type scope = Self | Subtree
+
+type t = {
+  subject : Subject.id;
+  mode : Mode.id;
+  node : Dolx_xml.Tree.node;
+  sign : sign;
+  scope : scope;
+}
+
+val make :
+  subject:Subject.id -> mode:Mode.id -> node:Dolx_xml.Tree.node -> sign:sign ->
+  scope:scope -> t
+
+(** Cascading grant by default. *)
+val grant : ?scope:scope -> subject:Subject.id -> mode:Mode.id -> Dolx_xml.Tree.node -> t
+
+(** Cascading deny by default. *)
+val deny : ?scope:scope -> subject:Subject.id -> mode:Mode.id -> Dolx_xml.Tree.node -> t
+
+val pp : Subject.registry -> Mode.registry -> Format.formatter -> t -> unit

@@ -1,0 +1,103 @@
+(** Access-control subjects.
+
+    Following the paper (§2, footnote 1): "we use subjects to denote both
+    users and user groups … The subject hierarchy, which describes group
+    membership, is assumed to be maintained separately."  A registry holds
+    both kinds; membership edges map users to the groups they belong to,
+    and the transitive closure gives a user's effective subject set
+    (footnote 4: "a user's access rights may include her own plus those of
+    any groups of which she is a member"). *)
+
+type id = int
+
+type kind = User | Group
+
+type registry = {
+  mutable names : string array;
+  mutable kinds : kind array;
+  by_name : (string, id) Hashtbl.t;
+  mutable memberships : id list array; (* subject -> direct parent groups *)
+  mutable count : int;
+}
+
+let create () =
+  {
+    names = Array.make 16 "";
+    kinds = Array.make 16 User;
+    by_name = Hashtbl.create 64;
+    memberships = Array.make 16 [];
+    count = 0;
+  }
+
+let count r = r.count
+
+let grow r =
+  if r.count >= Array.length r.names then begin
+    let cap = 2 * Array.length r.names in
+    let names = Array.make cap "" in
+    let kinds = Array.make cap User in
+    let memberships = Array.make cap [] in
+    Array.blit r.names 0 names 0 r.count;
+    Array.blit r.kinds 0 kinds 0 r.count;
+    Array.blit r.memberships 0 memberships 0 r.count;
+    r.names <- names;
+    r.kinds <- kinds;
+    r.memberships <- memberships
+  end
+
+let add r ~name ~kind =
+  if Hashtbl.mem r.by_name name then invalid_arg ("Subject.add: duplicate " ^ name);
+  grow r;
+  let id = r.count in
+  r.names.(id) <- name;
+  r.kinds.(id) <- kind;
+  Hashtbl.replace r.by_name name id;
+  r.count <- id + 1;
+  id
+
+let add_user r name = add r ~name ~kind:User
+let add_group r name = add r ~name ~kind:Group
+
+let name r id =
+  if id < 0 || id >= r.count then invalid_arg "Subject.name";
+  r.names.(id)
+
+let kind r id =
+  if id < 0 || id >= r.count then invalid_arg "Subject.kind";
+  r.kinds.(id)
+
+let find_opt r name = Hashtbl.find_opt r.by_name name
+
+(** Declare that [child] (a user or a group) is a member of [group]. *)
+let add_membership r ~child ~group =
+  if kind r group <> Group then invalid_arg "Subject.add_membership: not a group";
+  r.memberships.(child) <- group :: r.memberships.(child)
+
+let direct_groups r id = r.memberships.(id)
+
+(** All subjects whose rights apply to [id]: itself plus the transitive
+    closure of its group memberships.  Cycles are tolerated. *)
+let closure r id =
+  let seen = Hashtbl.create 8 in
+  let rec go id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.replace seen id ();
+      List.iter go r.memberships.(id)
+    end
+  in
+  go id;
+  Hashtbl.fold (fun k () acc -> k :: acc) seen [] |> List.sort compare
+
+let users r =
+  let acc = ref [] in
+  for id = r.count - 1 downto 0 do
+    if r.kinds.(id) = User then acc := id :: !acc
+  done;
+  !acc
+
+let groups r =
+  let acc = ref [] in
+  for id = r.count - 1 downto 0 do
+    if r.kinds.(id) = Group then acc := id :: !acc
+  done;
+  !acc

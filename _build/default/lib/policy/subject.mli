@@ -1,0 +1,41 @@
+(** Access-control subjects: users and groups (paper §2, footnote 1),
+    with the group-membership hierarchy maintained alongside. *)
+
+type id = int
+
+type kind = User | Group
+
+type registry
+
+val create : unit -> registry
+
+val count : registry -> int
+
+(** @raise Invalid_argument on a duplicate name. *)
+val add : registry -> name:string -> kind:kind -> id
+
+val add_user : registry -> string -> id
+
+val add_group : registry -> string -> id
+
+val name : registry -> id -> string
+
+val kind : registry -> id -> kind
+
+val find_opt : registry -> string -> id option
+
+(** Declare [child] (a user or a group) a member of [group].
+    @raise Invalid_argument when [group] is not a group. *)
+val add_membership : registry -> child:id -> group:id -> unit
+
+(** Groups [id] belongs to directly. *)
+val direct_groups : registry -> id -> id list
+
+(** All subjects whose rights apply to [id]: itself plus the transitive
+    closure of its memberships (paper footnote 4), sorted ascending.
+    Tolerates membership cycles. *)
+val closure : registry -> id -> id list
+
+val users : registry -> id list
+
+val groups : registry -> id list

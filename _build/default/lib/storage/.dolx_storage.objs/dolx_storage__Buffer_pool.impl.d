@@ -1,0 +1,1 @@
+lib/storage/buffer_pool.ml: Disk Dolx_util Hashtbl Page

@@ -1,0 +1,1 @@
+lib/storage/nok_layout.mli: Buffer_pool Disk Dolx_xml Page

@@ -1,0 +1,1 @@
+lib/storage/stream_layout.ml: Disk List Nok_layout Page

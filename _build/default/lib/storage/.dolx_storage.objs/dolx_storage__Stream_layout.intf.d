@@ -1,0 +1,1 @@
+lib/storage/stream_layout.mli: Disk Nok_layout

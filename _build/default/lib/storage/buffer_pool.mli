@@ -1,0 +1,37 @@
+(** A buffer pool over the simulated {!Disk} with LRU replacement.  The
+    counters here are what demonstrate the paper's key claim that ε-NoK's
+    access checks are served from already-resident pages (§3.3, §5.2). *)
+
+type stats = {
+  mutable touches : int;  (** logical page accesses *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type t
+
+(** @raise Invalid_argument when [capacity < 1]. *)
+val create : ?capacity:int -> Disk.t -> t
+
+val disk : t -> Disk.t
+
+val stats : t -> stats
+
+val reset_stats : t -> unit
+
+(** Fetch a page, reading from disk on a miss (evicting LRU when full).
+    The returned bytes are the pool's frame: read-only unless followed by
+    {!mark_dirty}. *)
+val get : t -> int -> Page.t
+
+(** Declare the cached copy of page [id] modified in place.
+    @raise Invalid_argument when the page is not resident. *)
+val mark_dirty : t -> int -> unit
+
+(** Write all dirty frames back to disk. *)
+val flush_all : t -> unit
+
+(** Flush and drop all frames (counters kept). *)
+val clear : t -> unit
+
+val resident : t -> int -> bool

@@ -1,0 +1,37 @@
+(** A simulated block device: in-memory pages with faithful accounting of
+    reads, writes and a synthetic latency model, so the paper's I/O
+    claims (§3.3, §3.4) are measured rather than asserted. *)
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable allocations : int;
+}
+
+type t
+
+(** [read_cost_us]/[write_cost_us]: simulated microseconds charged per
+    page I/O (defaults 100/120, SSD-like). *)
+val create :
+  ?page_size:int -> ?read_cost_us:float -> ?write_cost_us:float -> unit -> t
+
+val page_size : t -> int
+
+val page_count : t -> int
+
+val stats : t -> stats
+
+(** Accumulated simulated I/O time in microseconds. *)
+val simulated_us : t -> float
+
+(** Zero the counters and the simulated clock. *)
+val reset_stats : t -> unit
+
+(** Allocate a fresh zeroed page; returns its id. *)
+val allocate : t -> int
+
+(** Read page [id] into [dst] (a full-page buffer). *)
+val read : t -> int -> Page.t -> unit
+
+(** Write [src] to page [id]. *)
+val write : t -> int -> Page.t -> unit

@@ -1,0 +1,511 @@
+(** Block-oriented NoK storage with embedded access-control codes.
+
+    This is the paper's §3 physical representation.  The document
+    structure is "encoded by listing the nodes in document order, with
+    embedded markup to indicate where subtrees begin and end" (§3.1) —
+    open parens are elided, so each node record carries its tag and the
+    number of close-parens that follow it.  DOL transition nodes are
+    "embedded into the NoK structural data" (§3.2): a record optionally
+    carries an access-control code.
+
+    Per-page layout:
+    {v
+      header (15 bytes):
+        u16  number of node records
+        u32  preorder of the first node
+        u32  access-control code in force at the first node
+        u16  depth of the first node          (NoK meta-data)
+        u8   flags: bit0 = change bit (§3.2)
+        u16  bytes used by records
+      records, one per node, in document order:
+        u8     flags: bit0 = carries an access-control code
+        varint tag id
+        varint close-paren count after this node
+        varint code                            (only if flags bit0)
+    v}
+
+    "In the physical encoding, we treat the first node in each block as if
+    it were a transition node, regardless of whether it is actually a
+    transition node.  The access control code for this initial transition
+    node is stored in the block header" (§3.2) — hence the first record of
+    a page never carries an inline code.
+
+    "For each disk block, there is a small access control header … By
+    keeping all the page headers in memory … the NoK query processor can
+    implement I/O optimizations" (§3.2): the in-memory page table below
+    holds, per logical page, the first preorder, first code, change bit
+    and first depth, and is consulted without any I/O. *)
+
+module Tree = Dolx_xml.Tree
+module Varint = Dolx_util.Varint
+module Binsearch = Dolx_util.Binsearch
+module Int_vec = Dolx_util.Int_vec
+
+let header_bytes = 15
+
+type header = {
+  first_pre : int;
+  first_code : int;
+  change : bool; (* a transition node other than the initial one is present *)
+  first_depth : int;
+}
+
+type t = {
+  disk : Disk.t;
+  mutable phys : int array;        (* logical page -> physical disk page *)
+  mutable first_pres : int array;  (* in-memory page table, logical order *)
+  mutable first_codes : int array;
+  mutable changes : bool array;
+  mutable first_depths : int array;
+  mutable n_pages : int;
+  mutable n_nodes : int;
+  (* Scan cursor for [code_in_force]: NoK evaluation visits nodes in
+     near-document order, so the code in force is maintained
+     incrementally instead of replaying the page from its start on every
+     ACCESS check — this is what makes the check effectively free, as the
+     paper's evaluator has the page cursor positioned already. *)
+  mutable cur_lp : int;   (* logical page the cursor is on, -1 = invalid *)
+  mutable cur_pre : int;  (* last preorder processed *)
+  mutable cur_pos : int;  (* byte offset of the record after cur_pre *)
+  mutable cur_code : int; (* code in force at cur_pre *)
+}
+
+type record = {
+  pre : int;
+  tag : int;
+  closes : int;
+  code : int option; (* inline transition code, never on the first record *)
+}
+
+let page_count t = t.n_pages
+
+let node_count t = t.n_nodes
+
+let disk t = t.disk
+
+(** In-memory header of logical page [lp] — no I/O. *)
+let header t lp =
+  if lp < 0 || lp >= t.n_pages then invalid_arg "Nok_layout.header";
+  {
+    first_pre = t.first_pres.(lp);
+    first_code = t.first_codes.(lp);
+    change = t.changes.(lp);
+    first_depth = t.first_depths.(lp);
+  }
+
+(** Logical page holding preorder [pre] — binary search of the in-memory
+    page table, no I/O. *)
+let page_of t pre =
+  if pre < 0 || pre >= t.n_nodes then invalid_arg "Nok_layout.page_of";
+  match Binsearch.predecessor t.first_pres pre with
+  | Some lp -> lp
+  | None -> assert false
+
+let physical_page t lp = t.phys.(lp)
+
+(** {1 Record encoding} *)
+
+let record_bytes r =
+  1
+  + Varint.encoded_length r.tag
+  + Varint.encoded_length r.closes
+  + match r.code with Some c -> Varint.encoded_length c | None -> 0
+
+let encode_records page ~n ~first_pre ~first_code ~first_depth ~change records =
+  Page.set_u16 page 0 n;
+  Page.set_u32 page 2 first_pre;
+  Page.set_u32 page 6 first_code;
+  Page.set_u16 page 10 first_depth;
+  Page.set_u8 page 12 (if change then 1 else 0);
+  let pos = ref header_bytes in
+  List.iter
+    (fun r ->
+      let flags = match r.code with Some _ -> 1 | None -> 0 in
+      Bytes.set_uint8 page !pos flags;
+      incr pos;
+      pos := Varint.write page !pos r.tag;
+      pos := Varint.write page !pos r.closes;
+      match r.code with Some c -> pos := Varint.write page !pos c | None -> ())
+    records;
+  Page.set_u16 page 13 (!pos - header_bytes)
+
+(** Decode all records of a fetched page. *)
+let decode_page page =
+  let n = Page.get_u16 page 0 in
+  let first_pre = Page.get_u32 page 2 in
+  let pos = ref header_bytes in
+  List.init n (fun i ->
+      let flags = Bytes.get_uint8 page !pos in
+      incr pos;
+      let tag, p = Varint.read page !pos in
+      pos := p;
+      let closes, p = Varint.read page !pos in
+      pos := p;
+      let code =
+        if flags land 1 <> 0 then begin
+          let c, p = Varint.read page !pos in
+          pos := p;
+          Some c
+        end
+        else None
+      in
+      { pre = first_pre + i; tag; closes; code })
+
+(** {1 Building} *)
+
+(** Lay the document out on [disk] in document order.
+
+    [transitions] is the DOL transition list as sorted [(preorder, code)]
+    pairs with the root at index 0 (see [Dolx_core.Dol]).  [fill] bounds
+    the fraction of each page used at build time, leaving slack so that
+    accessibility updates that add a transition code usually fit in
+    place. *)
+let build ?(fill = 0.9) disk tree ~transitions =
+  if fill <= 0.0 || fill > 1.0 then invalid_arg "Nok_layout.build: fill";
+  let n = Tree.size tree in
+  let page_size = Disk.page_size disk in
+  if page_size < 64 then invalid_arg "Nok_layout.build: page size must be >= 64";
+  let budget =
+    min page_size
+      (max (header_bytes + 16) (int_of_float (float_of_int page_size *. fill)))
+  in
+  let trans_pres = Array.map fst transitions in
+  let trans_codes = Array.map snd transitions in
+  if Array.length trans_pres = 0 || trans_pres.(0) <> 0 then
+    invalid_arg "Nok_layout.build: transitions must start at the root";
+  let code_at pre =
+    match Binsearch.predecessor trans_pres pre with
+    | Some i -> trans_codes.(i)
+    | None -> assert false
+  in
+  let is_transition pre =
+    match Binsearch.find trans_pres pre with Some _ -> true | None -> false
+  in
+  let phys = Int_vec.create () in
+  let first_pres = Int_vec.create () in
+  let first_codes = Int_vec.create () in
+  let first_depths = Int_vec.create () in
+  let changes = ref [] in
+  (* Accumulate records for the current page, flush when the budget would
+     be exceeded. *)
+  let current = ref [] in
+  let current_bytes = ref header_bytes in
+  let current_first = ref 0 in
+  let current_change = ref false in
+  let flush () =
+    if !current <> [] then begin
+      let records = List.rev !current in
+      let first_pre = !current_first in
+      let pid = Disk.allocate disk in
+      let page = Page.create page_size in
+      encode_records page ~n:(List.length records) ~first_pre
+        ~first_code:(code_at first_pre) ~first_depth:(Tree.depth tree first_pre)
+        ~change:!current_change records;
+      Disk.write disk pid page;
+      Int_vec.push phys pid;
+      Int_vec.push first_pres first_pre;
+      Int_vec.push first_codes (code_at first_pre);
+      Int_vec.push first_depths (Tree.depth tree first_pre);
+      changes := !current_change :: !changes;
+      current := [];
+      current_bytes := header_bytes;
+      current_change := false
+    end
+  in
+  for v = 0 to n - 1 do
+    if !current = [] then current_first := v;
+    let is_page_first = !current = [] in
+    let code = if (not is_page_first) && is_transition v then Some (code_at v) else None in
+    let r = { pre = v; tag = Tree.tag tree v; closes = Tree.closes_after tree v; code } in
+    let rb = record_bytes r in
+    if !current_bytes + rb > budget && !current <> [] then begin
+      flush ();
+      current_first := v;
+      (* re-evaluate as a page-first record: no inline code *)
+      let r = { r with code = None } in
+      current := [ r ];
+      current_bytes := header_bytes + record_bytes r
+    end
+    else begin
+      current := r :: !current;
+      current_bytes := !current_bytes + rb;
+      if r.code <> None then current_change := true
+    end
+  done;
+  flush ();
+  {
+    disk;
+    phys = Int_vec.to_array phys;
+    first_pres = Int_vec.to_array first_pres;
+    first_codes = Int_vec.to_array first_codes;
+    changes = Array.of_list (List.rev !changes);
+    first_depths = Int_vec.to_array first_depths;
+    n_pages = Int_vec.length phys;
+    n_nodes = n;
+    cur_lp = -1;
+    cur_pre = -1;
+    cur_pos = 0;
+    cur_code = 0;
+  }
+
+(** Attach to an existing disk whose pages [0, n_pages) hold a layout in
+    logical order (as written by a database file loader): the in-memory
+    page table is reconstructed from the page headers in one scan. *)
+let attach disk ~n_pages =
+  if n_pages <= 0 then invalid_arg "Nok_layout.attach: no pages";
+  let page_size = Disk.page_size disk in
+  let buf = Page.create page_size in
+  let first_pres = Array.make n_pages 0 in
+  let first_codes = Array.make n_pages 0 in
+  let first_depths = Array.make n_pages 0 in
+  let changes = Array.make n_pages false in
+  let n_nodes = ref 0 in
+  for lp = 0 to n_pages - 1 do
+    Disk.read disk lp buf;
+    let n = Page.get_u16 buf 0 in
+    first_pres.(lp) <- Page.get_u32 buf 2;
+    first_codes.(lp) <- Page.get_u32 buf 6;
+    first_depths.(lp) <- Page.get_u16 buf 10;
+    changes.(lp) <- Page.get_u8 buf 12 land 1 <> 0;
+    if first_pres.(lp) <> !n_nodes then
+      invalid_arg "Nok_layout.attach: pages not in dense logical order";
+    n_nodes := !n_nodes + n
+  done;
+  {
+    disk;
+    phys = Array.init n_pages Fun.id;
+    first_pres;
+    first_codes;
+    changes;
+    first_depths;
+    n_pages;
+    n_nodes = !n_nodes;
+    cur_lp = -1;
+    cur_pre = -1;
+    cur_pos = 0;
+    cur_code = 0;
+  }
+
+(** Page image of logical page [lp] (for database-file export), bypassing
+    the pool. *)
+let page_image t lp =
+  if lp < 0 || lp >= t.n_pages then invalid_arg "Nok_layout.page_image";
+  let buf = Page.create (Disk.page_size t.disk) in
+  Disk.read t.disk t.phys.(lp) buf;
+  buf
+
+(** {1 Page-level access through a buffer pool} *)
+
+(** Fetch the page holding [pre]; returns its logical page id.  This is
+    the only way query evaluation touches data, so the pool's counters
+    capture all I/O. *)
+let touch t pool pre =
+  let lp = page_of t pre in
+  ignore (Buffer_pool.get pool (t.phys.(lp)));
+  lp
+
+let records t pool lp =
+  if lp < 0 || lp >= t.n_pages then invalid_arg "Nok_layout.records";
+  decode_page (Buffer_pool.get pool (t.phys.(lp)))
+
+(** The access-control code in force at node [pre] (§3.3): fetch the
+    node's page, start from the header code and replay inline transition
+    codes up to [pre].  No I/O beyond the node's own page.  This is the
+    per-node ACCESS hot path of Algorithm 1, so it scans the raw record
+    bytes in place instead of materializing records. *)
+let code_in_force t pool pre =
+  let lp = page_of t pre in
+  let page = Buffer_pool.get pool (t.phys.(lp)) in
+  if not t.changes.(lp) then t.first_codes.(lp)
+  else begin
+    let n = Page.get_u16 page 0 in
+    let first_pre = Page.get_u32 page 2 in
+    let stop = min (pre - first_pre) (n - 1) in
+    (* resume from the cursor when scanning forward on the same page *)
+    let start, pos0, code0 =
+      if t.cur_lp = lp && t.cur_pre <= first_pre + stop && t.cur_pre >= first_pre
+      then (t.cur_pre - first_pre + 1, t.cur_pos, t.cur_code)
+      else (0, header_bytes, t.first_codes.(lp))
+    in
+    let code = ref code0 in
+    let pos = ref pos0 in
+    let skip_varint () =
+      while Bytes.get_uint8 page !pos >= 128 do
+        incr pos
+      done;
+      incr pos
+    in
+    for _i = start to stop do
+      let flags = Bytes.get_uint8 page !pos in
+      incr pos;
+      skip_varint () (* tag *);
+      skip_varint () (* closes *);
+      if flags land 1 <> 0 then begin
+        let c, p = Varint.read page !pos in
+        code := c;
+        pos := p
+      end
+    done;
+    t.cur_lp <- lp;
+    t.cur_pre <- first_pre + stop;
+    t.cur_pos <- !pos;
+    t.cur_code <- !code;
+    !code
+  end
+
+(** {1 Updates} *)
+
+(** Rewrite logical page [lp] with new records.  The first record must
+    keep the page's [first_pre]; its code, if any, moves into the header.
+    If the encoded size exceeds the page, the page is split in two —
+    "updates are confined within a contiguous region of the affected
+    data" (§3.4, update locality). *)
+let rewrite_page t pool lp records ~code_before =
+  t.cur_lp <- -1;
+  (match records with
+  | [] -> invalid_arg "Nok_layout.rewrite_page: empty"
+  | r :: _ ->
+      if r.pre <> t.first_pres.(lp) then
+        invalid_arg "Nok_layout.rewrite_page: first preorder must be preserved");
+  let page_size = Disk.page_size t.disk in
+  let encode_into lp records =
+    match records with
+    | [] -> assert false
+    | first :: rest ->
+        let first_code =
+          match first.code with Some c -> c | None -> code_before first.pre
+        in
+        let records = { first with code = None } :: rest in
+        let change = List.exists (fun r -> r.code <> None) rest in
+        let page = Page.create page_size in
+        encode_records page ~n:(List.length records) ~first_pre:first.pre
+          ~first_code ~first_depth:t.first_depths.(lp) ~change records;
+        (page, first_code, change)
+  in
+  let total =
+    header_bytes
+    + List.fold_left (fun acc r -> acc + record_bytes r) 0 records
+    (* first record never stores an inline code *)
+    - (match records with
+      | { code = Some c; _ } :: _ -> Varint.encoded_length c
+      | _ -> 0)
+  in
+  if total <= page_size then begin
+    let page, first_code, change = encode_into lp records in
+    let pid = t.phys.(lp) in
+    Disk.write t.disk pid page;
+    if Buffer_pool.resident pool pid then begin
+      Bytes.blit page 0 (Buffer_pool.get pool pid) 0 page_size;
+      ()
+    end;
+    t.first_codes.(lp) <- first_code;
+    t.changes.(lp) <- change
+  end
+  else begin
+    (* Split: first half stays on this physical page, second half goes to
+       a freshly allocated page spliced into the logical order. *)
+    let arr = Array.of_list records in
+    let k = Array.length arr in
+    let mid = max 1 (k / 2) in
+    let left = Array.to_list (Array.sub arr 0 mid) in
+    let right = Array.to_list (Array.sub arr mid (k - mid)) in
+    let right_first = (List.hd right).pre in
+    let new_pid = Disk.allocate t.disk in
+    (* Splice the new logical page in at lp+1. *)
+    let splice a v =
+      let n = Array.length a in
+      Array.init (n + 1) (fun i ->
+          if i <= lp then a.(i) else if i = lp + 1 then v else a.(i - 1))
+    in
+    (* Depth of the right page's first node must be recomputed by the
+       caller; we derive it from the left page's records by replaying the
+       parenthesis balance. *)
+    let depth_after =
+      List.fold_left
+        (fun d r -> d + 1 - r.closes)
+        (t.first_depths.(lp) - 1)
+        left
+      (* after processing left records, depth of next node = d + 1 *)
+      + 1
+    in
+    t.phys <- splice t.phys new_pid;
+    t.first_pres <- splice t.first_pres right_first;
+    t.first_codes <- splice t.first_codes 0 (* fixed below *);
+    t.first_depths <- splice t.first_depths depth_after;
+    t.changes <- splice t.changes false;
+    t.n_pages <- t.n_pages + 1;
+    let page_l, first_code_l, change_l = encode_into lp left in
+    Disk.write t.disk t.phys.(lp) page_l;
+    t.first_codes.(lp) <- first_code_l;
+    t.changes.(lp) <- change_l;
+    (* Code in force just before the right page's first node: replay left. *)
+    let code_before_right =
+      List.fold_left
+        (fun c r -> match r.code with Some c' -> c' | None -> c)
+        first_code_l left
+    in
+    let right =
+      match right with
+      | ({ code = None; _ } as r) :: rest ->
+          { r with code = Some code_before_right } :: rest
+      | r :: _ as right ->
+          ignore r;
+          right
+      | [] -> assert false
+    in
+    let page_r, first_code_r, change_r = encode_into (lp + 1) right in
+    Disk.write t.disk new_pid page_r;
+    t.first_codes.(lp + 1) <- first_code_r;
+    t.changes.(lp + 1) <- change_r;
+    (* Invalidate any stale pool copy of the split page. *)
+    if Buffer_pool.resident pool t.phys.(lp) then
+      Bytes.blit page_l 0 (Buffer_pool.get pool t.phys.(lp)) 0 page_size
+  end
+
+(** {1 Verification} *)
+
+(** Rebuild the document tree by scanning all pages in logical order —
+    exercises the full decode path; used by round-trip tests. *)
+let decode_tree t pool ~tag_table =
+  let b = Tree.Builder.create ~table:tag_table () in
+  let names = tag_table in
+  for lp = 0 to t.n_pages - 1 do
+    List.iter
+      (fun r ->
+        ignore (Tree.Builder.open_element b (Dolx_xml.Tag.name names r.tag));
+        for _ = 1 to r.closes do
+          Tree.Builder.close_element b
+        done)
+      (records t pool lp)
+  done;
+  Tree.Builder.finish b
+
+(** Recover the full (pre, code) transition list from the physical pages,
+    including the synthetic per-page initial transitions collapsed away:
+    returns the code in force at every node — O(N), test use only. *)
+let codes_of_all_nodes t pool =
+  let out = Array.make t.n_nodes 0 in
+  let code = ref (-1) in
+  for lp = 0 to t.n_pages - 1 do
+    let rs = records t pool lp in
+    (match rs with
+    | [] -> ()
+    | first :: _ ->
+        ignore first;
+        code := t.first_codes.(lp));
+    List.iteri
+      (fun i r ->
+        (match r.code with
+        | Some c -> code := c
+        | None -> if i = 0 then code := t.first_codes.(lp));
+        out.(r.pre) <- !code)
+      rs
+  done;
+  out
+
+(** Total bytes occupied on disk by the layout. *)
+let storage_bytes t = t.n_pages * Disk.page_size t.disk
+
+(** Bytes of in-memory page headers (the paper estimates "3Mb to 10Mb as
+    page header for processing 1Tb XML data"). *)
+let header_table_bytes t = t.n_pages * 11 (* 4 + 4 + 2 + 1 per entry *)

@@ -1,0 +1,108 @@
+(** Block-oriented NoK storage with embedded access-control codes — the
+    paper's §3 physical representation.
+
+    Document structure is stored as document-order node records (tag +
+    close-paren count, the compacted string of §3.1); DOL transition
+    nodes additionally carry an access-control code (§3.2).  The first
+    node of every page is treated as a transition whose code lives in the
+    page header, and an in-memory page table (first preorder, first code,
+    change bit, first depth per page) supports the I/O optimizations of
+    §3.2/§3.3 without touching disk. *)
+
+module Tree = Dolx_xml.Tree
+
+(** Fixed per-page header size in bytes. *)
+val header_bytes : int
+
+type header = {
+  first_pre : int;
+  first_code : int;
+  change : bool;  (** a transition other than the initial one is present *)
+  first_depth : int;
+}
+
+type t
+
+(** One node record.  Exposed concretely so update code can rewrite
+    pages; [code] is never [Some _] on a page's first record. *)
+type record = {
+  pre : int;
+  tag : int;
+  closes : int;
+  code : int option;
+}
+
+val page_count : t -> int
+
+val node_count : t -> int
+
+val disk : t -> Disk.t
+
+(** In-memory header of logical page [lp] — no I/O. *)
+val header : t -> int -> header
+
+(** Logical page holding preorder [pre] — binary search of the in-memory
+    page table, no I/O. *)
+val page_of : t -> int -> int
+
+val physical_page : t -> int -> int
+
+(** Encoded size of a record in bytes. *)
+val record_bytes : record -> int
+
+(** Low-level page encoder (shared with {!Stream_layout}): write a
+    header + records into a page buffer. *)
+val encode_records :
+  Page.t -> n:int -> first_pre:int -> first_code:int -> first_depth:int ->
+  change:bool -> record list -> unit
+
+(** Lay the document out on [disk] in document order.  [transitions] is
+    the DOL transition list as sorted [(preorder, code)] pairs starting
+    at the root; [fill] bounds page occupancy at build time (default
+    0.9 — the slack absorbs accessibility updates in place, §3.4).
+    @raise Invalid_argument on pages < 64 bytes or bad transitions. *)
+val build : ?fill:float -> Disk.t -> Tree.t -> transitions:(int * int) array -> t
+
+(** Attach to a disk whose pages [0, n_pages) hold a layout in dense
+    logical order (a database-file load): the page table is rebuilt from
+    the page headers.  @raise Invalid_argument on out-of-order pages. *)
+val attach : Disk.t -> n_pages:int -> t
+
+(** Raw image of logical page [lp], bypassing the pool (database-file
+    export). *)
+val page_image : t -> int -> Page.t
+
+(** Fetch the page holding [pre] through the pool (accounted I/O);
+    returns its logical page id. *)
+val touch : t -> Buffer_pool.t -> int -> int
+
+(** Decode all records of logical page [lp]. *)
+val records : t -> Buffer_pool.t -> int -> record list
+
+(** The access-control code in force at node [pre] (§3.3): the header
+    code replayed through the inline codes up to [pre], on the node's own
+    page only.  Consecutive forward lookups resume from an internal scan
+    cursor, mirroring the NoK evaluator's sequential page cursor. *)
+val code_in_force : t -> Buffer_pool.t -> int -> int
+
+(** Rewrite logical page [lp] with new records (same first preorder; an
+    inline code on the first record moves into the header).  Splits the
+    page when the encoding no longer fits — update locality, §3.4.
+    [code_before pre] must give the code in force at [pre] when the first
+    record carries none. *)
+val rewrite_page :
+  t -> Buffer_pool.t -> int -> record list -> code_before:(int -> int) -> unit
+
+(** Rebuild the document by scanning all pages — the full decode path;
+    for round-trip tests.  [tag_table] must resolve the stored tag ids
+    (i.e. be the original document's table). *)
+val decode_tree : t -> Buffer_pool.t -> tag_table:Dolx_xml.Tag.table -> Tree.t
+
+(** The code in force at every node, by a full scan — O(N), test use. *)
+val codes_of_all_nodes : t -> Buffer_pool.t -> int array
+
+(** Bytes occupied on disk. *)
+val storage_bytes : t -> int
+
+(** Bytes of the in-memory page-header table. *)
+val header_table_bytes : t -> int

@@ -1,0 +1,26 @@
+(** Fixed-size page buffers and primitive field accessors.
+
+    The experiments use the paper's 4 KB pages ("The data is stored on
+    disk with each page at 4K bytes", §5.2). *)
+
+let default_size = 4096
+
+type t = Bytes.t
+
+let create size : t = Bytes.make size '\000'
+
+let size (p : t) = Bytes.length p
+
+let copy (p : t) : t = Bytes.copy p
+
+let get_u8 (p : t) off = Bytes.get_uint8 p off
+
+let set_u8 (p : t) off v = Bytes.set_uint8 p off v
+
+let get_u16 (p : t) off = Bytes.get_uint16_le p off
+
+let set_u16 (p : t) off v = Bytes.set_uint16_le p off v
+
+let get_u32 (p : t) off = Int32.to_int (Bytes.get_int32_le p off) land 0xFFFFFFFF
+
+let set_u32 (p : t) off v = Bytes.set_int32_le p off (Int32.of_int v)

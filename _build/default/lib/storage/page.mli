@@ -1,0 +1,24 @@
+(** Fixed-size page buffers and primitive field accessors.  Experiments
+    use the paper's 4 KB pages (§5.2). *)
+
+val default_size : int
+
+type t = Bytes.t
+
+val create : int -> t
+
+val size : t -> int
+
+val copy : t -> t
+
+val get_u8 : t -> int -> int
+
+val set_u8 : t -> int -> int -> unit
+
+val get_u16 : t -> int -> int
+
+val set_u16 : t -> int -> int -> unit
+
+val get_u32 : t -> int -> int
+
+val set_u32 : t -> int -> int -> unit

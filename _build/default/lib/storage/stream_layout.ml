@@ -1,0 +1,151 @@
+(** Streaming construction of the NoK page layout.
+
+    The paper's DOL encoding "can be constructed on-the-fly using a
+    single pass through a labeled XML document" (§2), and §7 notes the
+    physical layout "makes it easy to embed into streaming XML data as
+    control characters".  This module is the physical half of that
+    claim: feed SAX-style start/end events, with the DOL transition code
+    attached to the start events where [Dolx_core.Dol.Streaming.push]
+    emits one, and pages are written to disk as they fill.
+
+    Only one node of lookahead is buffered: a node's close-paren count
+    becomes final when the next element starts (or the stream ends), so
+    memory use is O(page), independent of document size. *)
+
+type pending = {
+  tag : int;
+  code : int option;   (* transition code carried by this node, if any *)
+  code_at_node : int;  (* code in force at this node *)
+  depth : int;
+  mutable closes : int;
+}
+
+type t = {
+  disk : Disk.t;
+  budget : int;
+  page_size : int;
+  (* current page accumulation *)
+  mutable records : Nok_layout.record list; (* reversed *)
+  mutable bytes : int;
+  mutable first_pre : int;
+  mutable first_code : int;
+  mutable first_depth : int;
+  mutable change : bool;
+  mutable n_pages : int;
+  (* stream state *)
+  mutable pending : pending option;
+  mutable next_pre : int;
+  mutable depth : int;
+  mutable open_elements : int;
+  mutable code_now : int;
+  mutable finished : bool;
+}
+
+let create ?(fill = 0.9) disk =
+  if fill <= 0.0 || fill > 1.0 then invalid_arg "Stream_layout.create: fill";
+  let page_size = Disk.page_size disk in
+  if page_size < 64 then invalid_arg "Stream_layout.create: page size must be >= 64";
+  let budget =
+    min page_size
+      (max (Nok_layout.header_bytes + 16)
+         (int_of_float (float_of_int page_size *. fill)))
+  in
+  {
+    disk;
+    budget;
+    page_size;
+    records = [];
+    bytes = Nok_layout.header_bytes;
+    first_pre = 0;
+    first_code = 0;
+    first_depth = 0;
+    change = false;
+    n_pages = 0;
+    pending = None;
+    next_pre = 0;
+    depth = 0;
+    open_elements = 0;
+    code_now = 0;
+    finished = false;
+  }
+
+let flush_page t =
+  if t.records <> [] then begin
+    let records = List.rev t.records in
+    let pid = Disk.allocate t.disk in
+    let page = Page.create t.page_size in
+    Nok_layout.encode_records page ~n:(List.length records) ~first_pre:t.first_pre
+      ~first_code:t.first_code ~first_depth:t.first_depth ~change:t.change records;
+    Disk.write t.disk pid page;
+    t.n_pages <- t.n_pages + 1;
+    t.records <- [];
+    t.bytes <- Nok_layout.header_bytes;
+    t.change <- false
+  end
+
+(* Append the buffered node now that its close count is final. *)
+let emit t (p : pending) =
+  let pre = t.next_pre in
+  t.next_pre <- pre + 1;
+  let start_page () =
+    t.first_pre <- pre;
+    t.first_code <- p.code_at_node;
+    t.first_depth <- p.depth
+  in
+  let page_first = t.records = [] in
+  if page_first then start_page ();
+  let r =
+    { Nok_layout.pre; tag = p.tag; closes = p.closes;
+      code = (if page_first then None else p.code) }
+  in
+  let rb = Nok_layout.record_bytes r in
+  if (not page_first) && t.bytes + rb > t.budget then begin
+    flush_page t;
+    start_page ();
+    let r = { r with Nok_layout.code = None } in
+    t.records <- [ r ];
+    t.bytes <- t.bytes + Nok_layout.record_bytes r
+  end
+  else begin
+    t.records <- r :: t.records;
+    t.bytes <- t.bytes + rb;
+    if r.Nok_layout.code <> None then t.change <- true
+  end
+
+(** A new element starts.  [code] is the DOL transition code when this
+    node is a transition (the "control character"). *)
+let start_element t ~tag ?code () =
+  if t.finished then invalid_arg "Stream_layout: already finished";
+  (match t.pending with Some p -> emit t p | None -> ());
+  (match code with Some c -> t.code_now <- c | None -> ());
+  t.pending <-
+    Some { tag; code; code_at_node = t.code_now; depth = t.depth; closes = 0 };
+  t.depth <- t.depth + 1;
+  t.open_elements <- t.open_elements + 1
+
+(** The innermost open element ends. *)
+let end_element t =
+  if t.finished then invalid_arg "Stream_layout: already finished";
+  if t.open_elements <= 0 then invalid_arg "Stream_layout: unbalanced end_element";
+  t.open_elements <- t.open_elements - 1;
+  t.depth <- t.depth - 1;
+  match t.pending with
+  | Some p -> p.closes <- p.closes + 1
+  | None -> invalid_arg "Stream_layout: end_element before any start_element"
+
+(** Flush everything and return the layout over the pages written so
+    far.  @raise Invalid_argument if elements remain open or nothing was
+    streamed. *)
+let finish t =
+  if t.open_elements <> 0 then invalid_arg "Stream_layout: unclosed elements remain";
+  (match t.pending with
+  | Some p ->
+      emit t p;
+      t.pending <- None
+  | None -> if t.next_pre = 0 then invalid_arg "Stream_layout: empty stream");
+  flush_page t;
+  t.finished <- true;
+  Nok_layout.attach t.disk ~n_pages:t.n_pages
+
+(** Nodes streamed so far. *)
+let node_count t = t.next_pre + match t.pending with Some _ -> 1 | None -> 0

@@ -1,0 +1,24 @@
+(** Streaming construction of the NoK page layout — the physical half of
+    the paper's one-pass claims (§2, §7): feed SAX-style start/end
+    events with DOL transition codes attached to transition-node starts;
+    pages are written as they fill, with one node of lookahead. *)
+
+type t
+
+(** Pages are written to [disk]; [fill] as in {!Nok_layout.build}. *)
+val create : ?fill:float -> Disk.t -> t
+
+(** A new element starts; [code] is its DOL transition code when the
+    node is a transition. *)
+val start_element : t -> tag:int -> ?code:int -> unit -> unit
+
+(** The innermost open element ends.
+    @raise Invalid_argument when unbalanced. *)
+val end_element : t -> unit
+
+(** Flush and return the layout over the written pages.
+    @raise Invalid_argument on unclosed elements or an empty stream. *)
+val finish : t -> Nok_layout.t
+
+(** Nodes streamed so far (including the buffered one). *)
+val node_count : t -> int

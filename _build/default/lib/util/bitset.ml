@@ -1,0 +1,131 @@
+(** Fixed-width bitsets.
+
+    ACLs are bit-vectors with one bit per access-control subject (paper
+    §2.1: "each codebook entry is an access control list, which we present
+    as a bit vector with one bit for each access control subject").  They
+    are treated as immutable once interned, so equality and hashing must be
+    by value. *)
+
+type t = { width : int; words : int array }
+
+let words_for width = (width + 62) / 63
+
+let create width =
+  if width < 0 then invalid_arg "Bitset.create";
+  { width; words = Array.make (max 1 (words_for width)) 0 }
+
+let width t = t.width
+
+let copy t = { width = t.width; words = Array.copy t.words }
+
+let check_index t i =
+  if i < 0 || i >= t.width then invalid_arg "Bitset: index out of range"
+
+let get t i =
+  check_index t i;
+  t.words.(i / 63) land (1 lsl (i mod 63)) <> 0
+
+(** In-place set; only used during construction before interning. *)
+let set t i b =
+  check_index t i;
+  let w = i / 63 and m = 1 lsl (i mod 63) in
+  if b then t.words.(w) <- t.words.(w) lor m
+  else t.words.(w) <- t.words.(w) land lnot m
+
+(** Functional update: a fresh bitset with bit [i] set to [b]. *)
+let with_bit t i b =
+  let u = copy t in
+  set u i b;
+  u
+
+let equal a b = a.width = b.width && a.words = b.words
+
+let compare a b =
+  let c = Int.compare a.width b.width in
+  if c <> 0 then c else Stdlib.compare a.words b.words
+
+let hash t =
+  let h = ref (t.width * 0x9e3779b1) in
+  Array.iter (fun w -> h := (!h * 31) lxor w) t.words;
+  !h land max_int
+
+let popcount_word w =
+  let rec go w acc = if w = 0 then acc else go (w lsr 1) (acc + (w land 1)) in
+  (* 63-bit words: a simple SWAR popcount *)
+  ignore go;
+  let w = w - ((w lsr 1) land 0x5555555555555555) in
+  let w = (w land 0x3333333333333333) + ((w lsr 2) land 0x3333333333333333) in
+  let w = (w + (w lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+  (w * 0x0101010101010101) lsr 56
+
+let popcount t = Array.fold_left (fun acc w -> acc + popcount_word w) 0 t.words
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+(** All bits in [0, width) set. *)
+let full width =
+  let t = create width in
+  for i = 0 to width - 1 do
+    set t i true
+  done;
+  t
+
+let union a b =
+  if a.width <> b.width then invalid_arg "Bitset.union: width mismatch";
+  { width = a.width; words = Array.init (Array.length a.words) (fun i -> a.words.(i) lor b.words.(i)) }
+
+let inter a b =
+  if a.width <> b.width then invalid_arg "Bitset.inter: width mismatch";
+  { width = a.width; words = Array.init (Array.length a.words) (fun i -> a.words.(i) land b.words.(i)) }
+
+let diff a b =
+  if a.width <> b.width then invalid_arg "Bitset.diff: width mismatch";
+  { width = a.width; words = Array.init (Array.length a.words) (fun i -> a.words.(i) land lnot b.words.(i)) }
+
+(** Grow to a larger width, new bits cleared.  Used when a new subject is
+    added to the system (paper §3.4: "adding an additional column to each
+    entry in the in-memory codebook"). *)
+let resize t new_width =
+  if new_width < t.width then invalid_arg "Bitset.resize: cannot shrink";
+  let u = create new_width in
+  Array.blit t.words 0 u.words 0 (Array.length t.words);
+  u
+
+(** Remove bit position [i], shifting higher subject bits down by one.
+    Used on subject deletion. *)
+let remove_bit t i =
+  check_index t i;
+  let u = create (t.width - 1) in
+  for j = 0 to t.width - 1 do
+    if j < i then (if get t j then set u j true)
+    else if j > i then if get t j then set u (j - 1) true
+  done;
+  u
+
+let iter_set f t =
+  for i = 0 to t.width - 1 do
+    if get t i then f i
+  done
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.width - 1 downto 0 do
+    if get t i then acc := i :: !acc
+  done;
+  !acc
+
+let of_list width l =
+  let t = create width in
+  List.iter (fun i -> set t i true) l;
+  t
+
+let pp ppf t =
+  for i = 0 to t.width - 1 do
+    Fmt.char ppf (if get t i then '1' else '0')
+  done
+
+let to_string t = Fmt.str "%a" pp t
+
+(** Bytes needed to store one ACL of this width (one bit per subject),
+    matching the paper's space accounting. *)
+let storage_bytes t = (t.width + 7) / 8

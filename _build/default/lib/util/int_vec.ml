@@ -1,0 +1,73 @@
+(** Growable int vector.
+
+    Arena tree construction and DOL building append millions of ints; this
+    avoids list-then-convert churn and boxes nothing. *)
+
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(capacity = 16) () =
+  { data = Array.make (max 1 capacity) 0; len = 0 }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let clear t = t.len <- 0
+
+let ensure t needed =
+  if needed > Array.length t.data then begin
+    let cap = ref (Array.length t.data) in
+    while !cap < needed do
+      cap := !cap * 2
+    done;
+    let data = Array.make !cap 0 in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end
+
+let push t x =
+  ensure t (t.len + 1);
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Int_vec.get";
+  t.data.(i)
+
+let set t i x =
+  if i < 0 || i >= t.len then invalid_arg "Int_vec.set";
+  t.data.(i) <- x
+
+let last t =
+  if t.len = 0 then invalid_arg "Int_vec.last";
+  t.data.(t.len - 1)
+
+let pop t =
+  if t.len = 0 then invalid_arg "Int_vec.pop";
+  t.len <- t.len - 1;
+  t.data.(t.len)
+
+(** Copy out exactly the used prefix. *)
+let to_array t = Array.sub t.data 0 t.len
+
+let of_array arr = { data = Array.copy arr; len = Array.length arr }
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+(** Unsafe read for hot loops; caller guarantees bounds. *)
+let unsafe_get t i = Array.unsafe_get t.data i

@@ -1,0 +1,40 @@
+(** Growable int vectors — unboxed append buffers for arena-tree and DOL
+    construction. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+(** Reset to length 0 without releasing storage. *)
+val clear : t -> unit
+
+val push : t -> int -> unit
+
+(** @raise Invalid_argument when out of bounds. *)
+val get : t -> int -> int
+
+val set : t -> int -> int -> unit
+
+(** Last element.  @raise Invalid_argument when empty. *)
+val last : t -> int
+
+(** Remove and return the last element. *)
+val pop : t -> int
+
+(** Copy of the used prefix. *)
+val to_array : t -> int array
+
+val of_array : int array -> t
+
+val iter : (int -> unit) -> t -> unit
+
+val iteri : (int -> int -> unit) -> t -> unit
+
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+
+(** Bounds-unchecked read for hot loops. *)
+val unsafe_get : t -> int -> int

@@ -1,0 +1,75 @@
+(** LRU eviction policy over int keys (page ids).
+
+    Doubly-linked intrusive list plus a hash table, O(1) touch/evict.
+    The buffer pool uses this to decide which page frame to reuse. *)
+
+type node = {
+  key : int;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  table : (int, node) Hashtbl.t;
+  mutable head : node option; (* most recently used *)
+  mutable tail : node option; (* least recently used *)
+  mutable size : int;
+}
+
+let create ?(capacity_hint = 64) () =
+  { table = Hashtbl.create capacity_hint; head = None; tail = None; size = 0 }
+
+let size t = t.size
+
+let mem t key = Hashtbl.mem t.table key
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+(** Mark [key] as most recently used, inserting it if absent. *)
+let touch t key =
+  match Hashtbl.find_opt t.table key with
+  | Some n ->
+      unlink t n;
+      push_front t n
+  | None ->
+      let n = { key; prev = None; next = None } in
+      Hashtbl.replace t.table key n;
+      push_front t n;
+      t.size <- t.size + 1
+
+(** Remove [key] entirely (e.g. page pinned or freed). *)
+let remove t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.table key;
+      t.size <- t.size - 1
+
+(** Evict and return the least-recently-used key, if any. *)
+let pop_lru t =
+  match t.tail with
+  | None -> None
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.table n.key;
+      t.size <- t.size - 1;
+      Some n.key
+
+(** Keys from most- to least-recently used (for tests). *)
+let to_list t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (n.key :: acc) n.next
+  in
+  go [] t.head

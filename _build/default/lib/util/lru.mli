@@ -1,0 +1,23 @@
+(** LRU eviction policy over int keys (page ids): O(1) touch, remove and
+    evict. *)
+
+type t
+
+val create : ?capacity_hint:int -> unit -> t
+
+(** Number of tracked keys. *)
+val size : t -> int
+
+val mem : t -> int -> bool
+
+(** Mark [key] most-recently-used, inserting it if absent. *)
+val touch : t -> int -> unit
+
+(** Forget [key] (no-op when absent). *)
+val remove : t -> int -> unit
+
+(** Evict and return the least-recently-used key, if any. *)
+val pop_lru : t -> int option
+
+(** Keys from most- to least-recently used (for tests). *)
+val to_list : t -> int list

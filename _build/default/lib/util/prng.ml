@@ -1,0 +1,115 @@
+(** Deterministic pseudo-random number generation.
+
+    All workload generators in this repository draw randomness from an
+    explicit [Prng.t] seeded by the caller, so every experiment is exactly
+    reproducible.  The core generator is splitmix64 (Steele, Lea, Flood,
+    OOPSLA'14), which is fast, has a 64-bit state, and allows cheap
+    "splitting" into independent streams for hierarchical generation. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* One splitmix64 step: advance the state by the golden gamma and mix. *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** [split t] returns a fresh generator whose stream is independent of
+    subsequent draws from [t]. *)
+let split t =
+  let s = next_int64 t in
+  { state = s }
+
+(** Non-negative int drawn uniformly from the full 62-bit range. *)
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+(** [int t n] is uniform in [0, n).  Requires [n > 0]. *)
+let int t n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  bits t mod n
+
+(** [int_in t lo hi] is uniform in the inclusive range [lo, hi]. *)
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+(** Uniform float in [0, 1). *)
+let float t =
+  let x = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  x /. 9007199254740992.0 (* 2^53 *)
+
+(** Bernoulli draw: [true] with probability [p]. *)
+let bool t ~p =
+  if p <= 0.0 then false else if p >= 1.0 then true else float t < p
+
+(** Pick a uniformly random element of a non-empty array. *)
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choose: empty array";
+  arr.(int t (Array.length arr))
+
+(** Pick a uniformly random element of a non-empty list. *)
+let choose_list t l =
+  match l with
+  | [] -> invalid_arg "Prng.choose_list: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+(** In-place Fisher-Yates shuffle. *)
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(** [sample t n k] draws [k] distinct ints from [0, n) (k <= n),
+    returned in increasing order. *)
+let sample t n k =
+  if k < 0 || k > n then invalid_arg "Prng.sample";
+  (* Floyd's algorithm: O(k) expected inserts into a hash set. *)
+  let seen = Hashtbl.create (2 * k) in
+  for j = n - k to n - 1 do
+    let r = int t (j + 1) in
+    if Hashtbl.mem seen r then Hashtbl.replace seen j ()
+    else Hashtbl.replace seen r ()
+  done;
+  let out = Hashtbl.fold (fun key () acc -> key :: acc) seen [] in
+  List.sort compare out
+
+(** Geometric-ish draw: number of successes before failure with
+    continuation probability [p]; capped at [max]. *)
+let geometric t ~p ~max =
+  let rec go n = if n >= max then max else if bool t ~p then go (n + 1) else n in
+  go 0
+
+(** Zipf-distributed rank in [0, n) with skew [s] (s = 0 is uniform).
+    Uses the rejection-free inverse-CDF over precomputed weights for small
+    [n]; callers cache the sampler via [zipf_sampler]. *)
+let zipf_sampler ~n ~s =
+  if n <= 0 then invalid_arg "Prng.zipf_sampler";
+  let weights = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s) in
+  let cum = Array.make n 0.0 in
+  let total = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      total := !total +. w;
+      cum.(i) <- !total)
+    weights;
+  let total = !total in
+  fun t ->
+    let x = float t *. total in
+    (* binary search for first cum.(i) >= x *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cum.(mid) < x then lo := mid + 1 else hi := mid
+    done;
+    !lo

@@ -1,0 +1,54 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    Every workload generator draws randomness from an explicit [Prng.t]
+    seeded by the caller, so experiments reproduce exactly run-to-run. *)
+
+type t
+
+(** [create seed] — a generator with the given 63-bit seed. *)
+val create : int -> t
+
+(** A generator in the same state, advancing independently. *)
+val copy : t -> t
+
+(** [split t] is a fresh generator whose stream is independent of
+    subsequent draws from [t]. *)
+val split : t -> t
+
+(** One raw splitmix64 step. *)
+val next_int64 : t -> int64
+
+(** Non-negative int drawn uniformly from the full 62-bit range. *)
+val bits : t -> int
+
+(** [int t n] is uniform in [0, n).  @raise Invalid_argument if [n <= 0]. *)
+val int : t -> int -> int
+
+(** [int_in t lo hi] is uniform in the inclusive range [lo, hi]. *)
+val int_in : t -> int -> int -> int
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** Bernoulli draw: [true] with probability [p]. *)
+val bool : t -> p:float -> bool
+
+(** Uniformly random element of a non-empty array. *)
+val choose : t -> 'a array -> 'a
+
+(** Uniformly random element of a non-empty list. *)
+val choose_list : t -> 'a list -> 'a
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit
+
+(** [sample t n k] draws [k] distinct ints from [0, n), ascending. *)
+val sample : t -> int -> int -> int list
+
+(** Number of successes before failure with continuation probability
+    [p], capped at [max]. *)
+val geometric : t -> p:float -> max:int -> int
+
+(** [zipf_sampler ~n ~s] precomputes a Zipf(s) distribution over ranks
+    [0, n); the returned closure draws from it. *)
+val zipf_sampler : n:int -> s:float -> t -> int

@@ -1,0 +1,47 @@
+(** Small descriptive-statistics helpers used by the benchmark harness and
+    the workload generators' self-reports. *)
+
+let mean = function
+  | [] -> nan
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let mean_arr a =
+  if Array.length a = 0 then nan
+  else Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let stddev l =
+  match l with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean l in
+      let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 l in
+      sqrt (ss /. float_of_int (List.length l - 1))
+
+(** [percentile p l] with p in [0,100], nearest-rank method. *)
+let percentile p l =
+  match l with
+  | [] -> nan
+  | _ ->
+      let sorted = List.sort compare l in
+      let n = List.length sorted in
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+      let rank = max 1 (min n rank) in
+      List.nth sorted (rank - 1)
+
+let median l = percentile 50.0 l
+
+(** Integer histogram: counts per value. *)
+let histogram values =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      let c = Option.value ~default:0 (Hashtbl.find_opt tbl v) in
+      Hashtbl.replace tbl v (c + 1))
+    values;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(** Pretty ratio with a guard against division by zero. *)
+let ratio a b = if b = 0.0 then nan else a /. b
+
+let ratio_int a b = ratio (float_of_int a) (float_of_int b)

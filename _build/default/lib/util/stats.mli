@@ -1,0 +1,22 @@
+(** Descriptive statistics for the benchmark harness and workload
+    self-reports. *)
+
+val mean : float list -> float
+
+val mean_arr : float array -> float
+
+(** Sample standard deviation. *)
+val stddev : float list -> float
+
+(** [percentile p l], [p] in [0,100], nearest-rank method. *)
+val percentile : float -> float list -> float
+
+val median : float list -> float
+
+(** Counts per distinct value, ascending. *)
+val histogram : 'a list -> ('a * int) list
+
+(** [ratio a b] — [a /. b], NaN when [b = 0]. *)
+val ratio : float -> float -> float
+
+val ratio_int : int -> int -> float

@@ -1,0 +1,37 @@
+(** LEB128-style variable-length integer coding.
+
+    The NoK page layout stores per-node records (tag id, close-paren
+    count, optional DOL code) as varints so that page capacity reflects
+    realistic byte sizes rather than fixed slots. *)
+
+let max_len = 10
+
+(** Number of bytes [encode] will use for [x] (non-negative). *)
+let encoded_length x =
+  if x < 0 then invalid_arg "Varint.encoded_length: negative";
+  let rec go x n = if x < 128 then n else go (x lsr 7) (n + 1) in
+  go x 1
+
+(** [write buf pos x] writes [x] at [pos], returns position after. *)
+let write buf pos x =
+  if x < 0 then invalid_arg "Varint.write: negative";
+  let rec go pos x =
+    if x < 128 then begin
+      Bytes.set_uint8 buf pos x;
+      pos + 1
+    end
+    else begin
+      Bytes.set_uint8 buf pos (128 lor (x land 127));
+      go (pos + 1) (x lsr 7)
+    end
+  in
+  go pos x
+
+(** [read buf pos] returns [(value, position after)]. *)
+let read buf pos =
+  let rec go pos shift acc =
+    let b = Bytes.get_uint8 buf pos in
+    let acc = acc lor ((b land 127) lsl shift) in
+    if b < 128 then (acc, pos + 1) else go (pos + 1) (shift + 7) acc
+  in
+  go pos 0 0

@@ -1,0 +1,15 @@
+(** LEB128-style variable-length integer coding for the NoK page
+    records. *)
+
+(** Upper bound on the encoded size of any int. *)
+val max_len : int
+
+(** Bytes {!write} will use for a non-negative int. *)
+val encoded_length : int -> int
+
+(** [write buf pos x] writes [x] at [pos]; returns the position after.
+    @raise Invalid_argument on negative [x]. *)
+val write : Bytes.t -> int -> int -> int
+
+(** [read buf pos] returns [(value, position after)]. *)
+val read : Bytes.t -> int -> int * int

@@ -1,0 +1,1 @@
+lib/workload/livelink.ml: Array Dolx_policy Dolx_util Dolx_xml Fun List Printf

@@ -1,0 +1,1 @@
+lib/workload/livelink.mli: Dolx_policy Dolx_xml

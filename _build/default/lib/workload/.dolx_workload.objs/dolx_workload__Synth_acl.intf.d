@@ -1,0 +1,1 @@
+lib/workload/synth_acl.mli: Dolx_policy Dolx_util Dolx_xml

@@ -1,0 +1,1 @@
+lib/workload/unixfs.ml: Array Dolx_policy Dolx_util Dolx_xml Fun Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/workload/unixfs.mli: Dolx_policy Dolx_xml

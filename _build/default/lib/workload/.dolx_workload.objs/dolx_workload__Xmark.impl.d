@@ -1,0 +1,1 @@
+lib/workload/xmark.ml: Dolx_util Dolx_xml List Printf String

@@ -1,0 +1,212 @@
+(** A generative stand-in for the paper's OpenText LiveLink dataset.
+
+    The real dataset — "the access control information from a production
+    instance of OpenText LiveLink, which provides web-based collaboration
+    and knowledge management services in a corporate intranet … data items
+    in a tree-structure with an average depth of 7.9 and a maximum depth
+    of 19 … a total of 8639 access control subjects (users and groups)
+    … ten different access modes" (§5) — is proprietary, so we model the
+    generating process: departments own folder subtrees; users inherit
+    their departments' rights and add sparse personal exceptions; higher
+    action modes are progressively narrower variants of the base mode.
+    This reproduces the two properties the paper measures: strong
+    inter-subject correlation (sublinear codebook growth, Fig. 5) and
+    structural locality (sparse transitions, Fig. 6). *)
+
+module Tree = Dolx_xml.Tree
+module Prng = Dolx_util.Prng
+module Subject = Dolx_policy.Subject
+module Mode = Dolx_policy.Mode
+module Rule = Dolx_policy.Rule
+module Propagate = Dolx_policy.Propagate
+module Labeling = Dolx_policy.Labeling
+
+type config = {
+  seed : int;
+  target_nodes : int;
+  n_departments : int;
+  users_per_department : int;
+  n_modes : int;
+  max_depth : int;
+}
+
+let default_config =
+  {
+    seed = 7;
+    target_nodes = 20_000;
+    n_departments = 12;
+    users_per_department = 25;
+    n_modes = 10;
+    max_depth = 19;
+  }
+
+type t = {
+  config : config;
+  tree : Tree.t;
+  subjects : Subject.registry;
+  modes : Mode.registry;
+  labelings : Labeling.t array; (* indexed by mode *)
+  users : Subject.id array;
+  groups : Subject.id array;
+  dept_roots : Tree.node array; (* folder subtree owned by each department *)
+}
+
+(* Grow a folder subtree of exactly [budget] nodes below the currently
+   open element of [b]; fanout and subtree sizes are drawn randomly,
+   depth capped.  Returns the number of nodes created (= budget). *)
+let rec grow_folder b rng ~budget ~depth ~max_depth =
+  let made = ref 0 in
+  while !made < budget do
+    let remaining = budget - !made in
+    let is_folder = depth < max_depth && remaining > 2 && Prng.bool rng ~p:0.45 in
+    ignore (Tree.Builder.open_element b (if is_folder then "folder" else "document"));
+    incr made;
+    if is_folder then begin
+      (* the folder swallows a random share of what is left *)
+      let share = Prng.int_in rng 1 (max 1 ((remaining - 1) / 2)) in
+      made :=
+        !made
+        + grow_folder b rng ~budget:(min (budget - !made) share) ~depth:(depth + 1)
+            ~max_depth
+    end;
+    Tree.Builder.close_element b
+  done;
+  !made
+
+let generate ?(config = default_config) () =
+  let rng = Prng.create config.seed in
+  let b = Tree.Builder.create () in
+  ignore (Tree.Builder.open_element b "repository");
+  let budget_per_dept = max 10 (config.target_nodes / (config.n_departments + 1)) in
+  (* Department workspaces; remember where each starts. *)
+  let dept_starts = Array.make config.n_departments 0 in
+  for d = 0 to config.n_departments - 1 do
+    dept_starts.(d) <- Tree.Builder.open_element b "workspace";
+    ignore (grow_folder b rng ~budget:budget_per_dept ~depth:2 ~max_depth:config.max_depth);
+    Tree.Builder.close_element b
+  done;
+  (* A shared, broadly readable area. *)
+  let shared_start = Tree.Builder.open_element b "shared" in
+  ignore (grow_folder b rng ~budget:budget_per_dept ~depth:2 ~max_depth:config.max_depth);
+  Tree.Builder.close_element b;
+  Tree.Builder.close_element b;
+  let tree = Tree.Builder.finish b in
+  (* Subjects: one group per department plus its users. *)
+  let subjects = Subject.create () in
+  let groups =
+    Array.init config.n_departments (fun d ->
+        Subject.add_group subjects (Printf.sprintf "dept%d" d))
+  in
+  let users = ref [] in
+  let dept_users =
+    Array.init config.n_departments (fun d ->
+        Array.init config.users_per_department (fun i ->
+            let u = Subject.add_user subjects (Printf.sprintf "u%d_%d" d i) in
+            Subject.add_membership subjects ~child:u ~group:groups.(d);
+            users := u :: !users;
+            u))
+  in
+  let users = Array.of_list (List.rev !users) in
+  (* Action modes: mode 0 is the broad "see" right; higher modes hold with
+     geometrically decreasing probability, modeling edit/delete/admin. *)
+  let modes = Mode.create () in
+  let mode_names =
+    [| "see"; "see-contents"; "modify"; "edit-attrs"; "reserve"; "add-items";
+       "delete-versions"; "delete"; "edit-perms"; "admin" |]
+  in
+  for m = 0 to config.n_modes - 1 do
+    ignore
+      (Mode.add modes
+         (if m < Array.length mode_names then mode_names.(m)
+          else Printf.sprintf "mode%d" m))
+  done;
+  (* Rules.  Department rights are materialized both for the group subject
+     and for each member user — as a crawl of the real system would record
+     them — which is what creates the inter-subject correlation. *)
+  let rules = ref [] in
+  let add_rule r = rules := r :: !rules in
+  let n = Tree.size tree in
+  (* Rights concentrate on a shared pool of popular folders with a Zipf
+     profile — in production systems most ACL anchors are a small set of
+     project/team folders, which is what drives the strong inter-subject
+     correlation of Figs. 5/6. *)
+  let anchor_pool = Array.init 256 (fun _ -> Prng.int rng n) in
+  let zipf = Prng.zipf_sampler ~n:(Array.length anchor_pool) ~s:1.1 in
+  let pick_anchor () = anchor_pool.(zipf rng) in
+  let mode_keep_p m = 0.85 ** float_of_int m in
+  (* grant [node] to department [d] (group + all members) in mode [m] *)
+  let dept_grant d m node =
+    add_rule (Rule.grant ~subject:groups.(d) ~mode:m node);
+    Array.iter (fun u -> add_rule (Rule.grant ~subject:u ~mode:m node)) dept_users.(d)
+  in
+  let dept_deny d m node =
+    add_rule (Rule.deny ~subject:groups.(d) ~mode:m node);
+    Array.iter (fun u -> add_rule (Rule.deny ~subject:u ~mode:m node)) dept_users.(d)
+  in
+  for d = 0 to config.n_departments - 1 do
+    let root = dept_starts.(d) in
+    let root_end = root + Tree.subtree_size tree root - 1 in
+    for m = 0 to config.n_modes - 1 do
+      if m = 0 || Prng.bool rng ~p:(mode_keep_p m) then begin
+        dept_grant d m root;
+        (* restricted areas inside the workspace *)
+        let denies = Prng.int_in rng 2 6 in
+        for _ = 1 to denies do
+          dept_deny d m (Prng.int_in rng root root_end)
+        done
+      end
+    done;
+    (* scattered collaboration grants on popular folders *)
+    let scatter = Prng.int_in rng 6 14 in
+    for _ = 1 to scatter do
+      let node = pick_anchor () in
+      let m = Prng.int rng config.n_modes in
+      dept_grant d m node
+    done;
+    (* occasional access to a whole other workspace *)
+    if Prng.bool rng ~p:0.4 then begin
+      let other = Prng.int rng config.n_departments in
+      if other <> d then dept_grant other 0 root
+    end
+  done;
+  (* Shared area: everyone sees it. *)
+  for s = 0 to Subject.count subjects - 1 do
+    add_rule (Rule.grant ~subject:s ~mode:0 shared_start)
+  done;
+  (* Sparse personal exceptions: private folders, revocations, and
+     shared-with-me runs of sibling documents (horizontal locality: a
+     user is granted a handful of adjacent items in a folder they cannot
+     otherwise see — frequent in the real system and the case where DOL's
+     document-order runs beat CAM's per-subtree labels). *)
+  Array.iter
+    (fun u ->
+      let personal = Prng.int_in rng 3 10 in
+      for _ = 1 to personal do
+        let v = pick_anchor () in
+        let m = Prng.int rng config.n_modes in
+        if Prng.bool rng ~p:0.7 then add_rule (Rule.grant ~subject:u ~mode:m v)
+        else add_rule (Rule.deny ~subject:u ~mode:m v)
+      done;
+      let shared_runs = Prng.int_in rng 2 6 in
+      for _ = 1 to shared_runs do
+        let m = Prng.int rng config.n_modes in
+        let v = ref (pick_anchor ()) in
+        let run = Prng.int_in rng 1 5 in
+        let steps = ref 0 in
+        while !v <> Tree.nil && !steps < run do
+          add_rule (Rule.grant ~scope:Rule.Self ~subject:u ~mode:m !v);
+          v := Tree.next_sibling tree !v;
+          incr steps
+        done
+      done)
+    users;
+  let rules = !rules in
+  let labelings =
+    Array.init config.n_modes (fun m ->
+        Propagate.compile tree ~subjects ~mode:m ~default:Propagate.Closed rules)
+  in
+  { config; tree; subjects; modes; labelings; users; groups; dept_roots = dept_starts }
+
+(** All subject ids (users and groups), the population sampled in
+    Figs. 5(a)/6(a). *)
+let all_subjects t = Array.init (Subject.count t.subjects) Fun.id

@@ -1,0 +1,37 @@
+(** Generative stand-in for the paper's proprietary OpenText LiveLink
+    dataset (§5): a corporate folder tree, departments owning workspace
+    subtrees, users inheriting department rights plus Zipf-concentrated
+    collaboration grants, personal exceptions and shared-with-me sibling
+    runs, and ten progressively narrower action modes.  Reproduces the
+    properties the paper measures: inter-subject correlation (sublinear
+    codebook, Fig. 5) and structural locality (sparse transitions,
+    Fig. 6). *)
+
+type config = {
+  seed : int;
+  target_nodes : int;
+  n_departments : int;
+  users_per_department : int;
+  n_modes : int;
+  max_depth : int;  (** the real system's maximum depth was 19 *)
+}
+
+val default_config : config
+
+type t = {
+  config : config;
+  tree : Dolx_xml.Tree.t;
+  subjects : Dolx_policy.Subject.registry;
+  modes : Dolx_policy.Mode.registry;
+  labelings : Dolx_policy.Labeling.t array;  (** indexed by mode *)
+  users : Dolx_policy.Subject.id array;
+  groups : Dolx_policy.Subject.id array;
+  dept_roots : Dolx_xml.Tree.node array;
+      (** folder subtree owned by each department *)
+}
+
+val generate : ?config:config -> unit -> t
+
+(** All subject ids (users and groups) — the population sampled in
+    Figs. 5(a)/6(a). *)
+val all_subjects : t -> Dolx_policy.Subject.id array

@@ -1,0 +1,118 @@
+(** Synthetic access-control generator (paper §5).
+
+    "We generated synthetic access controls … by randomly choosing some
+    nodes from the document as seeds, and then labeling these seeds as
+    accessible or non-accessible.  We simulate horizontal structural
+    locality by randomly setting the seeds' direct siblings with the same
+    accessibility, provided that the siblings are not themselves seeds.
+    Then, we simulate vertical structural locality by propagating
+    accessibilities of labeled nodes to their descendants using the
+    Most-Specific-Override policy … We always choose the document root as
+    seed to ensure all nodes be labeled.
+
+    The propagation ratio determines [the] percentage of nodes that are
+    seeds while the accessibility ratio determines the percentage of
+    seeds that are accessible." *)
+
+module Tree = Dolx_xml.Tree
+module Prng = Dolx_util.Prng
+module Labeling = Dolx_policy.Labeling
+module Acl = Dolx_policy.Acl
+module Bitset = Dolx_util.Bitset
+
+type params = {
+  propagation_ratio : float;  (* fraction of nodes chosen as seeds *)
+  accessibility_ratio : float; (* fraction of seeds labeled accessible *)
+  sibling_copy_p : float;     (* horizontal-locality strength *)
+}
+
+let default = { propagation_ratio = 0.1; accessibility_ratio = 0.5; sibling_copy_p = 0.5 }
+
+(** Single-subject accessibility as a bool array indexed by preorder. *)
+let generate_bool tree ~params rng =
+  let n = Tree.size tree in
+  (* 0 = unlabeled, 1 = labeled accessible, 2 = labeled inaccessible *)
+  let state = Array.make n 0 in
+  let label v acc = state.(v) <- (if acc then 1 else 2) in
+  (* seeds *)
+  let seeds = ref [] in
+  for v = 0 to n - 1 do
+    if v = Tree.root || Prng.bool rng ~p:params.propagation_ratio then begin
+      label v (Prng.bool rng ~p:params.accessibility_ratio);
+      seeds := v :: !seeds
+    end
+  done;
+  (* horizontal locality: copy each seed's accessibility onto its direct
+     unlabeled siblings *)
+  List.iter
+    (fun v ->
+      let acc = state.(v) = 1 in
+      let p = Tree.parent tree v in
+      if p <> Tree.nil then
+        Tree.iter_children
+          (fun sib ->
+            if sib <> v && state.(sib) = 0 && Prng.bool rng ~p:params.sibling_copy_p
+            then label sib acc)
+          tree p)
+    !seeds;
+  (* vertical locality: Most-Specific-Override from the nearest labeled
+     ancestor *)
+  let out = Array.make n false in
+  let rec go v inherited =
+    let here = if state.(v) = 0 then inherited else state.(v) = 1 in
+    out.(v) <- here;
+    Tree.iter_children (fun c -> go c here) tree v
+  in
+  go Tree.root false;
+  out
+
+(** Single-subject labeling. *)
+let generate tree ?(params = default) ~seed () =
+  let rng = Prng.create seed in
+  Labeling.of_bool_array (generate_bool tree ~params rng)
+
+(** Multi-subject labeling: [n_subjects] independent draws, optionally
+    with correlation — subject [i] copies subject [i mod n_archetypes]'s
+    labels and then perturbs a [perturb] fraction of its seeds.  With
+    [n_archetypes = n_subjects] all subjects are independent (the paper's
+    worst case, §2.1). *)
+let generate_multi tree ?(params = default) ~seed ~n_subjects
+    ?(n_archetypes = 0) ?(perturb = 0.05) () =
+  let n = Tree.size tree in
+  let n_archetypes = if n_archetypes <= 0 then n_subjects else n_archetypes in
+  let rng = Prng.create seed in
+  let archetypes =
+    Array.init (min n_archetypes n_subjects) (fun _ ->
+        generate_bool tree ~params (Prng.split rng))
+  in
+  let per_subject =
+    Array.init n_subjects (fun i ->
+        let base = archetypes.(i mod Array.length archetypes) in
+        if i < Array.length archetypes then base
+        else begin
+          (* correlated copy: flip whole subtrees for a small fraction of
+             nodes, preserving structural locality *)
+          let copy = Array.copy base in
+          let rng = Prng.split rng in
+          let flips = int_of_float (float_of_int n *. perturb /. 10.0) in
+          for _ = 1 to max 1 flips do
+            let v = Prng.int rng n in
+            let last = Tree.subtree_end tree v in
+            let acc = Prng.bool rng ~p:params.accessibility_ratio in
+            for u = v to last do
+              copy.(u) <- acc
+            done
+          done;
+          copy
+        end)
+  in
+  let store = Acl.create ~width:n_subjects in
+  let node_acl =
+    Array.init n (fun v ->
+        let bits = Bitset.create n_subjects in
+        for s = 0 to n_subjects - 1 do
+          if per_subject.(s).(v) then Bitset.set bits s true
+        done;
+        Acl.intern store bits)
+  in
+  Labeling.create ~store ~node_acl

@@ -1,0 +1,29 @@
+(** Synthetic access-control generator — the paper's §5 recipe: random
+    seed nodes labeled accessible/inaccessible, horizontal locality by
+    sibling copying, vertical locality by Most-Specific-Override
+    propagation, with the document root always a seed. *)
+
+type params = {
+  propagation_ratio : float;   (** fraction of nodes chosen as seeds *)
+  accessibility_ratio : float; (** fraction of seeds labeled accessible *)
+  sibling_copy_p : float;      (** horizontal-locality strength *)
+}
+
+(** 10% seeds, 50% accessible, sibling copy 0.5. *)
+val default : params
+
+(** Single-subject accessibility vector, indexed by preorder. *)
+val generate_bool : Dolx_xml.Tree.t -> params:params -> Dolx_util.Prng.t -> bool array
+
+(** Single-subject labeling. *)
+val generate :
+  Dolx_xml.Tree.t -> ?params:params -> seed:int -> unit -> Dolx_policy.Labeling.t
+
+(** Multi-subject labeling.  Subjects are drawn from [n_archetypes]
+    independent profiles (default: all independent — the paper's §2.1
+    worst case); non-archetype subjects copy a profile and perturb a
+    [perturb] fraction of subtrees, giving the correlation real systems
+    show. *)
+val generate_multi :
+  Dolx_xml.Tree.t -> ?params:params -> seed:int -> n_subjects:int ->
+  ?n_archetypes:int -> ?perturb:float -> unit -> Dolx_policy.Labeling.t

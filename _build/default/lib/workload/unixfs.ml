@@ -1,0 +1,221 @@
+(** A generative stand-in for the paper's multi-user Unix file system
+    dataset ("the access control data from a multiuser Unix file system
+    at the University of Waterloo.  This system has 182 users and 65 user
+    groups, and includes more than 1.3 million files/directories", §5).
+
+    Permission-bit semantics: a subject can read a file iff it has the
+    r-bit on the file under owner/group/other resolution *and* the x-bit
+    on every ancestor directory.  Group subjects are modeled as processes
+    holding only that group.  The correlations the paper measures arise
+    from group membership and from the small set of distinct
+    (owner, group, mode) combinations in real trees. *)
+
+module Tree = Dolx_xml.Tree
+module Prng = Dolx_util.Prng
+module Subject = Dolx_policy.Subject
+module Mode = Dolx_policy.Mode
+module Acl = Dolx_policy.Acl
+module Labeling = Dolx_policy.Labeling
+module Bitset = Dolx_util.Bitset
+
+type config = {
+  seed : int;
+  target_nodes : int;
+  n_users : int;
+  n_groups : int;
+}
+
+let default_config = { seed = 11; target_nodes = 20_000; n_users = 182; n_groups = 65 }
+
+type perm = { owner : int; group : int; mode : int (* 9-bit rwxrwxrwx *) }
+
+type t = {
+  config : config;
+  tree : Tree.t;
+  subjects : Subject.registry;
+  modes : Mode.registry;
+  read_labeling : Labeling.t;
+  write_labeling : Labeling.t;
+  users : Subject.id array;
+  groups : Subject.id array;
+  perms : perm array; (* per preorder *)
+}
+
+let common_file_modes = [| 0o644; 0o640; 0o600; 0o664; 0o444; 0o660 |]
+
+let common_dir_modes = [| 0o755; 0o750; 0o700; 0o775; 0o770 |]
+
+(* Grow a directory subtree of exactly [budget] nodes; every node gets a
+   permission record drawn from the area's defaults with small
+   perturbation.  Returns the number of nodes created. *)
+let rec grow b rng perms ~budget ~depth ~owner ~group ~dir_mode ~file_mode =
+  let made = ref 0 in
+  while !made < budget do
+    let remaining = budget - !made in
+    let is_dir = depth <= 12 && remaining > 2 && Prng.bool rng ~p:0.35 in
+    let v = Tree.Builder.open_element b (if is_dir then "dir" else "file") in
+    let mode =
+      if Prng.bool rng ~p:0.9 then if is_dir then dir_mode else file_mode
+      else Prng.choose rng (if is_dir then common_dir_modes else common_file_modes)
+    in
+    perms := (v, { owner; group; mode }) :: !perms;
+    incr made;
+    if is_dir then begin
+      let share = Prng.int_in rng 1 (max 1 ((remaining - 1) * 2 / 3)) in
+      made :=
+        !made
+        + grow b rng perms ~budget:(min (budget - !made) share) ~depth:(depth + 1)
+            ~owner ~group ~dir_mode ~file_mode
+    end;
+    Tree.Builder.close_element b
+  done;
+  !made
+
+let generate ?(config = default_config) () =
+  let rng = Prng.create config.seed in
+  let subjects = Subject.create () in
+  let groups =
+    Array.init config.n_groups (fun g -> Subject.add_group subjects (Printf.sprintf "grp%d" g))
+  in
+  let users =
+    Array.init config.n_users (fun u ->
+        let id = Subject.add_user subjects (Printf.sprintf "user%d" u) in
+        (* primary group + a few secondary memberships *)
+        let primary = u mod config.n_groups in
+        Subject.add_membership subjects ~child:id ~group:groups.(primary);
+        let extra = Prng.int_in rng 0 2 in
+        for _ = 1 to extra do
+          Subject.add_membership subjects ~child:id
+            ~group:groups.(Prng.int rng config.n_groups)
+        done;
+        id)
+  in
+  (* membership bitsets per group, over the full subject universe *)
+  let width = Subject.count subjects in
+  let group_members = Array.make config.n_groups (Bitset.create width) in
+  for g = 0 to config.n_groups - 1 do
+    let bits = Bitset.create width in
+    Bitset.set bits groups.(g) true;
+    Array.iter
+      (fun u -> if List.mem groups.(g) (Subject.direct_groups subjects u) then Bitset.set bits u true)
+      users;
+    group_members.(g) <- bits
+  done;
+  (* build the tree: /home/<user>..., /projects/<group>..., /usr (world) *)
+  let b = Tree.Builder.create () in
+  let perms = ref [] in
+  let root = Tree.Builder.open_element b "root" in
+  perms := (root, { owner = -1; group = -1; mode = 0o755 }) :: !perms;
+  let root_area name mode =
+    let v = Tree.Builder.open_element b name in
+    perms := (v, { owner = -1; group = -1; mode }) :: !perms;
+    v
+  in
+  let home_budget = config.target_nodes / 2 in
+  let proj_budget = config.target_nodes / 3 in
+  let usr_budget = config.target_nodes / 6 in
+  ignore (root_area "home" 0o755);
+  let per_user = max 3 (home_budget / config.n_users) in
+  Array.iteri
+    (fun i _u ->
+      let v = Tree.Builder.open_element b "dir" in
+      let mode = if Prng.bool rng ~p:0.7 then 0o750 else 0o755 in
+      let group = i mod config.n_groups in
+      perms := (v, { owner = i; group; mode }) :: !perms;
+      ignore
+        (grow b rng perms ~budget:(per_user - 1) ~depth:3 ~owner:i ~group
+           ~dir_mode:(if mode = 0o750 then 0o750 else 0o755)
+           ~file_mode:(if mode = 0o750 then 0o640 else 0o644));
+      Tree.Builder.close_element b)
+    users;
+  Tree.Builder.close_element b;
+  ignore (root_area "projects" 0o755);
+  let per_group = max 3 (proj_budget / config.n_groups) in
+  Array.iteri
+    (fun g _gid ->
+      let v = Tree.Builder.open_element b "dir" in
+      let owner = Prng.int rng config.n_users in
+      let restricted = Prng.bool rng ~p:0.6 in
+      perms := (v, { owner; group = g; mode = (if restricted then 0o770 else 0o775) }) :: !perms;
+      ignore
+        (grow b rng perms ~budget:(per_group - 1) ~depth:3 ~owner ~group:g
+           ~dir_mode:(if restricted then 0o770 else 0o775)
+           ~file_mode:(if restricted then 0o660 else 0o664));
+      Tree.Builder.close_element b)
+    groups;
+  Tree.Builder.close_element b;
+  ignore (root_area "usr" 0o755);
+  ignore
+    (grow b rng perms ~budget:usr_budget ~depth:2 ~owner:(-1) ~group:(-1)
+       ~dir_mode:0o755 ~file_mode:0o644);
+  Tree.Builder.close_element b;
+  Tree.Builder.close_element b;
+  let tree = Tree.Builder.finish b in
+  let n = Tree.size tree in
+  let perm_arr = Array.make n { owner = -1; group = -1; mode = 0o755 } in
+  List.iter (fun (v, p) -> perm_arr.(v) <- p) !perms;
+  (* Resolve permission bits into subject bitsets; memoized per distinct
+     (owner, group, mode, bit-class). *)
+  let memo = Hashtbl.create 256 in
+  let bits_for p ~shift =
+    (* shift 2 = r, 1 = w, 0 = x within each rwx triple *)
+    let key = (p.owner, p.group, p.mode, shift) in
+    match Hashtbl.find_opt memo key with
+    | Some b -> b
+    | None ->
+        let owner_ok = p.mode land (1 lsl (6 + shift)) <> 0 in
+        let group_ok = p.mode land (1 lsl (3 + shift)) <> 0 in
+        let other_ok = p.mode land (1 lsl shift) <> 0 in
+        let bits = Bitset.create width in
+        (* users *)
+        Array.iteri
+          (fun i uid ->
+            let in_group =
+              p.group >= 0 && Bitset.get group_members.(p.group) uid
+            in
+            let ok =
+              if p.owner = i then owner_ok
+              else if in_group then group_ok
+              else other_ok
+            in
+            if ok then Bitset.set bits uid true)
+          users;
+        (* group subjects: a process holding exactly that group *)
+        Array.iteri
+          (fun g gid ->
+            let ok = if p.group = g then group_ok else other_ok in
+            if ok then Bitset.set bits gid true)
+          groups;
+        Hashtbl.replace memo key bits;
+        bits
+  in
+  let store_r = Acl.create ~width in
+  let store_w = Acl.create ~width in
+  let node_r = Array.make n 0 in
+  let node_w = Array.make n 0 in
+  let rec go v reach =
+    let p = perm_arr.(v) in
+    node_r.(v) <- Acl.intern store_r (Bitset.inter reach (bits_for p ~shift:2));
+    node_w.(v) <- Acl.intern store_w (Bitset.inter reach (bits_for p ~shift:1));
+    if not (Tree.is_leaf tree v) then begin
+      let reach' = Bitset.inter reach (bits_for p ~shift:0) in
+      Tree.iter_children (fun c -> go c reach') tree v
+    end
+  in
+  go Tree.root (Bitset.full width);
+  let modes = Mode.create () in
+  ignore (Mode.add modes "read");
+  ignore (Mode.add modes "write");
+  {
+    config;
+    tree;
+    subjects;
+    modes;
+    read_labeling = Labeling.create ~store:store_r ~node_acl:node_r;
+    write_labeling = Labeling.create ~store:store_w ~node_acl:node_w;
+    users;
+    groups;
+    perms = perm_arr;
+  }
+
+let all_subjects t = Array.init (Subject.count t.subjects) Fun.id

@@ -1,0 +1,33 @@
+(** Generative stand-in for the paper's multi-user Unix file-system
+    dataset (§5: 182 users, 65 groups, 1.3M files).  Permission-bit
+    semantics: a subject reads a file iff it holds the r-bit under
+    owner/group/other resolution and the x-bit on every ancestor
+    directory; group subjects model processes holding only that group. *)
+
+type config = {
+  seed : int;
+  target_nodes : int;
+  n_users : int;
+  n_groups : int;
+}
+
+(** 182 users / 65 groups, 20k nodes. *)
+val default_config : config
+
+type perm = { owner : int; group : int; mode : int (** 9-bit rwxrwxrwx *) }
+
+type t = {
+  config : config;
+  tree : Dolx_xml.Tree.t;
+  subjects : Dolx_policy.Subject.registry;
+  modes : Dolx_policy.Mode.registry;
+  read_labeling : Dolx_policy.Labeling.t;
+  write_labeling : Dolx_policy.Labeling.t;
+  users : Dolx_policy.Subject.id array;
+  groups : Dolx_policy.Subject.id array;
+  perms : perm array;  (** per preorder *)
+}
+
+val generate : ?config:config -> unit -> t
+
+val all_subjects : t -> Dolx_policy.Subject.id array

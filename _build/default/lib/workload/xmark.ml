@@ -1,0 +1,262 @@
+(** An XMark-like auction-site document generator.
+
+    The paper evaluates on XMark instances ("We generated synthetic
+    access controls on XMark benchmarks", §5); the original generator is
+    a C program, so we reimplement the element hierarchy here.  The tag
+    vocabulary and nesting follow the XMark auction DTD closely enough
+    that the paper's six benchmark queries (Table 1) traverse the same
+    paths: regional items with [location]/[name]/[quantity] children,
+    [category/description/text/bold], recursive [parlist]/[listitem]
+    description bodies containing [keyword] and [emph], people, and open/
+    closed auctions.
+
+    Everything is driven by an explicit PRNG seed; [generate ~seed
+    ~items ()] is fully deterministic. *)
+
+module Tree = Dolx_xml.Tree
+module Prng = Dolx_util.Prng
+
+type config = {
+  seed : int;
+  items : int;            (* total items across the six regions *)
+  max_parlist_depth : int;
+  words_per_text : int;
+}
+
+let default_config = { seed = 42; items = 400; max_parlist_depth = 3; words_per_text = 6 }
+
+let regions_split =
+  [ ("africa", 0.06); ("asia", 0.22); ("australia", 0.11);
+    ("europe", 0.30); ("namerica", 0.25); ("samerica", 0.06) ]
+
+let wordlist =
+  [| "duteous"; "amorous"; "bestir"; "cankers"; "furnish"; "mingled";
+     "sorely"; "gilded"; "tranquil"; "vantage"; "willows"; "grafted";
+     "dungeon"; "molten"; "merchant"; "obloquy"; "plumed"; "sundry";
+     "vassal"; "wherefore" |]
+
+let word rng = Prng.choose rng wordlist
+
+let words rng n =
+  String.concat " " (List.init (max 1 n) (fun _ -> word rng))
+
+(* The text container of descriptions: inline bold / keyword / emph
+   elements mixed with plain words. *)
+let gen_text b rng cfg =
+  ignore (Tree.Builder.open_element b "text");
+  Tree.Builder.add_text b (words rng cfg.words_per_text);
+  let inline = [| "bold"; "keyword"; "emph" |] in
+  let n = Prng.int_in rng 0 3 in
+  for _ = 1 to n do
+    Tree.Builder.leaf b (Prng.choose rng inline) (word rng) |> ignore
+  done;
+  Tree.Builder.close_element b
+
+let rec gen_parlist b rng cfg depth =
+  ignore (Tree.Builder.open_element b "parlist");
+  let n = Prng.int_in rng 1 3 in
+  for _ = 1 to n do
+    ignore (Tree.Builder.open_element b "listitem");
+    if depth < cfg.max_parlist_depth && Prng.bool rng ~p:0.3 then
+      gen_parlist b rng cfg (depth + 1)
+    else gen_text b rng cfg;
+    Tree.Builder.close_element b
+  done;
+  Tree.Builder.close_element b
+
+let gen_description b rng cfg =
+  ignore (Tree.Builder.open_element b "description");
+  if Prng.bool rng ~p:0.4 then gen_parlist b rng cfg 1 else gen_text b rng cfg;
+  Tree.Builder.close_element b
+
+let gen_item b rng cfg ~id ~n_categories =
+  ignore (Tree.Builder.open_element b "item");
+  ignore (Tree.Builder.leaf b "location" (word rng));
+  ignore (Tree.Builder.leaf b "quantity" (string_of_int (Prng.int_in rng 1 5)));
+  ignore (Tree.Builder.leaf b "name" (Printf.sprintf "item%d" id));
+  ignore (Tree.Builder.leaf b "payment" (word rng));
+  gen_description b rng cfg;
+  ignore (Tree.Builder.open_element b "shipping");
+  Tree.Builder.add_text b (word rng);
+  Tree.Builder.close_element b;
+  let n = Prng.int_in rng 1 2 in
+  for _ = 1 to n do
+    ignore
+      (Tree.Builder.leaf b "incategory"
+         (Printf.sprintf "category%d" (Prng.int rng (max 1 n_categories))))
+  done;
+  if Prng.bool rng ~p:0.3 then begin
+    ignore (Tree.Builder.open_element b "mailbox");
+    let mails = Prng.int_in rng 1 2 in
+    for _ = 1 to mails do
+      ignore (Tree.Builder.open_element b "mail");
+      ignore (Tree.Builder.leaf b "from" (word rng));
+      ignore (Tree.Builder.leaf b "to" (word rng));
+      ignore (Tree.Builder.leaf b "date" "01/01/2004");
+      gen_text b rng cfg;
+      Tree.Builder.close_element b
+    done;
+    Tree.Builder.close_element b
+  end;
+  Tree.Builder.close_element b
+
+let gen_person b rng cfg ~id =
+  ignore cfg;
+  ignore (Tree.Builder.open_element b "person");
+  ignore (Tree.Builder.leaf b "name" (Printf.sprintf "person%d" id));
+  ignore (Tree.Builder.leaf b "emailaddress" (Printf.sprintf "mailto:p%d@example.org" id));
+  if Prng.bool rng ~p:0.5 then
+    ignore (Tree.Builder.leaf b "phone" (string_of_int (Prng.int rng 1000000)));
+  if Prng.bool rng ~p:0.4 then begin
+    ignore (Tree.Builder.open_element b "address");
+    ignore (Tree.Builder.leaf b "street" (word rng));
+    ignore (Tree.Builder.leaf b "city" (word rng));
+    ignore (Tree.Builder.leaf b "country" (word rng));
+    ignore (Tree.Builder.leaf b "zipcode" (string_of_int (Prng.int rng 100000)));
+    Tree.Builder.close_element b
+  end;
+  if Prng.bool rng ~p:0.3 then
+    ignore (Tree.Builder.leaf b "creditcard" (string_of_int (Prng.int rng 10000)));
+  ignore (Tree.Builder.open_element b "profile");
+  let interests = Prng.int_in rng 0 3 in
+  for _ = 1 to interests do
+    ignore (Tree.Builder.leaf b "interest" (word rng))
+  done;
+  ignore (Tree.Builder.leaf b "business" (if Prng.bool rng ~p:0.5 then "Yes" else "No"));
+  if Prng.bool rng ~p:0.6 then
+    ignore (Tree.Builder.leaf b "age" (string_of_int (Prng.int_in rng 18 80)));
+  Tree.Builder.close_element b;
+  Tree.Builder.close_element b
+
+let gen_open_auction b rng cfg ~n_items ~n_persons ~id =
+  ignore (Tree.Builder.open_element b "open_auction");
+  ignore (Tree.Builder.leaf b "initial" (string_of_int (Prng.int_in rng 1 100)));
+  if Prng.bool rng ~p:0.4 then
+    ignore (Tree.Builder.leaf b "reserve" (string_of_int (Prng.int_in rng 50 500)));
+  let bidders = Prng.int_in rng 0 3 in
+  for _ = 1 to bidders do
+    ignore (Tree.Builder.open_element b "bidder");
+    ignore (Tree.Builder.leaf b "date" "02/02/2004");
+    ignore (Tree.Builder.leaf b "personref" (Printf.sprintf "person%d" (Prng.int rng (max 1 n_persons))));
+    ignore (Tree.Builder.leaf b "increase" (string_of_int (Prng.int_in rng 1 50)));
+    Tree.Builder.close_element b
+  done;
+  ignore (Tree.Builder.leaf b "current" (string_of_int (Prng.int_in rng 1 1000)));
+  ignore (Tree.Builder.leaf b "itemref" (Printf.sprintf "item%d" (Prng.int rng (max 1 n_items))));
+  ignore (Tree.Builder.leaf b "seller" (Printf.sprintf "person%d" (Prng.int rng (max 1 n_persons))));
+  ignore (Tree.Builder.open_element b "annotation");
+  ignore (Tree.Builder.leaf b "author" (Printf.sprintf "person%d" (Prng.int rng (max 1 n_persons))));
+  gen_description b rng cfg;
+  ignore (Tree.Builder.leaf b "happiness" (string_of_int (Prng.int_in rng 1 10)));
+  Tree.Builder.close_element b;
+  ignore (Tree.Builder.leaf b "quantity" (string_of_int (Prng.int_in rng 1 5)));
+  ignore (Tree.Builder.leaf b "type" (if Prng.bool rng ~p:0.5 then "Regular" else "Featured"));
+  ignore (Tree.Builder.open_element b "interval");
+  ignore (Tree.Builder.leaf b "start" "01/01/2004");
+  ignore (Tree.Builder.leaf b "end" "12/31/2004");
+  Tree.Builder.close_element b;
+  ignore id;
+  Tree.Builder.close_element b
+
+let gen_closed_auction b rng cfg ~n_items ~n_persons =
+  ignore (Tree.Builder.open_element b "closed_auction");
+  ignore (Tree.Builder.leaf b "seller" (Printf.sprintf "person%d" (Prng.int rng (max 1 n_persons))));
+  ignore (Tree.Builder.leaf b "buyer" (Printf.sprintf "person%d" (Prng.int rng (max 1 n_persons))));
+  ignore (Tree.Builder.leaf b "itemref" (Printf.sprintf "item%d" (Prng.int rng (max 1 n_items))));
+  ignore (Tree.Builder.leaf b "price" (string_of_int (Prng.int_in rng 1 1000)));
+  ignore (Tree.Builder.leaf b "date" "03/03/2004");
+  ignore (Tree.Builder.leaf b "quantity" (string_of_int (Prng.int_in rng 1 5)));
+  ignore (Tree.Builder.leaf b "type" (if Prng.bool rng ~p:0.5 then "Regular" else "Featured"));
+  ignore (Tree.Builder.open_element b "annotation");
+  ignore (Tree.Builder.leaf b "author" (Printf.sprintf "person%d" (Prng.int rng (max 1 n_persons))));
+  gen_description b rng cfg;
+  ignore (Tree.Builder.leaf b "happiness" (string_of_int (Prng.int_in rng 1 10)));
+  Tree.Builder.close_element b;
+  Tree.Builder.close_element b
+
+(** Generate a document.  Derived entity counts follow XMark's rough
+    proportions: one person per item, one open auction per two items, one
+    closed auction per four, one category per twenty. *)
+let generate ?(config = default_config) () =
+  let rng = Prng.create config.seed in
+  let b = Tree.Builder.create () in
+  let n_items = max 6 config.items in
+  let n_persons = n_items in
+  let n_open = max 1 (n_items / 2) in
+  let n_closed = max 1 (n_items / 4) in
+  let n_categories = max 1 (n_items / 20) in
+  ignore (Tree.Builder.open_element b "site");
+  (* regions *)
+  ignore (Tree.Builder.open_element b "regions");
+  let item_id = ref 0 in
+  List.iter
+    (fun (region, share) ->
+      ignore (Tree.Builder.open_element b region);
+      let count = max 1 (int_of_float (float_of_int n_items *. share)) in
+      for _ = 1 to count do
+        gen_item b rng config ~id:!item_id ~n_categories;
+        incr item_id
+      done;
+      Tree.Builder.close_element b)
+    regions_split;
+  Tree.Builder.close_element b;
+  (* categories *)
+  ignore (Tree.Builder.open_element b "categories");
+  for _ = 1 to n_categories do
+    ignore (Tree.Builder.open_element b "category");
+    ignore (Tree.Builder.leaf b "name" (word rng));
+    gen_description b rng config;
+    Tree.Builder.close_element b
+  done;
+  Tree.Builder.close_element b;
+  (* catgraph *)
+  ignore (Tree.Builder.open_element b "catgraph");
+  for _ = 1 to n_categories do
+    ignore (Tree.Builder.open_element b "edge");
+    ignore (Tree.Builder.leaf b "from" (Printf.sprintf "category%d" (Prng.int rng n_categories)));
+    ignore (Tree.Builder.leaf b "to" (Printf.sprintf "category%d" (Prng.int rng n_categories)));
+    Tree.Builder.close_element b
+  done;
+  Tree.Builder.close_element b;
+  (* people *)
+  ignore (Tree.Builder.open_element b "people");
+  for id = 0 to n_persons - 1 do
+    gen_person b rng config ~id
+  done;
+  Tree.Builder.close_element b;
+  (* open auctions *)
+  ignore (Tree.Builder.open_element b "open_auctions");
+  for id = 0 to n_open - 1 do
+    gen_open_auction b rng config ~n_items ~n_persons ~id
+  done;
+  Tree.Builder.close_element b;
+  (* closed auctions *)
+  ignore (Tree.Builder.open_element b "closed_auctions");
+  for _ = 1 to n_closed do
+    gen_closed_auction b rng config ~n_items ~n_persons
+  done;
+  Tree.Builder.close_element b;
+  Tree.Builder.close_element b;
+  Tree.Builder.finish b
+
+(** Generate a document with approximately [n] nodes (within ~15%). *)
+let generate_nodes ?(seed = 42) n =
+  (* Calibrate items per node empirically: one item contributes ~45 nodes
+     of document across regions/people/auctions. *)
+  let items = max 6 (n / 45) in
+  generate ~config:{ default_config with seed; items } ()
+
+(** The paper's six benchmark queries (Table 1).  Q3 is printed in the
+    paper as category/name[description/text/bold]; since [name] has no
+    element content in XMark that query is empty on any XMark instance,
+    and §5.2 describes Q3 as "a single path", so we use the single-path
+    reading — see EXPERIMENTS.md. *)
+let queries =
+  [
+    ("Q1", "/site/regions/africa/item[location][name][quantity]");
+    ("Q2", "/site/categories/category[name]/description/text/bold");
+    ("Q3", "/site/categories/category/description/text/bold");
+    ("Q4", "//parlist//parlist");
+    ("Q5", "//listitem//keyword");
+    ("Q6", "//item//emph");
+  ]

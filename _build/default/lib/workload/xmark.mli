@@ -1,0 +1,24 @@
+(** XMark-like auction-site document generator (the paper evaluates on
+    XMark instances, §5).  The tag vocabulary and nesting follow the
+    XMark auction DTD closely enough that the six benchmark queries of
+    Table 1 traverse the same paths.  Fully deterministic under an
+    explicit seed. *)
+
+type config = {
+  seed : int;
+  items : int;               (** total items across the six regions *)
+  max_parlist_depth : int;   (** recursion cap for parlist/listitem *)
+  words_per_text : int;
+}
+
+val default_config : config
+
+(** Generate a document. *)
+val generate : ?config:config -> unit -> Dolx_xml.Tree.t
+
+(** Generate a document with approximately [n] nodes (within ~15%). *)
+val generate_nodes : ?seed:int -> int -> Dolx_xml.Tree.t
+
+(** The paper's six benchmark queries, as (id, XPath) pairs.  Q3 uses
+    the single-path reading — see EXPERIMENTS.md. *)
+val queries : (string * string) list

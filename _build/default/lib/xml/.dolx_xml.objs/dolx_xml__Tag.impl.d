@@ -1,0 +1,1 @@
+lib/xml/tag.ml: Array Hashtbl

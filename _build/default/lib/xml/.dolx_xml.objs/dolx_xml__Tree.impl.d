@@ -1,0 +1,1 @@
+lib/xml/tree.ml: Array Buffer Dolx_util List Tag

@@ -1,0 +1,1 @@
+lib/xml/tree_stats.ml: Array Fmt List Tag Tree

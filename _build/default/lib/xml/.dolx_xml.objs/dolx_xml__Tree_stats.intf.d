@@ -1,0 +1,1 @@
+lib/xml/tree_stats.mli: Format Tree

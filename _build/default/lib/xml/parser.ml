@@ -1,0 +1,259 @@
+(** A small XML parser for the subset this system needs.
+
+    Handles: element trees, text content (with the five standard entities
+    and numeric character references), attributes (parsed and exposed as
+    events but not stored in the arena — the paper's data model is
+    element-only, §2), comments, processing instructions, CDATA sections,
+    and an optional XML declaration / DOCTYPE which are skipped.
+
+    The parser is a hand-rolled recursive-descent scanner producing SAX
+    events in document order, which is exactly the access pattern under
+    which a DOL "can be constructed on-the-fly using a single pass"
+    (paper §2). *)
+
+type event =
+  | Start of string * (string * string) list  (** element name, attributes *)
+  | Text of string
+  | End of string
+
+exception Parse_error of { position : int; message : string }
+
+let error pos msg = raise (Parse_error { position = pos; message = msg })
+
+type state = { input : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.input && String.sub st.input st.pos n = s
+
+let expect st s =
+  if looking_at st s then st.pos <- st.pos + String.length s
+  else error st.pos (Printf.sprintf "expected %S" s)
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_space st =
+  while (match peek st with Some c when is_space c -> true | _ -> false) do
+    advance st
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let parse_name st =
+  let start = st.pos in
+  (match peek st with
+  | Some c when is_name_start c -> advance st
+  | _ -> error st.pos "expected a name");
+  while (match peek st with Some c when is_name_char c -> true | _ -> false) do
+    advance st
+  done;
+  String.sub st.input start (st.pos - start)
+
+(* Decode &amp; &lt; &gt; &apos; &quot; and &#NN; / &#xHH; references. *)
+let decode_entity st =
+  expect st "&";
+  let start = st.pos in
+  let limit = min (String.length st.input) (st.pos + 12) in
+  let semi = ref (-1) in
+  (let i = ref st.pos in
+   while !semi < 0 && !i < limit do
+     if st.input.[!i] = ';' then semi := !i;
+     incr i
+   done);
+  if !semi < 0 then error start "unterminated entity reference";
+  let body = String.sub st.input start (!semi - start) in
+  st.pos <- !semi + 1;
+  match body with
+  | "amp" -> "&"
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "apos" -> "'"
+  | "quot" -> "\""
+  | _ ->
+      if String.length body > 1 && body.[0] = '#' then begin
+        let code =
+          try
+            if body.[1] = 'x' || body.[1] = 'X' then
+              int_of_string ("0x" ^ String.sub body 2 (String.length body - 2))
+            else int_of_string (String.sub body 1 (String.length body - 1))
+          with _ -> error start "bad character reference"
+        in
+        if code < 0x80 then String.make 1 (Char.chr code)
+        else begin
+          (* Encode as UTF-8. *)
+          let buf = Buffer.create 4 in
+          let add b = Buffer.add_char buf (Char.chr b) in
+          if code < 0x800 then begin
+            add (0xC0 lor (code lsr 6));
+            add (0x80 lor (code land 0x3F))
+          end
+          else if code < 0x10000 then begin
+            add (0xE0 lor (code lsr 12));
+            add (0x80 lor ((code lsr 6) land 0x3F));
+            add (0x80 lor (code land 0x3F))
+          end
+          else begin
+            add (0xF0 lor (code lsr 18));
+            add (0x80 lor ((code lsr 12) land 0x3F));
+            add (0x80 lor ((code lsr 6) land 0x3F));
+            add (0x80 lor (code land 0x3F))
+          end;
+          Buffer.contents buf
+        end
+      end
+      else error start ("unknown entity &" ^ body ^ ";")
+
+let parse_attr_value st =
+  let quote =
+    match peek st with
+    | Some (('"' | '\'') as q) -> advance st; q
+    | _ -> error st.pos "expected quoted attribute value"
+  in
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st.pos "unterminated attribute value"
+    | Some c when c = quote -> advance st
+    | Some '&' -> Buffer.add_string buf (decode_entity st); go ()
+    | Some c -> Buffer.add_char buf c; advance st; go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_attributes st =
+  let rec go acc =
+    skip_space st;
+    match peek st with
+    | Some c when is_name_start c ->
+        let name = parse_name st in
+        skip_space st;
+        expect st "=";
+        skip_space st;
+        let value = parse_attr_value st in
+        go ((name, value) :: acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+let skip_until st marker =
+  let idx =
+    try
+      let rec find i =
+        if looking_at { st with pos = i } marker then i
+        else if i >= String.length st.input then raise Not_found
+        else find (i + 1)
+      in
+      find st.pos
+    with Not_found -> error st.pos ("unterminated construct, expected " ^ marker)
+  in
+  st.pos <- idx + String.length marker
+
+(** Run the parser, invoking [emit] on each event in document order. *)
+let parse_events input emit =
+  let st = { input; pos = 0 } in
+  let depth = ref 0 in
+  let seen_root = ref false in
+  let text_buf = Buffer.create 64 in
+  let flush_text () =
+    if Buffer.length text_buf > 0 then begin
+      let s = Buffer.contents text_buf in
+      Buffer.clear text_buf;
+      if !depth > 0 && String.exists (fun c -> not (is_space c)) s then
+        emit (Text s)
+    end
+  in
+  let rec loop () =
+    match peek st with
+    | None ->
+        flush_text ();
+        if !depth > 0 then error st.pos "unexpected end of input"
+        else if not !seen_root then error st.pos "no root element"
+    | Some '<' ->
+        flush_text ();
+        if looking_at st "<!--" then begin
+          skip_until st "-->";
+          loop ()
+        end
+        else if looking_at st "<![CDATA[" then begin
+          st.pos <- st.pos + 9;
+          let start = st.pos in
+          skip_until st "]]>";
+          if !depth > 0 then
+            emit (Text (String.sub st.input start (st.pos - 3 - start)));
+          loop ()
+        end
+        else if looking_at st "<?" then begin
+          skip_until st "?>";
+          loop ()
+        end
+        else if looking_at st "<!" then begin
+          (* DOCTYPE without internal subset *)
+          skip_until st ">";
+          loop ()
+        end
+        else if looking_at st "</" then begin
+          st.pos <- st.pos + 2;
+          let name = parse_name st in
+          skip_space st;
+          expect st ">";
+          if !depth = 0 then error st.pos "close tag without open";
+          decr depth;
+          emit (End name);
+          loop ()
+        end
+        else begin
+          advance st;
+          let name = parse_name st in
+          let attrs = parse_attributes st in
+          skip_space st;
+          if !seen_root && !depth = 0 then error st.pos "multiple root elements";
+          seen_root := true;
+          if looking_at st "/>" then begin
+            st.pos <- st.pos + 2;
+            emit (Start (name, attrs));
+            emit (End name)
+          end
+          else begin
+            expect st ">";
+            emit (Start (name, attrs));
+            incr depth
+          end;
+          loop ()
+        end
+    | Some '&' ->
+        Buffer.add_string text_buf (decode_entity st);
+        loop ()
+    | Some c ->
+        Buffer.add_char text_buf c;
+        advance st;
+        loop ()
+  in
+  loop ()
+
+(** Parse a document string into an arena tree.  Element-name mismatches
+    between open and close tags are rejected. *)
+let parse ?table input =
+  let b = Tree.Builder.create ?table () in
+  let stack = ref [] in
+  parse_events input (function
+    | Start (name, _attrs) ->
+        ignore (Tree.Builder.open_element b name);
+        stack := name :: !stack
+    | Text s -> Tree.Builder.add_text b s
+    | End name -> (
+        match !stack with
+        | top :: rest when top = name ->
+            stack := rest;
+            Tree.Builder.close_element b
+        | top :: _ ->
+            error 0 (Printf.sprintf "mismatched close tag </%s>, open was <%s>" name top)
+        | [] -> error 0 "close tag without open"));
+  Tree.Builder.finish b

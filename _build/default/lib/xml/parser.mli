@@ -1,0 +1,25 @@
+(** XML parser for the subset this system needs: element trees, text
+    content (standard entities + numeric character references),
+    attributes (delivered as events, not stored — the paper's data model
+    is element-only), comments, PIs, CDATA, XML declaration / DOCTYPE
+    skipping.
+
+    Events are produced in document order, which is the access pattern
+    under which a DOL "can be constructed on-the-fly using a single pass"
+    (paper §2). *)
+
+type event =
+  | Start of string * (string * string) list  (** element name, attributes *)
+  | Text of string
+  | End of string
+
+exception Parse_error of { position : int; message : string }
+
+(** Run the parser, invoking [emit] on each event in document order.
+    @raise Parse_error on malformed input. *)
+val parse_events : string -> (event -> unit) -> unit
+
+(** Parse a document string into an arena tree.  Tag-mismatch between
+    open and close tags is rejected.
+    @raise Parse_error on malformed input. *)
+val parse : ?table:Tag.table -> string -> Tree.t

@@ -1,0 +1,45 @@
+(** Element-name interning.
+
+    Tags are interned to dense int ids; trees, indexes and pattern trees
+    all speak ids.  A table is per-document (documents built from the same
+    [Tag.table] share ids, which the tag index relies on). *)
+
+type id = int
+
+type table = {
+  by_name : (string, id) Hashtbl.t;
+  mutable names : string array;
+  mutable count : int;
+}
+
+let create () = { by_name = Hashtbl.create 64; names = Array.make 16 ""; count = 0 }
+
+let count t = t.count
+
+(** Intern [name], returning its id (allocating a fresh one if new). *)
+let intern t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some id -> id
+  | None ->
+      let id = t.count in
+      if id >= Array.length t.names then begin
+        let names = Array.make (2 * Array.length t.names) "" in
+        Array.blit t.names 0 names 0 t.count;
+        t.names <- names
+      end;
+      t.names.(id) <- name;
+      Hashtbl.replace t.by_name name id;
+      t.count <- id + 1;
+      id
+
+(** Lookup without interning. *)
+let find_opt t name = Hashtbl.find_opt t.by_name name
+
+let name t id =
+  if id < 0 || id >= t.count then invalid_arg "Tag.name: unknown id";
+  t.names.(id)
+
+let iter f t =
+  for id = 0 to t.count - 1 do
+    f id t.names.(id)
+  done

@@ -1,0 +1,24 @@
+(** Element-name interning: dense int ids per distinct tag.
+
+    Trees, indexes and pattern compilation all speak ids; documents built
+    against the same table share them, which the tag index relies on. *)
+
+type id = int
+
+type table
+
+val create : unit -> table
+
+(** Number of distinct interned names. *)
+val count : table -> int
+
+(** Intern [name], allocating a fresh id if new. *)
+val intern : table -> string -> id
+
+(** Lookup without interning. *)
+val find_opt : table -> string -> id option
+
+(** @raise Invalid_argument on an unknown id. *)
+val name : table -> id -> string
+
+val iter : (id -> string -> unit) -> table -> unit

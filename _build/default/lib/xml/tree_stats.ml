@@ -1,0 +1,53 @@
+(** Shape statistics for documents — used to validate that the simulated
+    LiveLink / Unix-FS trees match the shapes the paper reports (avg depth
+    7.9, max depth 19 for LiveLink). *)
+
+type t = {
+  nodes : int;
+  leaves : int;
+  max_depth : int;
+  avg_depth : float;
+  max_fanout : int;
+  avg_fanout : float;          (** over internal nodes *)
+  distinct_tags : int;
+}
+
+let compute tree =
+  let n = Tree.size tree in
+  let depths = Array.make n 0 in
+  let leaves = ref 0 in
+  let max_depth = ref 0 in
+  let sum_depth = ref 0 in
+  let max_fanout = ref 0 in
+  let sum_fanout = ref 0 in
+  let internal = ref 0 in
+  for v = 0 to n - 1 do
+    let p = Tree.parent tree v in
+    depths.(v) <- (if p = Tree.nil then 0 else depths.(p) + 1);
+    if depths.(v) > !max_depth then max_depth := depths.(v);
+    sum_depth := !sum_depth + depths.(v);
+    if Tree.is_leaf tree v then incr leaves
+    else begin
+      incr internal;
+      let fanout = List.length (Tree.children tree v) in
+      sum_fanout := !sum_fanout + fanout;
+      if fanout > !max_fanout then max_fanout := fanout
+    end
+  done;
+  {
+    nodes = n;
+    leaves = !leaves;
+    max_depth = !max_depth;
+    avg_depth = float_of_int !sum_depth /. float_of_int n;
+    max_fanout = !max_fanout;
+    avg_fanout =
+      (if !internal = 0 then 0.0
+       else float_of_int !sum_fanout /. float_of_int !internal);
+    distinct_tags = Tag.count (Tree.tag_table tree);
+  }
+
+let pp ppf s =
+  Fmt.pf ppf
+    "nodes=%d leaves=%d max_depth=%d avg_depth=%.2f max_fanout=%d avg_fanout=%.2f tags=%d"
+    s.nodes s.leaves s.max_depth s.avg_depth s.max_fanout s.avg_fanout
+    s.distinct_tags

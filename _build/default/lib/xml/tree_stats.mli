@@ -1,0 +1,17 @@
+(** Shape statistics for documents — used to validate that simulated
+    datasets match the shapes the paper reports (e.g. LiveLink's average
+    depth 7.9, maximum 19). *)
+
+type t = {
+  nodes : int;
+  leaves : int;
+  max_depth : int;
+  avg_depth : float;
+  max_fanout : int;
+  avg_fanout : float;  (** over internal nodes *)
+  distinct_tags : int;
+}
+
+val compute : Tree.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/fixtures.ml: Alcotest Array Dolx_util Dolx_xml QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/reference.ml: Dolx_nok Dolx_xml Fun List

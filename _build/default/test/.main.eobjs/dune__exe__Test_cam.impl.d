@@ -1,0 +1,1 @@
+test/test_cam.ml: Alcotest Array Dolx_cam Dolx_core Dolx_util Dolx_workload Dolx_xml Fixtures Printf QCheck2

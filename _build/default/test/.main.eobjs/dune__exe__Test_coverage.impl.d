@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Array Bytes Dolx_core Dolx_index Dolx_nok Dolx_policy Dolx_storage Dolx_util Dolx_xml Fixtures Fmt List Option String

@@ -1,0 +1,1 @@
+test/test_dol.ml: Alcotest Array Dolx_core Dolx_policy Dolx_util Dolx_xml Fixtures Fun List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_ext.ml: Alcotest Array Dolx_core Dolx_index Dolx_nok Dolx_policy Dolx_util Dolx_workload Dolx_xml Fixtures Fun List Printf QCheck2 Reference

@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Array Dolx_core Dolx_index Dolx_nok Dolx_util Dolx_xml Fixtures Int List Map Option QCheck2

@@ -1,0 +1,1 @@
+test/test_nok.ml: Alcotest Array Dolx_core Dolx_index Dolx_nok Dolx_policy Dolx_util Dolx_workload Dolx_xml Fixtures List Option Printexc Printf QCheck2 Reference

@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Array Bytes Dolx_core Dolx_index Dolx_nok Dolx_policy Dolx_storage Dolx_util Dolx_workload Dolx_xml Filename Fixtures Fun List Option Printf QCheck2 Sys

@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Array Dolx_core Dolx_policy Dolx_util Dolx_xml Fixtures List Printf QCheck2

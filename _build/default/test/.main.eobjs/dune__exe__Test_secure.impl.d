@@ -1,0 +1,1 @@
+test/test_secure.ml: Alcotest Array Dolx_core Dolx_index Dolx_nok Dolx_storage Dolx_util Dolx_workload Dolx_xml Fixtures List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Bytes Dolx_core Dolx_storage Dolx_util Dolx_xml Fixtures Fun List Printf QCheck2

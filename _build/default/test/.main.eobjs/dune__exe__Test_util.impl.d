@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Dolx_util Fixtures Float Fun List QCheck2

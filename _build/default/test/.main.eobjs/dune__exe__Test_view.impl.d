@@ -1,0 +1,1 @@
+test/test_view.ml: Alcotest Array Dolx_core Dolx_policy Dolx_util Dolx_xml Fixtures Fun List Option Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Dolx_core Dolx_index Dolx_nok Dolx_policy Dolx_util Dolx_workload Dolx_xml Fixtures Float Fmt Fun List Printf

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Dolx_util Dolx_xml Fixtures List QCheck2

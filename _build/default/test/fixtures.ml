@@ -1,0 +1,73 @@
+(** Shared test fixtures and generators. *)
+
+module Tree = Dolx_xml.Tree
+module Prng = Dolx_util.Prng
+
+(* The data tree of the paper's Figure 2:
+   (a(b)(c)(d)(e(f)(g)(h(i)(j)(k)(l)))) *)
+let figure2_tree () =
+  Tree.of_spec
+    (Tree.El
+       ( "a",
+         [
+           Tree.El ("b", []);
+           Tree.El ("c", []);
+           Tree.El ("d", []);
+           Tree.El
+             ( "e",
+               [
+                 Tree.El ("f", []);
+                 Tree.El ("g", []);
+                 Tree.El
+                   ("h", [ Tree.El ("i", []); Tree.El ("j", []); Tree.El ("k", []); Tree.El ("l", []) ]);
+               ] );
+         ] ))
+
+(* A small document with repeated tags, for query tests. *)
+let library_tree () =
+  let book title author =
+    Tree.El ("book", [ Tree.Elt ("title", title, []); Tree.Elt ("author", author, []) ])
+  in
+  Tree.of_spec
+    (Tree.El
+       ( "library",
+         [
+           Tree.El
+             ( "shelf",
+               [
+                 book "ocaml" "milner";
+                 book "xml" "codd";
+                 Tree.El ("box", [ book "secrets" "anon" ]);
+               ] );
+           Tree.El ("shelf", [ book "joins" "codd" ]);
+         ] ))
+
+(* Deterministic random tree with [n] nodes: random parent attachment
+   biased toward recent nodes (gives realistic depth). *)
+let random_tree rng n =
+  let n = max 1 n in
+  let tags = [| "a"; "b"; "c"; "d" |] in
+  let b = Tree.Builder.create () in
+  (* build a random shape via a recursive budget split *)
+  let rec go budget depth =
+    (* open one node, spend the rest on children *)
+    ignore (Tree.Builder.open_element b (Prng.choose rng tags));
+    let remaining = ref (budget - 1) in
+    while !remaining > 0 do
+      let child_budget = 1 + Prng.int rng !remaining in
+      let child_budget = if depth > 30 then 1 else child_budget in
+      go child_budget (depth + 1);
+      remaining := !remaining - child_budget
+    done;
+    Tree.Builder.close_element b
+  in
+  go n 0;
+  Tree.Builder.finish b
+
+let random_bools rng n p = Array.init n (fun _ -> Prng.bool rng ~p)
+
+(* Alcotest testable for int lists *)
+let int_list = Alcotest.(list int)
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)

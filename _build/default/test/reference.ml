@@ -1,0 +1,84 @@
+(** A naive, obviously-correct twig-query evaluator used as an oracle for
+    the NoK engine.  It works directly on the in-memory tree with an
+    accessibility predicate, enumerating candidates exhaustively — no
+    index, no paging, no structural join. *)
+
+module Tree = Dolx_xml.Tree
+module Pattern = Dolx_nok.Pattern
+
+type semantics =
+  | Any                       (* no access control *)
+  | Bound of (int -> bool)    (* Cho et al.: bound nodes accessible *)
+  | Path of (int -> bool)     (* Gabillon-Bruno: + connecting paths *)
+
+let access = function Any -> fun _ -> true | Bound f | Path f -> f
+
+let test_ok tree (p : Pattern.pnode) v =
+  (match p.Pattern.test with
+  | Pattern.Wildcard -> true
+  | Pattern.Tag name -> Tree.tag_name tree v = name)
+  && match p.Pattern.value with None -> true | Some s -> Tree.text tree v = s
+
+(* Candidate bindings for pattern node [p] relative to context [ctx]. *)
+let axis_candidates tree sem (p : Pattern.pnode) ctx =
+  match p.Pattern.axis with
+  | Pattern.Child -> Tree.children tree ctx
+  | Pattern.Following_sibling ->
+      let rec later u acc =
+        if u = Tree.nil then List.rev acc else later (Tree.next_sibling tree u) (u :: acc)
+      in
+      later (Tree.next_sibling tree ctx) []
+  | Pattern.Descendant ->
+      let last = Tree.subtree_end tree ctx in
+      let ok_path u =
+        match sem with
+        | Path f ->
+            (* all nodes strictly between ctx and u must be accessible *)
+            let rec up v = v = ctx || (f v && up (Tree.parent tree v)) in
+            up (Tree.parent tree u)
+        | Any | Bound _ -> true
+      in
+      List.filter ok_path (List.init (last - ctx) (fun i -> ctx + 1 + i))
+
+(* Does [v], bound to [p], satisfy p's test/value/access and all its
+   pattern children existentially? *)
+let rec sat tree sem (p : Pattern.pnode) v =
+  test_ok tree p v
+  && access sem v
+  && List.for_all
+       (fun c -> List.exists (fun u -> sat tree sem c u) (axis_candidates tree sem c v))
+       p.Pattern.children
+
+(** All bindings of the returning node, in document order. *)
+let eval tree sem (pattern : Pattern.t) =
+  let trunk = Pattern.trunk pattern in
+  let trunk_ids = List.map (fun (p : Pattern.pnode) -> p.Pattern.id) trunk in
+  let preds (p : Pattern.pnode) =
+    List.filter (fun (c : Pattern.pnode) -> not (List.mem c.Pattern.id trunk_ids)) p.Pattern.children
+  in
+  let node_ok (p : Pattern.pnode) v =
+    test_ok tree p v
+    && access sem v
+    && List.for_all
+         (fun c -> List.exists (fun u -> sat tree sem c u) (axis_candidates tree sem c v))
+         (preds p)
+  in
+  match trunk with
+  | [] -> []
+  | first :: rest ->
+      let all_nodes = List.init (Tree.size tree) Fun.id in
+      let start =
+        match first.Pattern.axis with
+        | Pattern.Child -> List.filter (node_ok first) [ Tree.root ]
+        | Pattern.Following_sibling -> invalid_arg "Reference: leading following-sibling"
+        | Pattern.Descendant ->
+            (* leading // from the document: no path constraint above *)
+            List.filter (node_ok first) all_nodes
+      in
+      let step bindings (p : Pattern.pnode) =
+        List.sort_uniq compare
+          (List.concat_map
+             (fun v -> List.filter (node_ok p) (axis_candidates tree sem p v))
+             bindings)
+      in
+      List.sort_uniq compare (List.fold_left step start rest)

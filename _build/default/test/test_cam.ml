@@ -1,0 +1,129 @@
+(** Tests for the CAM baseline: correctness of lookup against the input
+    accessibility vector, optimality sanity bounds, and the default-deny
+    asymmetry the paper observes in Fig. 4. *)
+
+module Tree = Dolx_xml.Tree
+module Cam = Dolx_cam.Cam
+module Dol = Dolx_core.Dol
+module Prng = Dolx_util.Prng
+
+let check = Alcotest.check
+
+let verify _tree acc cam =
+  Array.iteri
+    (fun v expected ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d" v)
+        expected (Cam.accessible cam v))
+    acc
+
+let test_all_inaccessible_zero_labels () =
+  let tree = Fixtures.figure2_tree () in
+  let acc = Array.make (Tree.size tree) false in
+  let cam = Cam.build tree acc in
+  check Alcotest.int "no labels needed under default deny" 0 (Cam.label_count cam);
+  verify tree acc cam
+
+let test_all_accessible_one_label () =
+  let tree = Fixtures.figure2_tree () in
+  let acc = Array.make (Tree.size tree) true in
+  let cam = Cam.build tree acc in
+  check Alcotest.int "one self+desc label at the root" 1 (Cam.label_count cam);
+  verify tree acc cam
+
+let test_single_subtree () =
+  let tree = Fixtures.figure2_tree () in
+  let acc = Array.make (Tree.size tree) false in
+  for v = 4 to 11 do
+    acc.(v) <- true
+  done;
+  let cam = Cam.build tree acc in
+  check Alcotest.int "one label covers subtree e" 1 (Cam.label_count cam);
+  verify tree acc cam
+
+let test_subtree_with_hole () =
+  let tree = Fixtures.figure2_tree () in
+  let acc = Array.make (Tree.size tree) false in
+  for v = 4 to 11 do
+    acc.(v) <- true
+  done;
+  acc.(7) <- false (* h inaccessible, its children accessible *);
+  let cam = Cam.build tree acc in
+  (* needs the subtree label plus a self-override at h *)
+  check Alcotest.int "two labels" 2 (Cam.label_count cam);
+  verify tree acc cam
+
+let test_figure1_example () =
+  let tree = Fixtures.figure2_tree () in
+  let acc = [| false; true; true; true; false; false; false; true; true; true; true; true |] in
+  let cam = Cam.build tree acc in
+  verify tree acc cam;
+  (* b, c, d accessible (3 self labels or sibling coverage) + h subtree *)
+  Alcotest.(check bool) "at most 4 labels" true (Cam.label_count cam <= 4)
+
+let naive_mso_count tree acc =
+  (* labels where accessibility differs from parent's, under a default-
+     deny virtual parent of the root: an upper bound CAM must beat *)
+  let count = ref 0 in
+  Tree.iter
+    (fun v ->
+      let inherited = if v = Tree.root then false else acc.(Tree.parent tree v) in
+      if acc.(v) <> inherited then incr count)
+    tree;
+  !count
+
+let prop_cam_correct_and_no_worse_than_mso =
+  Fixtures.qtest ~count:150 "CAM lookup correct; size <= naive MSO labeling"
+    QCheck2.Gen.(triple (int_bound 100_000) (int_range 1 150) (int_range 1 9))
+    (fun (seed, n, p10) ->
+      let rng = Prng.create seed in
+      let tree = Fixtures.random_tree rng n in
+      let acc = Fixtures.random_bools rng n (float_of_int p10 /. 10.0) in
+      let cam = Cam.build tree acc in
+      let ok = ref true in
+      Array.iteri (fun v e -> if Cam.accessible cam v <> e then ok := false) acc;
+      !ok && Cam.label_count cam <= naive_mso_count tree acc)
+
+let test_fig4_direction () =
+  (* Fig. 4(a)'s qualitative content: in node counts a single-subject CAM
+     is smaller than the DOL transition list (ratios < 1 favour CAM), and
+     DOL's transition count is symmetric around 50% accessibility.  Use
+     the paper's synthetic generator (propagated seeds, not iid labels). *)
+  let tree = Dolx_workload.Xmark.generate_nodes ~seed:3 4000 in
+  let measure acc_ratio =
+    let params =
+      { Dolx_workload.Synth_acl.propagation_ratio = 0.1;
+        accessibility_ratio = acc_ratio; sibling_copy_p = 0.5 }
+    in
+    let bools = Dolx_workload.Synth_acl.generate_bool tree ~params (Prng.create 99) in
+    (Cam.label_count (Cam.build tree bools), Dol.transition_count (Dol.of_bool_array bools))
+  in
+  let cam_lo, dol_lo = measure 0.1 in
+  let cam_mid, dol_mid = measure 0.5 in
+  let cam_hi, dol_hi = measure 0.9 in
+  ignore cam_mid;
+  Alcotest.(check bool) "CAM <= DOL transitions at 10%" true (cam_lo <= dol_lo);
+  Alcotest.(check bool) "CAM <= DOL transitions at 50%" true (cam_mid <= dol_mid);
+  Alcotest.(check bool) "CAM <= DOL transitions at 90%" true (cam_hi <= dol_hi);
+  (* DOL transitions peak near 50% accessibility *)
+  Alcotest.(check bool) "DOL peaks mid" true (dol_mid >= dol_lo && dol_mid >= dol_hi)
+
+let test_storage_accounting () =
+  let tree = Fixtures.figure2_tree () in
+  let acc = Array.make (Tree.size tree) true in
+  let cam = Cam.build tree acc in
+  check Alcotest.int "paper accounting: 2 bytes per label" 2
+    (Cam.accounting_bytes ~pointer_bytes:1 cam);
+  check Alcotest.int "realistic accounting" 13 (Cam.storage_bytes cam)
+
+let suite =
+  [
+    Alcotest.test_case "all inaccessible -> 0 labels" `Quick test_all_inaccessible_zero_labels;
+    Alcotest.test_case "all accessible -> 1 label" `Quick test_all_accessible_one_label;
+    Alcotest.test_case "single subtree -> 1 label" `Quick test_single_subtree;
+    Alcotest.test_case "subtree with hole -> 2 labels" `Quick test_subtree_with_hole;
+    Alcotest.test_case "figure 1(a) data" `Quick test_figure1_example;
+    prop_cam_correct_and_no_worse_than_mso;
+    Alcotest.test_case "fig 4 direction" `Quick test_fig4_direction;
+    Alcotest.test_case "storage accounting" `Quick test_storage_accounting;
+  ]

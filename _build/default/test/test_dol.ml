@@ -1,0 +1,390 @@
+(** Tests for the DOL core: construction, lookup, codebook, streaming,
+    updates and Proposition 1. *)
+
+module Tree = Dolx_xml.Tree
+module Dol = Dolx_core.Dol
+module Codebook = Dolx_core.Codebook
+module Update = Dolx_core.Update
+module Labeling = Dolx_policy.Labeling
+module Acl = Dolx_policy.Acl
+module Bitset = Dolx_util.Bitset
+module Prng = Dolx_util.Prng
+
+let check = Alcotest.check
+
+(* The single-subject example of Figure 1(a): on the figure-2 tree, make
+   nodes b, c, d and the h-subtree accessible. *)
+let figure1_bools = [| false; true; true; true; false; false; false; true; true; true; true; true |]
+
+let test_single_subject_transitions () =
+  let dol = Dol.of_bool_array figure1_bools in
+  (* document order: a(-) b(+) c(+) d(+) e(-) f(-) g(-) h(+) ... l(+)
+     transitions at 0(-), 1(+), 4(-), 7(+) *)
+  check Alcotest.int "transition count" 4 (Dol.transition_count dol);
+  check Fixtures.int_list "transition preorders" [ 0; 1; 4; 7 ]
+    (List.map fst (Dol.transitions dol));
+  Dol.validate dol
+
+let test_lookup_all_nodes () =
+  let dol = Dol.of_bool_array figure1_bools in
+  Array.iteri
+    (fun v expected ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d" v)
+        expected
+        (Dol.accessible dol ~subject:0 v))
+    figure1_bools
+
+let test_root_always_transition () =
+  let dol = Dol.of_bool_array (Array.make 5 true) in
+  check Alcotest.int "uniform doc has exactly one transition" 1 (Dol.transition_count dol);
+  Alcotest.(check bool) "root is transition" true (Dol.is_transition dol 0);
+  Alcotest.(check bool) "node 3 is not" false (Dol.is_transition dol 3)
+
+(* Multi-subject: Figure 1(b)/(c) — two subjects, codebook compression. *)
+let two_subject_labeling () =
+  let store = Acl.create ~width:2 in
+  let code l = Acl.intern store (Bitset.of_list 2 l) in
+  (* node ACLs chosen to exercise repeated codes *)
+  let node_acl =
+    [|
+      code [ 0 ];      (* a: subject 0 only *)
+      code [ 0; 1 ];   (* b *)
+      code [ 0; 1 ];   (* c: same as b -> no transition *)
+      code [ 1 ];      (* d *)
+      code [ 0 ];      (* e: same ACL as a -> code reused *)
+      code [ 0 ];      (* f *)
+      code [ 0; 1 ];   (* g *)
+      code [ 0; 1 ];   (* h *)
+      code [ 1 ];      (* i *)
+      code [ 1 ];      (* j *)
+      code [ 0 ];      (* k *)
+      code [ 0 ];      (* l *)
+    |]
+  in
+  Labeling.create ~store ~node_acl
+
+let test_multi_subject_codebook () =
+  let lab = two_subject_labeling () in
+  let dol = Dol.of_labeling lab in
+  (* transitions at 0,1,3,4,6,8,10 *)
+  check Fixtures.int_list "transitions" [ 0; 1; 3; 4; 6; 8; 10 ]
+    (List.map fst (Dol.transitions dol));
+  (* only 3 distinct ACLs -> 3 codebook entries (paper Fig. 1(c): "the
+     codebook itself contains three entries") *)
+  check Alcotest.int "codebook entries" 3 (Codebook.count (Dol.codebook dol));
+  Dol.verify_against dol lab
+
+let test_streaming_equals_batch () =
+  let lab = two_subject_labeling () in
+  let batch = Dol.of_labeling lab in
+  let b = Dol.Streaming.create ~width:2 in
+  let emitted = ref 0 in
+  for v = 0 to Labeling.size lab - 1 do
+    match Dol.Streaming.push b (Labeling.acl lab v) with
+    | Some _ -> incr emitted
+    | None -> ()
+  done;
+  let streamed = Dol.Streaming.finish b in
+  check Alcotest.int "same transition count" (Dol.transition_count batch)
+    (Dol.transition_count streamed);
+  check Alcotest.int "emitted = transitions" (Dol.transition_count batch) !emitted;
+  check Fixtures.int_list "same preorders"
+    (List.map fst (Dol.transitions batch))
+    (List.map fst (Dol.transitions streamed));
+  Dol.verify_against streamed lab
+
+let prop_dol_agrees_with_labeling =
+  Fixtures.qtest ~count:100 "DOL lookup = labeling on random data"
+    QCheck2.Gen.(triple (int_bound 100_000) (int_range 1 300) (int_range 1 9))
+    (fun (seed, n, p10) ->
+      let rng = Prng.create seed in
+      let bools = Fixtures.random_bools rng n (float_of_int p10 /. 10.0) in
+      let dol = Dol.of_bool_array bools in
+      Dol.validate dol;
+      Array.for_all Fun.id
+        (Array.mapi (fun v b -> Dol.accessible dol ~subject:0 v = b) bools))
+
+let prop_transition_count_is_boundaries =
+  Fixtures.qtest ~count:100 "transition count = boundary count"
+    QCheck2.Gen.(pair (int_bound 100_000) (int_range 1 300))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let bools = Fixtures.random_bools rng n 0.5 in
+      let dol = Dol.of_bool_array bools in
+      let boundaries = ref 1 in
+      for v = 1 to n - 1 do
+        if bools.(v) <> bools.(v - 1) then incr boundaries
+      done;
+      Dol.transition_count dol = !boundaries)
+
+let test_storage_accounting () =
+  let lab = two_subject_labeling () in
+  let dol = Dol.of_labeling lab in
+  (* 3 entries of 1 byte each (2 subjects) *)
+  check Alcotest.int "codebook bytes" 3 (Dol.codebook_bytes dol);
+  (* 7 transitions, 1-byte codes (< 256 entries) *)
+  check Alcotest.int "embedded bytes" 7 (Dol.embedded_bytes dol);
+  check Alcotest.int "total" 10 (Dol.storage_bytes dol);
+  Alcotest.(check (float 1e-9)) "density" (7.0 /. 12.0) (Dol.transition_density dol)
+
+(* --- updates --- *)
+
+let apply_bools_update bools ~lo ~hi b =
+  let out = Array.copy bools in
+  for v = lo to hi do
+    out.(v) <- b
+  done;
+  out
+
+let test_update_set_node () =
+  let bools = Array.copy figure1_bools in
+  let dol = Dol.of_bool_array bools in
+  let before = Dol.transition_count dol in
+  let changed = Update.dol_set_node dol ~subject:0 ~grant:true 5 in
+  Alcotest.(check bool) "changed" true changed;
+  let expected = apply_bools_update bools ~lo:5 ~hi:5 true in
+  Array.iteri
+    (fun v b ->
+      Alcotest.(check bool) (Printf.sprintf "node %d" v) b (Dol.accessible dol ~subject:0 v))
+    expected;
+  Alcotest.(check bool) "proposition 1" true (Dol.transition_count dol <= before + 2);
+  Dol.validate dol
+
+let test_update_set_node_noop () =
+  let dol = Dol.of_bool_array (Array.copy figure1_bools) in
+  let before = Dol.transition_count dol in
+  let changed = Update.dol_set_node dol ~subject:0 ~grant:true 1 in
+  Alcotest.(check bool) "no-op detected" false changed;
+  check Alcotest.int "unchanged" before (Dol.transition_count dol)
+
+let test_update_set_node_merges () =
+  (* setting the single inaccessible node in the middle of an accessible
+     run must *reduce* transitions *)
+  let bools = [| true; true; false; true; true |] in
+  let dol = Dol.of_bool_array bools in
+  check Alcotest.int "3 transitions initially" 3 (Dol.transition_count dol);
+  ignore (Update.dol_set_node dol ~subject:0 ~grant:true 2);
+  check Alcotest.int "collapses to 1" 1 (Dol.transition_count dol);
+  Dol.validate dol
+
+let test_update_set_subtree () =
+  let tree = Fixtures.figure2_tree () in
+  let bools = Array.copy figure1_bools in
+  let dol = Dol.of_bool_array bools in
+  let before = Dol.transition_count dol in
+  (* grant the whole subtree of e (4..11) *)
+  Update.dol_set_subtree dol tree ~subject:0 ~grant:true 4;
+  let expected = apply_bools_update bools ~lo:4 ~hi:11 true in
+  Array.iteri
+    (fun v b ->
+      Alcotest.(check bool) (Printf.sprintf "node %d" v) b (Dol.accessible dol ~subject:0 v))
+    expected;
+  Alcotest.(check bool) "proposition 1" true (Dol.transition_count dol <= before + 2);
+  Dol.validate dol
+
+let prop_update_node_semantics_and_prop1 =
+  Fixtures.qtest ~count:150 "random node updates: semantics + Proposition 1"
+    QCheck2.Gen.(quad (int_bound 100_000) (int_range 1 200) (int_bound 10_000) bool)
+    (fun (seed, n, pos, grant) ->
+      let rng = Prng.create seed in
+      let bools = Fixtures.random_bools rng n 0.5 in
+      let dol = Dol.of_bool_array bools in
+      let before = Dol.transition_count dol in
+      let v = pos mod n in
+      ignore (Update.dol_set_node dol ~subject:0 ~grant v);
+      Dol.validate dol;
+      let expected = apply_bools_update bools ~lo:v ~hi:v grant in
+      Dol.transition_count dol <= before + 2
+      && Array.for_all Fun.id
+           (Array.mapi (fun u b -> Dol.accessible dol ~subject:0 u = b) expected))
+
+let prop_update_range_semantics_and_prop1 =
+  Fixtures.qtest ~count:150 "random range updates: semantics + Proposition 1"
+    QCheck2.Gen.(
+      quad (int_bound 100_000) (int_range 1 200) (pair (int_bound 10_000) (int_bound 10_000)) bool)
+    (fun (seed, n, (a, b), grant) ->
+      let rng = Prng.create seed in
+      let bools = Fixtures.random_bools rng n 0.5 in
+      let dol = Dol.of_bool_array bools in
+      let before = Dol.transition_count dol in
+      let lo = min (a mod n) (b mod n) and hi = max (a mod n) (b mod n) in
+      Update.dol_set_range dol ~subject:0 ~grant ~lo ~hi;
+      Dol.validate dol;
+      let expected = apply_bools_update bools ~lo ~hi grant in
+      Dol.transition_count dol <= before + 2
+      && Array.for_all Fun.id
+           (Array.mapi (fun u x -> Dol.accessible dol ~subject:0 u = x) expected))
+
+let test_update_multi_subject_range_preserves_others () =
+  let lab = two_subject_labeling () in
+  let dol = Dol.of_labeling lab in
+  (* deny subject 1 on range 1..7; subject 0 bits must be untouched *)
+  Update.dol_set_range dol ~subject:1 ~grant:false ~lo:1 ~hi:7;
+  for v = 0 to 11 do
+    Alcotest.(check bool)
+      (Printf.sprintf "subject 0 at %d" v)
+      (Labeling.accessible lab ~subject:0 v)
+      (Dol.accessible dol ~subject:0 v);
+    let expected1 = if v >= 1 && v <= 7 then false else Labeling.accessible lab ~subject:1 v in
+    Alcotest.(check bool) (Printf.sprintf "subject 1 at %d" v) expected1
+      (Dol.accessible dol ~subject:1 v)
+  done
+
+let test_insert_delete_move () =
+  let bools = [| true; true; false; false; true |] in
+  let dol = Dol.of_bool_array bools in
+  let sub_bools = [| false; true |] in
+  let sub = Dol.of_bool_array sub_bools in
+  let t_main = Dol.transition_count dol and t_sub = Dol.transition_count sub in
+  (* insert at position 2 *)
+  let merged = Update.dol_insert dol ~at:2 sub in
+  check Alcotest.int "size" 7 (Dol.n_nodes merged);
+  let expected = [| true; true; false; true; false; false; true |] in
+  Array.iteri
+    (fun v b ->
+      Alcotest.(check bool) (Printf.sprintf "ins node %d" v) b
+        (Dol.accessible merged ~subject:0 v))
+    expected;
+  Alcotest.(check bool) "prop 1 (insert)" true
+    (Dol.transition_count merged <= t_main + t_sub + 2);
+  (* delete the inserted range back out *)
+  let restored = Update.dol_delete merged ~lo:2 ~hi:3 in
+  check Alcotest.int "restored size" 5 (Dol.n_nodes restored);
+  Array.iteri
+    (fun v b ->
+      Alcotest.(check bool) (Printf.sprintf "del node %d" v) b
+        (Dol.accessible restored ~subject:0 v))
+    bools;
+  Dol.validate restored
+
+let prop_insert_then_delete_roundtrip =
+  Fixtures.qtest ~count:100 "insert/delete roundtrip on random data"
+    QCheck2.Gen.(
+      quad (int_bound 100_000) (int_range 2 150) (int_range 1 50) (int_bound 10_000))
+    (fun (seed, n, m, posr) ->
+      let rng = Prng.create seed in
+      let bools = Fixtures.random_bools rng n 0.5 in
+      let sub_bools = Fixtures.random_bools rng m 0.5 in
+      let dol = Dol.of_bool_array bools in
+      let sub = Dol.of_bool_array sub_bools in
+      let at = 1 + (posr mod n) in
+      let t0 = Dol.transition_count dol and ts = Dol.transition_count sub in
+      let merged = Update.dol_insert dol ~at sub in
+      Dol.validate merged;
+      let prop1 = Dol.transition_count merged <= t0 + ts + 2 in
+      (* merged semantics *)
+      let expected v =
+        if v < at then bools.(v)
+        else if v < at + m then sub_bools.(v - at)
+        else bools.(v - m)
+      in
+      let sem_ok = ref true in
+      for v = 0 to n + m - 1 do
+        if Dol.accessible merged ~subject:0 v <> expected v then sem_ok := false
+      done;
+      let restored = Dol.of_bool_array bools in
+      let deleted = Update.dol_delete merged ~lo:at ~hi:(at + m - 1) in
+      Dol.validate deleted;
+      let same = ref true in
+      for v = 0 to n - 1 do
+        if Dol.accessible deleted ~subject:0 v <> Dol.accessible restored ~subject:0 v then
+          same := false
+      done;
+      prop1 && !sem_ok && !same)
+
+let test_move () =
+  let bools = [| true; false; false; true; true; false |] in
+  let dol = Dol.of_bool_array bools in
+  (* move range 1..2 to start at position 3 of the post-delete doc
+     (post-delete = [t; t; t; f], insert at 3 -> [t; t; t; f; f; f]) *)
+  let moved = Update.dol_move dol ~lo:1 ~hi:2 ~at:3 in
+  let expected = [| true; true; true; false; false; false |] in
+  Array.iteri
+    (fun v b ->
+      Alcotest.(check bool) (Printf.sprintf "moved %d" v) b
+        (Dol.accessible moved ~subject:0 v))
+    expected;
+  Dol.validate moved
+
+let test_add_remove_subject () =
+  let lab = two_subject_labeling () in
+  let dol = Dol.of_labeling lab in
+  let entries_before = Codebook.count (Dol.codebook dol) in
+  (* add a subject mirroring subject 1 *)
+  let s2 = Update.add_subject dol ~like:1 () in
+  check Alcotest.int "new subject index" 2 s2;
+  check Alcotest.int "codebook width" 3 (Codebook.width (Dol.codebook dol));
+  check Alcotest.int "entry count unchanged" entries_before
+    (Codebook.count (Dol.codebook dol));
+  for v = 0 to 11 do
+    Alcotest.(check bool)
+      (Printf.sprintf "mirrors subject 1 at %d" v)
+      (Dol.accessible dol ~subject:1 v)
+      (Dol.accessible dol ~subject:s2 v)
+  done;
+  (* remove subject 0; adjacent ACLs may become redundant *)
+  Update.remove_subject dol 0;
+  check Alcotest.int "narrowed" 2 (Codebook.width (Dol.codebook dol));
+  (* old subject 1 is now subject 0 *)
+  Alcotest.(check bool) "old s1 at node 3" true (Dol.accessible dol ~subject:0 3);
+  Alcotest.(check bool) "old s1 at node 0" false (Dol.accessible dol ~subject:0 0);
+  let before_compact = Dol.transition_count dol in
+  Update.compact dol;
+  Alcotest.(check bool) "compact only shrinks" true
+    (Dol.transition_count dol <= before_compact);
+  Dol.validate dol
+
+let prop_compact_preserves_semantics =
+  Fixtures.qtest ~count:80 "compact: same verdicts, never more transitions"
+    QCheck2.Gen.(triple (int_bound 100_000) (int_range 1 150) (int_bound 500))
+    (fun (seed, n, ops_seed) ->
+      let rng = Prng.create seed in
+      let bools = Fixtures.random_bools rng n 0.5 in
+      let dol = Dol.of_bool_array bools in
+      let oprng = Prng.create ops_seed in
+      for _ = 1 to 10 do
+        let v = Prng.int oprng n in
+        ignore (Update.dol_set_node dol ~subject:0 ~grant:(Prng.bool oprng ~p:0.5) v)
+      done;
+      let before_count = Dol.transition_count dol in
+      let before = Array.init n (fun v -> Dol.accessible dol ~subject:0 v) in
+      Update.compact dol;
+      Dol.validate dol;
+      Dol.transition_count dol <= before_count
+      && Array.for_all Fun.id
+           (Array.mapi (fun v b -> Dol.accessible dol ~subject:0 v = b) before))
+
+let test_codebook_code_bytes () =
+  let cb = Codebook.create ~width:1 in
+  for i = 0 to 4 do
+    ignore (Codebook.intern cb (Bitset.of_list 1 (if i mod 2 = 0 then [] else [ 0 ])))
+  done;
+  check Alcotest.int "2 entries" 2 (Codebook.count cb);
+  check Alcotest.int "1-byte codes" 1 (Codebook.code_bytes cb)
+
+let suite =
+  [
+    Alcotest.test_case "figure 1(a) transitions" `Quick test_single_subject_transitions;
+    Alcotest.test_case "lookup all nodes" `Quick test_lookup_all_nodes;
+    Alcotest.test_case "root always transition" `Quick test_root_always_transition;
+    Alcotest.test_case "figure 1(c) codebook" `Quick test_multi_subject_codebook;
+    Alcotest.test_case "streaming = batch" `Quick test_streaming_equals_batch;
+    prop_dol_agrees_with_labeling;
+    prop_transition_count_is_boundaries;
+    Alcotest.test_case "storage accounting" `Quick test_storage_accounting;
+    Alcotest.test_case "update: set node" `Quick test_update_set_node;
+    Alcotest.test_case "update: set node no-op" `Quick test_update_set_node_noop;
+    Alcotest.test_case "update: set node merges" `Quick test_update_set_node_merges;
+    Alcotest.test_case "update: set subtree" `Quick test_update_set_subtree;
+    prop_update_node_semantics_and_prop1;
+    prop_update_range_semantics_and_prop1;
+    Alcotest.test_case "update: multi-subject range" `Quick
+      test_update_multi_subject_range_preserves_others;
+    Alcotest.test_case "update: insert/delete" `Quick test_insert_delete_move;
+    prop_insert_then_delete_roundtrip;
+    Alcotest.test_case "update: move" `Quick test_move;
+    Alcotest.test_case "update: add/remove subject" `Quick test_add_remove_subject;
+    prop_compact_preserves_semantics;
+    Alcotest.test_case "codebook code bytes" `Quick test_codebook_code_bytes;
+  ]

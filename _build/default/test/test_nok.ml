@@ -1,0 +1,500 @@
+(** Tests for the NoK query processor: XPath parsing, decomposition,
+    Algorithm 1, structural joins, and the engine against the naive
+    reference evaluator under all three semantics. *)
+
+module Tree = Dolx_xml.Tree
+module Pattern = Dolx_nok.Pattern
+module Xpath = Dolx_nok.Xpath
+module Decompose = Dolx_nok.Decompose
+module Nok_match = Dolx_nok.Nok_match
+module Structural_join = Dolx_nok.Structural_join
+module Engine = Dolx_nok.Engine
+module Dol = Dolx_core.Dol
+module Store = Dolx_core.Secure_store
+module Tag_index = Dolx_index.Tag_index
+module Labeling = Dolx_policy.Labeling
+module Prng = Dolx_util.Prng
+module Xmark = Dolx_workload.Xmark
+module Synth_acl = Dolx_workload.Synth_acl
+
+let check = Alcotest.check
+
+(* --- XPath parsing --- *)
+
+let test_parse_simple_path () =
+  let p = Xpath.parse "/site/regions/africa" in
+  let trunk = Pattern.trunk p in
+  check Alcotest.int "trunk length" 3 (List.length trunk);
+  let tags =
+    List.map
+      (fun (n : Pattern.pnode) ->
+        match n.Pattern.test with Pattern.Tag t -> t | Pattern.Wildcard -> "*")
+      trunk
+  in
+  check Alcotest.(list string) "tags" [ "site"; "regions"; "africa" ] tags;
+  let returning = Pattern.returning_node p in
+  Alcotest.(check bool) "last is returning" true
+    (returning.Pattern.test = Pattern.Tag "africa")
+
+let test_parse_predicates () =
+  let p = Xpath.parse "/site/regions/africa/item[location][name][quantity]" in
+  let returning = Pattern.returning_node p in
+  check Alcotest.int "three predicates" 3 (List.length returning.Pattern.children);
+  check Alcotest.int "node count" 7 (Pattern.node_count p)
+
+let test_parse_descendant_and_wildcard () =
+  let p = Xpath.parse "//listitem//keyword" in
+  let trunk = Pattern.trunk p in
+  check Alcotest.int "two steps" 2 (List.length trunk);
+  List.iter
+    (fun (n : Pattern.pnode) ->
+      Alcotest.(check bool) "descendant axis" true (n.Pattern.axis = Pattern.Descendant))
+    trunk;
+  let w = Xpath.parse "/a/*/b" in
+  check Alcotest.int "wildcard trunk" 3 (List.length (Pattern.trunk w))
+
+let test_parse_value_predicate () =
+  let p = Xpath.parse "/people/person[name=\"alice\"]/phone" in
+  let trunk = Pattern.trunk p in
+  let person = List.nth trunk 1 in
+  (match person.Pattern.children with
+  | [ name_pred ] -> (
+      match (name_pred.Pattern.test, name_pred.Pattern.value) with
+      | Pattern.Tag "name", Some "alice" -> ()
+      | _ -> Alcotest.fail "wrong predicate")
+  | l ->
+      (* trunk child (phone) is also a child; filter non-trunk *)
+      let non_trunk =
+        List.filter (fun (c : Pattern.pnode) -> c.Pattern.test = Pattern.Tag "name") l
+      in
+      match non_trunk with
+      | [ name_pred ] ->
+          Alcotest.(check (option string)) "value" (Some "alice") name_pred.Pattern.value
+      | _ -> Alcotest.fail "missing predicate");
+  check Alcotest.int "trunk depth" 3 (List.length trunk)
+
+let test_parse_errors () =
+  let fails s =
+    match Xpath.parse s with
+    | exception Xpath.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" s
+  in
+  fails "";
+  fails "site/foo";
+  fails "/site[";
+  fails "/site]extra";
+  fails "/site/";
+  fails "/site[pred"
+
+let test_parse_queries_table1 () =
+  List.iter
+    (fun (name, q) ->
+      match Xpath.parse q with
+      | _ -> ()
+      | exception e -> Alcotest.failf "%s failed to parse: %s" name (Printexc.to_string e))
+    Xmark.queries
+
+(* --- decomposition --- *)
+
+let test_decompose_single_segment () =
+  let p = Xpath.parse "/site/regions/africa/item[location][name]" in
+  let plan = Decompose.plan p in
+  check Alcotest.int "one NoK subtree" 1 (Decompose.segment_count plan);
+  Alcotest.(check bool) "no join" false (Decompose.needs_join plan)
+
+let test_decompose_join_queries () =
+  let plan = Decompose.plan (Xpath.parse "//parlist//parlist") in
+  check Alcotest.int "two segments" 2 (Decompose.segment_count plan);
+  let plan3 = Decompose.plan (Xpath.parse "//a/b//c/d//e") in
+  check Alcotest.int "three segments" 3 (Decompose.segment_count plan3)
+
+(* --- engine vs reference oracle --- *)
+
+let build_secured tree bools =
+  let dol = Dol.of_bool_array bools in
+  let store = Store.create ~page_size:256 ~pool_capacity:64 tree dol in
+  let index = Tag_index.build tree in
+  (store, index)
+
+let compare_engine_to_reference tree bools query =
+  let store, index = build_secured tree bools in
+  let pattern = Xpath.parse query in
+  let acc v = bools.(v) in
+  let cases =
+    [
+      ("insecure", Engine.Insecure, Reference.Any);
+      ("secure", Engine.Secure 0, Reference.Bound acc);
+      ("secure-path", Engine.Secure_path 0, Reference.Path acc);
+    ]
+  in
+  List.iter
+    (fun (label, sem, ref_sem) ->
+      let got = (Engine.run store index pattern sem).Engine.answers in
+      let expected = Reference.eval tree ref_sem pattern in
+      check Fixtures.int_list (Printf.sprintf "%s: %s" query label) expected got)
+    cases
+
+let test_engine_library_queries () =
+  let tree = Fixtures.library_tree () in
+  let n = Tree.size tree in
+  let all = Array.make n true in
+  List.iter
+    (compare_engine_to_reference tree all)
+    [
+      "/library/shelf/book";
+      "/library/shelf/book/title";
+      "//book";
+      "//book/title";
+      "/library//book[author]";
+      "//shelf//title";
+      "/library/shelf/book[author=\"codd\"]/title";
+      "//book[title=\"joins\"]";
+      "/library/*/book";
+      "//box//title";
+    ]
+
+let test_engine_secure_filtering () =
+  let tree = Fixtures.library_tree () in
+  let n = Tree.size tree in
+  let bools = Array.make n true in
+  (* hide the box subtree *)
+  let box = 8 in
+  Alcotest.(check string) "box preorder" "box" (Tree.tag_name tree box);
+  for v = box to Tree.subtree_end tree box do
+    bools.(v) <- false
+  done;
+  List.iter
+    (compare_engine_to_reference tree bools)
+    [ "//book"; "//book/title"; "/library/shelf/book"; "//box//title"; "//shelf//title" ]
+
+let test_engine_path_vs_bound_semantics () =
+  (* inaccessible intermediate node: Cho keeps the answer, path drops it *)
+  let tree = Fixtures.library_tree () in
+  let n = Tree.size tree in
+  let bools = Array.make n true in
+  let box = 8 in
+  bools.(box) <- false (* the box itself; its book stays accessible *);
+  let store, index = build_secured tree bools in
+  let q = "//shelf//title" in
+  let secure = (Engine.query store index q (Engine.Secure 0)).Engine.answers in
+  let path = (Engine.query store index q (Engine.Secure_path 0)).Engine.answers in
+  Alcotest.(check bool) "path semantics strictly smaller" true
+    (List.length path < List.length secure);
+  compare_engine_to_reference tree bools q
+
+let prop_engine_vs_reference_random =
+  Fixtures.qtest ~count:60 "engine = oracle on random trees/ACLs/semantics"
+    QCheck2.Gen.(
+      quad (int_bound 100_000) (int_range 2 120) (int_range 1 9)
+        (int_bound 15))
+    (fun (seed, n, p10, qpick) ->
+      let rng = Prng.create seed in
+      let tree = Fixtures.random_tree rng n in
+      let bools = Fixtures.random_bools rng n (float_of_int p10 /. 10.0) in
+      bools.(0) <- true;
+      let queries =
+        [|
+          "//a"; "//b/c"; "//a//b"; "//a[b]"; "//a/b[c]"; "//b//c//d";
+          "//*[a]"; "//a[b][c]"; "//a[b/c]"; "//a[b//c]"; "//d"; "//c/d";
+          "//a/following-sibling::b[c]"; "//a[following-sibling::b]//c";
+          "//b[c//d]"; "//a/*//b";
+        |]
+      in
+      let q = queries.(qpick) in
+      let store, index = build_secured tree bools in
+      let pattern = Xpath.parse q in
+      let acc v = bools.(v) in
+      let ok sem ref_sem =
+        (Engine.run store index pattern sem).Engine.answers
+        = Reference.eval tree ref_sem pattern
+      in
+      ok Engine.Insecure Reference.Any
+      && ok (Engine.Secure 0) (Reference.Bound acc)
+      && ok (Engine.Secure_path 0) (Reference.Path acc))
+
+let test_header_skip_equivalence () =
+  (* the §3.3 header optimization must not change answers *)
+  let tree = Xmark.generate_nodes ~seed:5 3000 in
+  let rng = Prng.create 21 in
+  let bools =
+    Synth_acl.generate_bool tree
+      ~params:{ Synth_acl.default with accessibility_ratio = 0.3 }
+      rng
+  in
+  let store, index = build_secured tree bools in
+  List.iter
+    (fun (_, q) ->
+      let with_skip =
+        Engine.query ~options:{ Engine.header_skip = true } store index q (Engine.Secure 0)
+      in
+      let without =
+        Engine.query ~options:{ Engine.header_skip = false } store index q (Engine.Secure 0)
+      in
+      check Fixtures.int_list q without.Engine.answers with_skip.Engine.answers)
+    Xmark.queries
+
+let test_all_paper_queries_vs_oracle () =
+  (* the strongest fidelity check: every Table-1 query on a real XMark
+     instance with propagated ACLs, all three semantics, vs the oracle *)
+  let tree = Xmark.generate_nodes ~seed:123 2_500 in
+  let rng = Prng.create 124 in
+  let bools =
+    Synth_acl.generate_bool tree
+      ~params:{ Synth_acl.default with accessibility_ratio = 0.6 }
+      rng
+  in
+  bools.(0) <- true;
+  let store, index = build_secured tree bools in
+  let acc v = bools.(v) in
+  List.iter
+    (fun (name, q) ->
+      let pattern = Xpath.parse q in
+      List.iter
+        (fun (label, sem, ref_sem) ->
+          let got = (Engine.run store index pattern sem).Engine.answers in
+          let want = Reference.eval tree ref_sem pattern in
+          check Fixtures.int_list (Printf.sprintf "%s %s" name label) want got)
+        [
+          ("insecure", Engine.Insecure, Reference.Any);
+          ("secure", Engine.Secure 0, Reference.Bound acc);
+          ("path", Engine.Secure_path 0, Reference.Path acc);
+        ])
+    Xmark.queries
+
+(* --- Algorithm 1 cross-check --- *)
+
+let test_npm_agrees_with_engine_on_match_existence () =
+  let tree = Xmark.generate_nodes ~seed:9 2000 in
+  let rng = Prng.create 77 in
+  let bools = Synth_acl.generate_bool tree ~params:Synth_acl.default rng in
+  let store, index = build_secured tree bools in
+  (* single NoK subtree rooted at item, returning the root *)
+  let pattern = Xpath.parse "/site/regions/africa/item[location][name][quantity]" in
+  let engine = (Engine.run store index pattern (Engine.Secure 0)).Engine.answers in
+  (* run Algorithm 1 directly on each item with the item sub-pattern *)
+  let item_pat =
+    Pattern.of_root
+      (Pattern.make ~returning:true (Pattern.Tag "item")
+         [
+           Pattern.make (Pattern.Tag "location") [];
+           Pattern.make (Pattern.Tag "name") [];
+           Pattern.make (Pattern.Tag "quantity") [];
+         ])
+  in
+  let table = Tree.tag_table tree in
+  let item_tag = Option.get (Dolx_xml.Tag.find_opt table "item") in
+  let africa_items =
+    (* items under africa whose trunk path (site/regions/africa) is
+       accessible — the part of the query Algorithm 1 does not re-check *)
+    List.filter
+      (fun v ->
+        let africa = Tree.parent tree v in
+        let regions = Tree.parent tree africa in
+        Tree.tag_name tree africa = "africa"
+        && bools.(africa) && bools.(regions)
+        && bools.(Tree.parent tree regions))
+      (Tag_index.postings index item_tag)
+  in
+  let npm_matches =
+    List.filter
+      (fun v -> Nok_match.npm_run store (Nok_match.secure 0) item_pat v <> None)
+      africa_items
+  in
+  check Fixtures.int_list "Algorithm 1 = engine" engine npm_matches
+
+let prop_value_queries_vs_oracle =
+  (* random text values; engine with and without the value index must
+     both equal the oracle *)
+  Fixtures.qtest ~count:50 "value queries = oracle (with and without value index)"
+    QCheck2.Gen.(quad (int_bound 100_000) (int_range 2 100) (int_range 1 9) (int_bound 3))
+    (fun (seed, n, p10, qpick) ->
+      let rng = Prng.create seed in
+      let tree0 = Fixtures.random_tree rng n in
+      (* rebuild with random short texts on leaves *)
+      let b = Tree.Builder.create () in
+      let words = [| "x"; "y"; "z" |] in
+      let rec copy v =
+        ignore (Tree.Builder.open_element b (Tree.tag_name tree0 v));
+        if Tree.is_leaf tree0 v then
+          Tree.Builder.add_text b words.(Prng.int rng 3);
+        Tree.iter_children copy tree0 v;
+        Tree.Builder.close_element b
+      in
+      copy Tree.root;
+      let tree = Tree.Builder.finish b in
+      let bools = Fixtures.random_bools rng n (float_of_int p10 /. 10.0) in
+      bools.(0) <- true;
+      let dol = Dol.of_bool_array bools in
+      let store = Store.create ~page_size:256 tree dol in
+      let index = Tag_index.build tree in
+      let vindex = Dolx_index.Value_index.build tree in
+      let q =
+        [| "//a=\"x\""; "//b=\"y\""; "//a[b=\"z\"]"; "//c=\"x\"" |].(qpick)
+      in
+      let pattern = Xpath.parse q in
+      let acc v = bools.(v) in
+      List.for_all
+        (fun (sem, rsem) ->
+          let plain = (Engine.run store index pattern sem).Engine.answers in
+          let seeded =
+            (Engine.run ~value_index:vindex store index pattern sem).Engine.answers
+          in
+          let want = Reference.eval tree rsem pattern in
+          plain = want && seeded = want)
+        [ (Engine.Insecure, Reference.Any); (Engine.Secure 0, Reference.Bound acc) ])
+
+(* --- full binding tuples --- *)
+
+let test_bindings_figure2 () =
+  let tree = Fixtures.figure2_tree () in
+  let bools = Array.make 12 true in
+  let store, index = build_secured tree bools in
+  (* //e/h: one tuple (e, h) *)
+  let p = Xpath.parse "//e/h" in
+  check
+    Alcotest.(list (list int))
+    "e/h" [ [ 4; 7 ] ]
+    (Engine.bindings store index p Engine.Insecure);
+  (* //a//h pairs *)
+  let p2 = Xpath.parse "//a//h" in
+  check Alcotest.(list (list int)) "a//h" [ [ 0; 7 ] ]
+    (Engine.bindings store index p2 Engine.Insecure)
+
+let test_bindings_join_pairs () =
+  (* //parlist//parlist bindings = the STD pair count *)
+  let tree = Xmark.generate_nodes ~seed:55 2000 in
+  let n = Tree.size tree in
+  let store, index = build_secured tree (Array.make n true) in
+  let p = Xpath.parse "//parlist//parlist" in
+  let tuples = Engine.bindings store index p Engine.Insecure in
+  let table = Tree.tag_table tree in
+  let parlist = Option.get (Dolx_xml.Tag.find_opt table "parlist") in
+  let nodes = Tag_index.postings index parlist in
+  let pairs = Structural_join.stack_tree_desc store ~alist:nodes ~dlist:nodes in
+  check Alcotest.int "tuple count = STD pair count" (List.length pairs)
+    (List.length tuples);
+  (* under Cho semantics: pairs over the accessible candidate sets *)
+  let bools2 = Array.init n (fun v -> v mod 3 <> 0) in
+  bools2.(0) <- true;
+  let store2, index2 = build_secured tree bools2 in
+  let acc_nodes =
+    List.filter (fun v -> bools2.(v)) (Tag_index.postings index2 parlist)
+  in
+  let sec_pairs =
+    Structural_join.stack_tree_desc store2 ~alist:acc_nodes ~dlist:acc_nodes
+  in
+  let sec_tuples = Engine.bindings store2 index2 p (Engine.Secure 0) in
+  check Alcotest.int "secure tuple count = secure pair count"
+    (List.length sec_pairs) (List.length sec_tuples);
+  (* projecting tuples onto the returning node = run's answers *)
+  let answers = (Engine.run store index p Engine.Insecure).Engine.answers in
+  check Fixtures.int_list "projection"
+    answers
+    (List.sort_uniq compare (List.map (fun t -> List.nth t 1) tuples))
+
+let prop_bindings_project_to_answers =
+  Fixtures.qtest ~count:50 "binding tuples project onto run answers"
+    QCheck2.Gen.(quad (int_bound 100_000) (int_range 2 100) (int_range 1 9) (int_bound 5))
+    (fun (seed, n, p10, qpick) ->
+      let rng = Prng.create seed in
+      let tree = Fixtures.random_tree rng n in
+      let bools = Fixtures.random_bools rng n (float_of_int p10 /. 10.0) in
+      bools.(0) <- true;
+      let store, index = build_secured tree bools in
+      let q = [| "//a/b"; "//a//b"; "//a[b]/c"; "//b//c//d"; "//a/b/c"; "//a" |].(qpick) in
+      let pattern = Xpath.parse q in
+      List.for_all
+        (fun sem ->
+          let tuples = Engine.bindings store index pattern sem in
+          let answers = (Engine.run store index pattern sem).Engine.answers in
+          let last t = List.nth t (List.length t - 1) in
+          List.sort_uniq compare (List.map last tuples) = answers
+          (* every tuple is strictly increasing in preorder along the
+             trunk (child/descendant steps go downward) *)
+          && List.for_all
+               (fun t ->
+                 let rec incr_ok = function
+                   | a :: (b :: _ as rest) -> a < b && incr_ok rest
+                   | _ -> true
+                 in
+                 incr_ok t)
+               tuples)
+        [ Engine.Insecure; Engine.Secure 0; Engine.Secure_path 0 ])
+
+let test_bindings_limit () =
+  let tree = Xmark.generate_nodes ~seed:56 2000 in
+  let n = Tree.size tree in
+  let store, index = build_secured tree (Array.make n true) in
+  let p = Xpath.parse "//listitem//keyword" in
+  let all = Engine.bindings store index p Engine.Insecure in
+  let five = Engine.bindings ~limit:5 store index p Engine.Insecure in
+  Alcotest.(check bool) "has more than five" true (List.length all > 5);
+  check Alcotest.int "limited" 5 (List.length five)
+
+(* --- structural join --- *)
+
+let test_std_pairs () =
+  let tree = Fixtures.figure2_tree () in
+  let bools = Array.make 12 true in
+  let store, _ = build_secured tree bools in
+  (* ancestors {a=0, e=4}, descendants {h=7, b=1} *)
+  let pairs =
+    Structural_join.stack_tree_desc store ~alist:[ 0; 4 ] ~dlist:[ 1; 7 ]
+  in
+  let sorted = List.sort compare pairs in
+  check
+    Alcotest.(list (pair int int))
+    "pairs" [ (0, 1); (0, 7); (4, 7) ] sorted
+
+let test_std_nested_candidates () =
+  (* both lists can contain nested nodes *)
+  let tree = Fixtures.figure2_tree () in
+  let bools = Array.make 12 true in
+  let store, _ = build_secured tree bools in
+  let pairs =
+    Structural_join.stack_tree_desc store ~alist:[ 0; 4; 7 ] ~dlist:[ 8; 11 ]
+  in
+  check Alcotest.int "all ancestor pairs" 6 (List.length pairs)
+
+let test_secure_std_path_check () =
+  let tree = Fixtures.figure2_tree () in
+  let bools = Array.make 12 true in
+  bools.(7) <- false (* h blocks paths from a/e down to i..l *);
+  let store, _ = build_secured tree bools in
+  let pairs =
+    Structural_join.secure_stack_tree_desc store ~subject:0 ~alist:[ 0; 4 ]
+      ~dlist:[ 5; 8 ]
+  in
+  (* (0,5) via e: e accessible so path a->f..: a->e->f? d=5 is f; path a..f
+     passes e only. (4,5): direct child. pairs through h are pruned. *)
+  let sorted = List.sort compare pairs in
+  check Alcotest.(list (pair int int)) "pruned pairs" [ (0, 5); (4, 5) ] sorted
+
+let suite =
+  [
+    Alcotest.test_case "parse simple path" `Quick test_parse_simple_path;
+    Alcotest.test_case "parse predicates" `Quick test_parse_predicates;
+    Alcotest.test_case "parse descendant + wildcard" `Quick test_parse_descendant_and_wildcard;
+    Alcotest.test_case "parse value predicate" `Quick test_parse_value_predicate;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "parse Table 1 queries" `Quick test_parse_queries_table1;
+    Alcotest.test_case "decompose single segment" `Quick test_decompose_single_segment;
+    Alcotest.test_case "decompose join queries" `Quick test_decompose_join_queries;
+    Alcotest.test_case "engine: library queries" `Quick test_engine_library_queries;
+    Alcotest.test_case "engine: secure filtering" `Quick test_engine_secure_filtering;
+    Alcotest.test_case "engine: path vs bound semantics" `Quick
+      test_engine_path_vs_bound_semantics;
+    prop_engine_vs_reference_random;
+    Alcotest.test_case "header skip equivalence" `Slow test_header_skip_equivalence;
+    Alcotest.test_case "all paper queries vs oracle" `Slow test_all_paper_queries_vs_oracle;
+    Alcotest.test_case "Algorithm 1 agrees with engine" `Quick
+      test_npm_agrees_with_engine_on_match_existence;
+    prop_value_queries_vs_oracle;
+    Alcotest.test_case "bindings: figure 2" `Quick test_bindings_figure2;
+    Alcotest.test_case "bindings: join pairs" `Quick test_bindings_join_pairs;
+    prop_bindings_project_to_answers;
+    Alcotest.test_case "bindings: limit" `Quick test_bindings_limit;
+    Alcotest.test_case "STD pairs" `Quick test_std_pairs;
+    Alcotest.test_case "STD nested candidates" `Quick test_std_nested_candidates;
+    Alcotest.test_case "secure STD path check" `Quick test_secure_std_path_check;
+  ]

@@ -1,0 +1,241 @@
+(** Tests for [Dolx_policy]: subjects, ACL interning, rule propagation
+    (Most-Specific-Override), labelings. *)
+
+module Tree = Dolx_xml.Tree
+module Subject = Dolx_policy.Subject
+module Mode = Dolx_policy.Mode
+module Acl = Dolx_policy.Acl
+module Rule = Dolx_policy.Rule
+module Propagate = Dolx_policy.Propagate
+module Labeling = Dolx_policy.Labeling
+module Bitset = Dolx_util.Bitset
+module Prng = Dolx_util.Prng
+
+let check = Alcotest.check
+
+(* Standard setup: figure-2 tree, two users in one group, read/write. *)
+let setup () =
+  let tree = Fixtures.figure2_tree () in
+  let subjects = Subject.create () in
+  let alice = Subject.add_user subjects "alice" in
+  let bob = Subject.add_user subjects "bob" in
+  let staff = Subject.add_group subjects "staff" in
+  Subject.add_membership subjects ~child:alice ~group:staff;
+  let modes, read, write = Mode.read_write () in
+  (tree, subjects, alice, bob, staff, modes, read, write)
+
+let test_subject_registry () =
+  let _, subjects, alice, bob, staff, _, _, _ = setup () in
+  check Alcotest.int "count" 3 (Subject.count subjects);
+  check Alcotest.string "name" "alice" (Subject.name subjects alice);
+  Alcotest.(check bool) "alice is user" true (Subject.kind subjects alice = Subject.User);
+  Alcotest.(check bool) "staff is group" true (Subject.kind subjects staff = Subject.Group);
+  check Fixtures.int_list "closure of alice" (List.sort compare [ alice; staff ])
+    (Subject.closure subjects alice);
+  check Fixtures.int_list "closure of bob" [ bob ] (Subject.closure subjects bob);
+  check Fixtures.int_list "users" [ alice; bob ] (Subject.users subjects);
+  check Fixtures.int_list "groups" [ staff ] (Subject.groups subjects)
+
+let test_subject_closure_transitive () =
+  let subjects = Subject.create () in
+  let u = Subject.add_user subjects "u" in
+  let g1 = Subject.add_group subjects "g1" in
+  let g2 = Subject.add_group subjects "g2" in
+  Subject.add_membership subjects ~child:u ~group:g1;
+  Subject.add_membership subjects ~child:g1 ~group:g2;
+  check Fixtures.int_list "transitive" (List.sort compare [ u; g1; g2 ])
+    (Subject.closure subjects u)
+
+let test_acl_interning () =
+  let store = Acl.create ~width:4 in
+  let a = Acl.intern store (Bitset.of_list 4 [ 0; 2 ]) in
+  let b = Acl.intern store (Bitset.of_list 4 [ 0; 2 ]) in
+  let c = Acl.intern store (Bitset.of_list 4 [ 1 ]) in
+  check Alcotest.int "same bits same id" a b;
+  Alcotest.(check bool) "distinct bits distinct id" true (a <> c);
+  check Alcotest.int "count" 2 (Acl.count store);
+  Alcotest.(check bool) "grants" true (Acl.grants store a 2);
+  Alcotest.(check bool) "denies" false (Acl.grants store a 1);
+  let d = Acl.with_bit store a 2 true in
+  check Alcotest.int "with_bit no-op" a d;
+  let e = Acl.with_bit store a 1 true in
+  Alcotest.(check bool) "with_bit new id" true (e <> a);
+  check Alcotest.int "count grew" 3 (Acl.count store)
+
+let test_propagation_subtree () =
+  let tree, subjects, alice, _, _, modes, read, _ = setup () in
+  ignore modes;
+  (* grant alice read on subtree e (preorder 4) *)
+  let rules = [ Rule.grant ~subject:alice ~mode:read 4 ] in
+  let lab = Propagate.compile tree ~subjects ~mode:read rules in
+  for v = 0 to Tree.size tree - 1 do
+    let expected = v >= 4 && v <= 11 in
+    Alcotest.(check bool)
+      (Printf.sprintf "node %d" v)
+      expected
+      (Labeling.accessible lab ~subject:alice v)
+  done
+
+let test_propagation_mso_override () =
+  let tree, subjects, alice, _, _, _, read, _ = setup () in
+  (* grant on root subtree, deny on subtree h: closest labeled ancestor wins *)
+  let rules =
+    [ Rule.grant ~subject:alice ~mode:read 0; Rule.deny ~subject:alice ~mode:read 7 ]
+  in
+  let lab = Propagate.compile tree ~subjects ~mode:read rules in
+  Alcotest.(check bool) "root accessible" true (Labeling.accessible lab ~subject:alice 0);
+  Alcotest.(check bool) "e accessible" true (Labeling.accessible lab ~subject:alice 4);
+  Alcotest.(check bool) "h denied" false (Labeling.accessible lab ~subject:alice 7);
+  Alcotest.(check bool) "l denied (inherits from h)" false
+    (Labeling.accessible lab ~subject:alice 11)
+
+let test_propagation_self_scope () =
+  let tree, subjects, alice, _, _, _, read, _ = setup () in
+  let rules = [ Rule.grant ~scope:Rule.Self ~subject:alice ~mode:read 4 ] in
+  let lab = Propagate.compile tree ~subjects ~mode:read rules in
+  Alcotest.(check bool) "e itself" true (Labeling.accessible lab ~subject:alice 4);
+  Alcotest.(check bool) "f not affected" false (Labeling.accessible lab ~subject:alice 5)
+
+let test_propagation_deny_precedence () =
+  let tree, subjects, alice, _, _, _, read, _ = setup () in
+  (* conflicting rules at the same node: deny wins *)
+  let rules =
+    [ Rule.grant ~subject:alice ~mode:read 4; Rule.deny ~subject:alice ~mode:read 4 ]
+  in
+  let lab = Propagate.compile tree ~subjects ~mode:read rules in
+  Alcotest.(check bool) "deny beats grant" false (Labeling.accessible lab ~subject:alice 4)
+
+let test_propagation_open_default () =
+  let tree, subjects, alice, bob, _, _, read, _ = setup () in
+  let rules = [ Rule.deny ~subject:alice ~mode:read 4 ] in
+  let lab = Propagate.compile tree ~subjects ~mode:read ~default:Propagate.Open rules in
+  Alcotest.(check bool) "default open" true (Labeling.accessible lab ~subject:bob 11);
+  Alcotest.(check bool) "alice denied under e" false (Labeling.accessible lab ~subject:alice 5)
+
+let test_propagation_mode_separation () =
+  let tree, subjects, alice, _, _, modes, read, write = setup () in
+  let rules = [ Rule.grant ~subject:alice ~mode:write 0 ] in
+  let labs = Propagate.compile_all_modes tree ~subjects ~modes rules in
+  Alcotest.(check bool) "write granted" true (Labeling.accessible labs.(write) ~subject:alice 3);
+  Alcotest.(check bool) "read not granted" false (Labeling.accessible labs.(read) ~subject:alice 3)
+
+let test_labeling_user_via_group () =
+  let tree, subjects, alice, bob, staff, _, read, _ = setup () in
+  let rules = [ Rule.grant ~subject:staff ~mode:read 0 ] in
+  let lab = Propagate.compile tree ~subjects ~mode:read rules in
+  (* alice is in staff; bob is not *)
+  Alcotest.(check bool) "alice via group" true
+    (Labeling.accessible_user lab ~registry:subjects ~user:alice 5);
+  Alcotest.(check bool) "bob not" false
+    (Labeling.accessible_user lab ~registry:subjects ~user:bob 5);
+  Alcotest.(check bool) "alice's own bit clear" false
+    (Labeling.accessible lab ~subject:alice 5)
+
+let test_labeling_counts_and_project () =
+  let tree, subjects, alice, bob, _, _, read, _ = setup () in
+  let rules =
+    [ Rule.grant ~subject:alice ~mode:read 4; Rule.grant ~subject:bob ~mode:read 0 ]
+  in
+  let lab = Propagate.compile tree ~subjects ~mode:read rules in
+  check Alcotest.int "alice count" 8 (Labeling.count_accessible lab ~subject:alice);
+  check Alcotest.int "bob count" 12 (Labeling.count_accessible lab ~subject:bob);
+  (* project to [bob] only *)
+  let p = Labeling.project lab [| bob |] in
+  check Alcotest.int "projected width" 1 (Acl.width (Labeling.store p));
+  Alcotest.(check bool) "bob now subject 0" true (Labeling.accessible p ~subject:0 11);
+  check Alcotest.int "projected distinct ACLs" 1 (Labeling.distinct_acls p)
+
+let prop_propagation_matches_bruteforce =
+  Fixtures.qtest ~count:40 "propagation = per-node nearest-rule scan"
+    QCheck2.Gen.(pair (int_bound 10_000) (int_range 2 60))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let tree = Fixtures.random_tree rng n in
+      let subjects = Subject.create () in
+      let s0 = Subject.add_user subjects "s0" in
+      let modes = Mode.create () in
+      let m = Mode.add modes "read" in
+      let n_rules = 1 + Prng.int rng 8 in
+      let rules =
+        List.init n_rules (fun _ ->
+            let node = Prng.int rng n in
+            let sign = if Prng.bool rng ~p:0.5 then Rule.Grant else Rule.Deny in
+            let scope = if Prng.bool rng ~p:0.8 then Rule.Subtree else Rule.Self in
+            Rule.make ~subject:s0 ~mode:m ~node ~sign ~scope)
+      in
+      let lab = Propagate.compile tree ~subjects ~mode:m rules in
+      (* Brute force: for node v, find nearest ancestor (or self) with an
+         applicable rule; denies beat grants at equal distance. *)
+      let expected v =
+        (* Nearest node (self first, then ancestors) with an applicable
+           rule decides.  At the node itself, Self rules are more specific
+           than Subtree rules; within a class, Deny beats Grant. *)
+        let verdict rs =
+          if rs = [] then None
+          else Some (List.for_all (fun (r : Rule.t) -> r.Rule.sign = Rule.Grant) rs)
+        in
+        let at u ~self =
+          let here scope =
+            List.filter (fun (r : Rule.t) -> r.Rule.node = u && r.Rule.scope = scope) rules
+          in
+          if self then
+            match verdict (here Rule.Self) with
+            | Some b -> Some b
+            | None -> verdict (here Rule.Subtree)
+          else verdict (here Rule.Subtree)
+        in
+        let rec up u ~self =
+          if u = Tree.nil then false
+          else
+            match at u ~self with
+            | Some b -> b
+            | None -> up (Tree.parent tree u) ~self:false
+        in
+        up v ~self:true
+      in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        if Labeling.accessible lab ~subject:s0 v <> expected v then ok := false
+      done;
+      !ok)
+
+let test_materialize_users () =
+  let tree, subjects, alice, bob, staff, _, read, _ = setup () in
+  let rules =
+    [ Rule.grant ~subject:staff ~mode:read 4; Rule.grant ~subject:bob ~mode:read 7 ]
+  in
+  let lab = Propagate.compile tree ~subjects ~mode:read rules in
+  let ulab, users = Labeling.materialize_users lab ~registry:subjects in
+  check Fixtures.int_list "user order" [ alice; bob ] (Array.to_list users);
+  (* alice (bit 0) gets staff's grant; bob (bit 1) keeps his own *)
+  for v = 0 to Tree.size tree - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "alice effective at %d" v)
+      (Labeling.accessible_user lab ~registry:subjects ~user:alice v)
+      (Labeling.accessible ulab ~subject:0 v);
+    Alcotest.(check bool)
+      (Printf.sprintf "bob effective at %d" v)
+      (Labeling.accessible_user lab ~registry:subjects ~user:bob v)
+      (Labeling.accessible ulab ~subject:1 v)
+  done;
+  (* a DOL over the materialized labeling answers user queries directly *)
+  let dol = Dolx_core.Dol.of_labeling ulab in
+  Alcotest.(check bool) "alice reads 5 via group" true
+    (Dolx_core.Dol.accessible dol ~subject:0 5)
+
+let suite =
+  [
+    Alcotest.test_case "subject registry" `Quick test_subject_registry;
+    Alcotest.test_case "subject closure transitive" `Quick test_subject_closure_transitive;
+    Alcotest.test_case "acl interning" `Quick test_acl_interning;
+    Alcotest.test_case "propagation subtree" `Quick test_propagation_subtree;
+    Alcotest.test_case "propagation MSO override" `Quick test_propagation_mso_override;
+    Alcotest.test_case "propagation self scope" `Quick test_propagation_self_scope;
+    Alcotest.test_case "propagation deny precedence" `Quick test_propagation_deny_precedence;
+    Alcotest.test_case "propagation open default" `Quick test_propagation_open_default;
+    Alcotest.test_case "propagation mode separation" `Quick test_propagation_mode_separation;
+    Alcotest.test_case "user rights via group" `Quick test_labeling_user_via_group;
+    Alcotest.test_case "labeling counts + project" `Quick test_labeling_counts_and_project;
+    prop_propagation_matches_bruteforce;
+    Alcotest.test_case "materialize effective users" `Quick test_materialize_users;
+  ]

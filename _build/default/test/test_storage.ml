@@ -1,0 +1,250 @@
+(** Tests for [Dolx_storage]: pages, the simulated disk, the buffer pool,
+    and the NoK page layout with embedded DOL codes. *)
+
+module Page = Dolx_storage.Page
+module Disk = Dolx_storage.Disk
+module Buffer_pool = Dolx_storage.Buffer_pool
+module Nok_layout = Dolx_storage.Nok_layout
+module Tree = Dolx_xml.Tree
+module Dol = Dolx_core.Dol
+module Prng = Dolx_util.Prng
+
+let check = Alcotest.check
+
+let test_page_fields () =
+  let p = Page.create 64 in
+  Page.set_u8 p 0 200;
+  Page.set_u16 p 1 40_000;
+  Page.set_u32 p 3 3_000_000_000;
+  check Alcotest.int "u8" 200 (Page.get_u8 p 0);
+  check Alcotest.int "u16" 40_000 (Page.get_u16 p 1);
+  check Alcotest.int "u32" 3_000_000_000 (Page.get_u32 p 3)
+
+let test_disk_counters () =
+  let d = Disk.create ~page_size:128 () in
+  let a = Disk.allocate d in
+  let b = Disk.allocate d in
+  check Alcotest.int "ids dense" 1 b;
+  let buf = Page.create 128 in
+  Bytes.set_uint8 buf 0 7;
+  Disk.write d a buf;
+  let buf2 = Page.create 128 in
+  Disk.read d a buf2;
+  check Alcotest.int "roundtrip" 7 (Bytes.get_uint8 buf2 0);
+  let s = Disk.stats d in
+  check Alcotest.int "reads" 1 s.Disk.reads;
+  check Alcotest.int "writes" 1 s.Disk.writes;
+  check Alcotest.int "allocations" 2 s.Disk.allocations;
+  Alcotest.(check bool) "simulated time advanced" true (Disk.simulated_us d > 0.0)
+
+let test_pool_hits_and_eviction () =
+  let d = Disk.create ~page_size:64 () in
+  let pages = Array.init 4 (fun _ -> Disk.allocate d) in
+  Array.iteri
+    (fun i pid ->
+      let b = Page.create 64 in
+      Bytes.set_uint8 b 0 i;
+      Disk.write d pid b)
+    pages;
+  Disk.reset_stats d;
+  let pool = Buffer_pool.create ~capacity:2 d in
+  ignore (Buffer_pool.get pool pages.(0));
+  ignore (Buffer_pool.get pool pages.(0));
+  ignore (Buffer_pool.get pool pages.(1));
+  let s = Buffer_pool.stats pool in
+  check Alcotest.int "touches" 3 s.Buffer_pool.touches;
+  check Alcotest.int "hits" 1 s.Buffer_pool.hits;
+  check Alcotest.int "misses" 2 s.Buffer_pool.misses;
+  (* force eviction of page 0 (LRU) *)
+  ignore (Buffer_pool.get pool pages.(2));
+  Alcotest.(check bool) "page0 evicted" false (Buffer_pool.resident pool pages.(0));
+  Alcotest.(check bool) "page1 resident" true (Buffer_pool.resident pool pages.(1));
+  (* contents still correct after refetch *)
+  let b = Buffer_pool.get pool pages.(0) in
+  check Alcotest.int "contents" 0 (Bytes.get_uint8 b 0)
+
+let test_pool_writeback () =
+  let d = Disk.create ~page_size:64 () in
+  let pid = Disk.allocate d in
+  let pool = Buffer_pool.create ~capacity:1 d in
+  let frame = Buffer_pool.get pool pid in
+  Bytes.set_uint8 frame 5 42;
+  Buffer_pool.mark_dirty pool pid;
+  Buffer_pool.flush_all pool;
+  let buf = Page.create 64 in
+  Disk.read d pid buf;
+  check Alcotest.int "dirty page written back" 42 (Bytes.get_uint8 buf 5)
+
+(* --- NoK layout --- *)
+
+let build_layout ?(page_size = 128) ?(fill = 0.9) tree bools =
+  let dol = Dol.of_bool_array bools in
+  let disk = Disk.create ~page_size () in
+  let transitions = Array.of_list (Dol.transitions dol) in
+  let layout = Nok_layout.build ~fill disk tree ~transitions in
+  let pool = Buffer_pool.create ~capacity:16 disk in
+  (layout, pool, dol)
+
+let test_layout_roundtrip_figure2 () =
+  let tree = Fixtures.figure2_tree () in
+  let bools = [| false; true; true; true; false; false; false; true; true; true; true; true |] in
+  let layout, pool, _ = build_layout ~page_size:64 ~fill:0.5 tree bools in
+  Alcotest.(check bool) "multiple pages" true (Nok_layout.page_count layout > 1);
+  let t2 = Nok_layout.decode_tree layout pool ~tag_table:(Tree.tag_table tree) in
+  check Alcotest.string "structure preserved" (Tree.structure_string tree)
+    (Tree.structure_string t2)
+
+let test_layout_codes () =
+  let tree = Fixtures.figure2_tree () in
+  let bools = [| false; true; true; true; false; false; false; true; true; true; true; true |] in
+  let layout, pool, dol = build_layout ~page_size:64 ~fill:0.5 tree bools in
+  let codes = Nok_layout.codes_of_all_nodes layout pool in
+  Array.iteri
+    (fun v code ->
+      check Alcotest.int (Printf.sprintf "code at %d" v) (Dol.code_at dol v) code)
+    codes;
+  (* code_in_force agrees node by node *)
+  for v = 0 to Tree.size tree - 1 do
+    check Alcotest.int
+      (Printf.sprintf "in force at %d" v)
+      (Dol.code_at dol v)
+      (Nok_layout.code_in_force layout pool v)
+  done
+
+let test_layout_headers () =
+  let tree = Fixtures.figure2_tree () in
+  let bools = Array.make 12 false in
+  let layout, _pool, _ = build_layout ~page_size:64 ~fill:0.5 tree bools in
+  (* uniform document: no page can have a change bit *)
+  for lp = 0 to Nok_layout.page_count layout - 1 do
+    let h = Nok_layout.header layout lp in
+    Alcotest.(check bool) "no change bit" false h.Nok_layout.change
+  done
+
+let test_page_of_matches_first_pres () =
+  let tree = Fixtures.figure2_tree () in
+  let bools = Array.make 12 true in
+  let layout, _pool, _ = build_layout ~page_size:64 ~fill:0.5 tree bools in
+  for v = 0 to 11 do
+    let lp = Nok_layout.page_of layout v in
+    let h = Nok_layout.header layout lp in
+    Alcotest.(check bool) "first_pre <= v" true (h.Nok_layout.first_pre <= v);
+    if lp + 1 < Nok_layout.page_count layout then begin
+      let h' = Nok_layout.header layout (lp + 1) in
+      Alcotest.(check bool) "v < next first_pre" true (v < h'.Nok_layout.first_pre)
+    end
+  done
+
+let prop_layout_roundtrip_random =
+  Fixtures.qtest ~count:60 "layout decode = original tree + codes (random)"
+    QCheck2.Gen.(triple (int_bound 100_000) (int_range 1 400) (int_range 3 9))
+    (fun (seed, n, psize_log) ->
+      let rng = Prng.create seed in
+      let tree = Fixtures.random_tree rng n in
+      let bools = Fixtures.random_bools rng n 0.5 in
+      let page_size = 1 lsl (psize_log + 3) in
+      let layout, pool, dol = build_layout ~page_size tree bools in
+      let t2 = Nok_layout.decode_tree layout pool ~tag_table:(Tree.tag_table tree) in
+      let codes = Nok_layout.codes_of_all_nodes layout pool in
+      Tree.structure_string tree = Tree.structure_string t2
+      && Array.for_all Fun.id (Array.mapi (fun v c -> c = Dol.code_at dol v) codes))
+
+let test_rewrite_page_in_place () =
+  let tree = Fixtures.figure2_tree () in
+  let bools = Array.make 12 false in
+  let layout, pool, dol = build_layout ~page_size:4096 tree bools in
+  check Alcotest.int "single page" 1 (Nok_layout.page_count layout);
+  (* flip node 5 by adding inline codes: simulate with a logical update *)
+  ignore (Dolx_core.Update.dol_set_node dol ~subject:0 ~grant:true 5);
+  let rs = Nok_layout.records layout pool 0 in
+  let rs' =
+    List.map
+      (fun (r : Nok_layout.record) ->
+        let code =
+          if r.Nok_layout.pre <> 0 && Dol.is_transition dol r.Nok_layout.pre then
+            Some (Dol.code_at dol r.Nok_layout.pre)
+          else None
+        in
+        { r with Nok_layout.code })
+      rs
+  in
+  Nok_layout.rewrite_page layout pool 0 rs' ~code_before:(Dol.code_at dol);
+  let codes = Nok_layout.codes_of_all_nodes layout pool in
+  for v = 0 to 11 do
+    check Alcotest.int (Printf.sprintf "code %d" v) (Dol.code_at dol v) codes.(v)
+  done;
+  let h = Nok_layout.header layout 0 in
+  Alcotest.(check bool) "change bit now set" true h.Nok_layout.change
+
+let test_rewrite_page_split () =
+  (* Fill a small page to the brim (fill=1.0), then force growth by
+     adding transition codes to every node: the page must split and
+     decoding must still agree. *)
+  let rng = Prng.create 5 in
+  let tree = Fixtures.random_tree rng 40 in
+  let bools = Array.make 40 false in
+  let dol = Dol.of_bool_array bools in
+  let disk = Disk.create ~page_size:80 () in
+  let transitions = Array.of_list (Dol.transitions dol) in
+  let layout = Nok_layout.build ~fill:1.0 disk tree ~transitions in
+  let pool = Buffer_pool.create ~capacity:16 disk in
+  let pages_before = Nok_layout.page_count layout in
+  (* alternate accessibility to force a transition on every node *)
+  for v = 0 to 39 do
+    if v mod 2 = 0 then ignore (Dolx_core.Update.dol_set_node dol ~subject:0 ~grant:true v)
+  done;
+  (* rewrite every page from the logical DOL (mirrors Update.refresh) *)
+  let rec refresh pre =
+    if pre < 40 then begin
+      let lp = Nok_layout.page_of layout pre in
+      let rs = Nok_layout.records layout pool lp in
+      let first = (List.hd rs).Nok_layout.pre in
+      let count = List.length rs in
+      let rs' =
+        List.map
+          (fun (r : Nok_layout.record) ->
+            let code =
+              if r.Nok_layout.pre <> first && Dol.is_transition dol r.Nok_layout.pre then
+                Some (Dol.code_at dol r.Nok_layout.pre)
+              else None
+            in
+            { r with Nok_layout.code })
+          rs
+      in
+      Nok_layout.rewrite_page layout pool lp rs' ~code_before:(Dol.code_at dol);
+      refresh (first + count)
+    end
+  in
+  refresh 0;
+  Alcotest.(check bool) "pages split" true (Nok_layout.page_count layout > pages_before);
+  let codes = Nok_layout.codes_of_all_nodes layout pool in
+  for v = 0 to 39 do
+    check Alcotest.int (Printf.sprintf "code %d" v) (Dol.code_at dol v) codes.(v)
+  done;
+  let t2 = Nok_layout.decode_tree layout pool ~tag_table:(Tree.tag_table tree) in
+  check Alcotest.string "structure preserved across splits"
+    (Tree.structure_string tree) (Tree.structure_string t2)
+
+let test_header_table_bytes () =
+  let tree = Fixtures.figure2_tree () in
+  let bools = Array.make 12 true in
+  let layout, _, _ = build_layout ~page_size:64 tree bools in
+  check Alcotest.int "11 bytes per page"
+    (11 * Nok_layout.page_count layout)
+    (Nok_layout.header_table_bytes layout)
+
+let suite =
+  [
+    Alcotest.test_case "page fields" `Quick test_page_fields;
+    Alcotest.test_case "disk counters" `Quick test_disk_counters;
+    Alcotest.test_case "pool hits + eviction" `Quick test_pool_hits_and_eviction;
+    Alcotest.test_case "pool writeback" `Quick test_pool_writeback;
+    Alcotest.test_case "layout roundtrip (figure 2)" `Quick test_layout_roundtrip_figure2;
+    Alcotest.test_case "layout codes" `Quick test_layout_codes;
+    Alcotest.test_case "layout headers" `Quick test_layout_headers;
+    Alcotest.test_case "page_of consistency" `Quick test_page_of_matches_first_pres;
+    prop_layout_roundtrip_random;
+    Alcotest.test_case "rewrite page in place" `Quick test_rewrite_page_in_place;
+    Alcotest.test_case "rewrite page with split" `Quick test_rewrite_page_split;
+    Alcotest.test_case "header table bytes" `Quick test_header_table_bytes;
+  ]

@@ -1,0 +1,198 @@
+(** Tests for secure views and the policy-file language. *)
+
+module Tree = Dolx_xml.Tree
+module Dol = Dolx_core.Dol
+module Secure_view = Dolx_core.Secure_view
+module Policy_file = Dolx_policy.Policy_file
+module Subject = Dolx_policy.Subject
+module Mode = Dolx_policy.Mode
+module Rule = Dolx_policy.Rule
+module Propagate = Dolx_policy.Propagate
+module Labeling = Dolx_policy.Labeling
+module Prng = Dolx_util.Prng
+
+let check = Alcotest.check
+
+(* figure-2 tree with subtree e granted, node h revoked *)
+let setup () =
+  let tree = Fixtures.figure2_tree () in
+  let bools = [| true; false; false; false; true; true; true; false; true; true; true; true |] in
+  (tree, Dol.of_bool_array bools, bools)
+
+let test_view_prune () =
+  let tree, dol, _ = setup () in
+  let v = Secure_view.view ~semantics:Secure_view.Prune_subtree tree dol ~subject:0 in
+  (* root kept; b,c,d pruned; e,f,g kept; h pruned WITH its accessible
+     descendants i..l *)
+  check Alcotest.string "pruned structure" "a(e(f)(g))" (Tree.structure_string v)
+
+let test_view_lift () =
+  let tree, dol, _ = setup () in
+  let v = Secure_view.view ~semantics:Secure_view.Lift_children tree dol ~subject:0 in
+  (* i..l survive, lifted under e *)
+  check Alcotest.string "lifted structure" "a(e(f)(g)(i)(j)(k)(l))" (Tree.structure_string v)
+
+let test_view_root_inaccessible () =
+  let tree = Fixtures.figure2_tree () in
+  let dol = Dol.of_bool_array (Array.make 12 false) in
+  (match Secure_view.view tree dol ~subject:0 with
+  | exception Secure_view.Root_inaccessible -> ()
+  | _ -> Alcotest.fail "expected Root_inaccessible")
+
+let test_view_preserves_text () =
+  let tree = Fixtures.library_tree () in
+  let dol = Dol.of_bool_array (Array.make (Tree.size tree) true) in
+  let v = Secure_view.view tree dol ~subject:0 in
+  check Alcotest.string "identical structure" (Tree.structure_string tree)
+    (Tree.structure_string v);
+  for u = 0 to Tree.size tree - 1 do
+    check Alcotest.string (Printf.sprintf "text %d" u) (Tree.text tree u) (Tree.text v u)
+  done
+
+let test_visible_nodes_counts () =
+  let tree, dol, bools = setup () in
+  let prune = Secure_view.visible_nodes tree dol ~subject:0 in
+  check Fixtures.int_list "prune keeps reachable accessible" [ 0; 4; 5; 6 ] prune;
+  let lift =
+    Secure_view.visible_nodes ~semantics:Secure_view.Lift_children tree dol ~subject:0
+  in
+  let expected =
+    List.filter (fun v -> bools.(v)) (List.init (Tree.size tree) Fun.id)
+  in
+  check Fixtures.int_list "lift keeps all accessible" expected lift;
+  check Alcotest.int "count agrees" (List.length prune)
+    (Secure_view.visible_count tree dol ~subject:0)
+
+let prop_view_sizes =
+  Fixtures.qtest ~count:80 "view node sets are consistent with the DOL"
+    QCheck2.Gen.(pair (int_bound 100_000) (int_range 1 120))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let tree = Fixtures.random_tree rng n in
+      let bools = Fixtures.random_bools rng n 0.6 in
+      bools.(0) <- true;
+      let dol = Dol.of_bool_array bools in
+      let prune = Secure_view.visible_nodes tree dol ~subject:0 in
+      let lift =
+        Secure_view.visible_nodes ~semantics:Secure_view.Lift_children tree dol ~subject:0
+      in
+      (* prune ⊆ lift = accessible set; prune closed under parents *)
+      List.for_all (fun v -> List.mem v lift) prune
+      && List.for_all (fun v -> bools.(v)) lift
+      && List.length lift = Array.fold_left (fun a b -> if b then a + 1 else a) 0 bools
+      && List.for_all
+           (fun v -> v = Tree.root || List.mem (Tree.parent tree v) prune)
+           prune)
+
+(* --- policy files --- *)
+
+let sample_policy =
+  {|# demo
+    mode read
+    mode write
+    user alice
+    group staff   # trailing comment
+    member alice staff
+
+    grant staff read 0
+    deny  alice read 4
+    grant alice write 7 self
+  |}
+
+let test_policy_parse () =
+  let directives = Policy_file.parse_string sample_policy in
+  check Alcotest.int "directive count" 8 (List.length directives)
+
+let test_policy_compile () =
+  let subjects, modes, rules = Policy_file.load sample_policy in
+  check Alcotest.int "subjects" 2 (Subject.count subjects);
+  check Alcotest.int "modes" 2 (Mode.count modes);
+  check Alcotest.int "rules" 3 (List.length rules);
+  let alice = Option.get (Subject.find_opt subjects "alice") in
+  let staff = Option.get (Subject.find_opt subjects "staff") in
+  check Fixtures.int_list "membership" (List.sort compare [ alice; staff ])
+    (Subject.closure subjects alice);
+  let tree = Fixtures.figure2_tree () in
+  let lab = Propagate.compile tree ~subjects ~mode:0 rules in
+  Alcotest.(check bool) "staff reads node 11" true (Labeling.accessible lab ~subject:staff 11);
+  Alcotest.(check bool) "alice denied under 4" false (Labeling.accessible lab ~subject:alice 5);
+  (* alice's own subject bit is clear; her effective rights come from the
+     staff group through the subject hierarchy *)
+  Alcotest.(check bool) "alice's own bit clear at node 1" false
+    (Labeling.accessible lab ~subject:alice 1);
+  Alcotest.(check bool) "alice reads node 1 via staff" true
+    (Labeling.accessible_user lab ~registry:subjects ~user:alice 1)
+
+let test_policy_resolver () =
+  let resolved = ref [] in
+  let resolve key =
+    resolved := key :: !resolved;
+    [ 3; 7 ]
+  in
+  let _, _, rules =
+    Policy_file.load ~resolve "mode m\nuser u\ngrant u m @some/path\n"
+  in
+  check Alcotest.(list string) "resolver called" [ "some/path" ] !resolved;
+  check Alcotest.int "one rule per anchor" 2 (List.length rules);
+  check Fixtures.int_list "anchors" [ 3; 7 ]
+    (List.map (fun (r : Rule.t) -> r.Rule.node) rules)
+
+let test_policy_errors () =
+  let syntax s =
+    match Policy_file.parse_string s with
+    | exception Policy_file.Syntax_error _ -> ()
+    | _ -> Alcotest.failf "expected syntax error for %S" s
+  in
+  syntax "frobnicate x";
+  syntax "grant onlytwo args";
+  let fails s =
+    match Policy_file.load s with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.failf "expected failure for %S" s
+  in
+  fails "mode m\ngrant ghost m 0";
+  fails "user u\ngrant u ghostmode 0";
+  fails "mode m\nuser u\ngrant u m notanumber"
+
+let prop_policy_print_parse_roundtrip =
+  Fixtures.qtest ~count:100 "policy print/parse roundtrip"
+    QCheck2.Gen.(
+      list_size (int_bound 20)
+        (oneof
+           [
+             map (fun i -> Policy_file.Mode (Printf.sprintf "m%d" i)) (int_bound 5);
+             map (fun i -> Policy_file.User (Printf.sprintf "u%d" i)) (int_bound 5);
+             map (fun i -> Policy_file.Group (Printf.sprintf "g%d" i)) (int_bound 5);
+             map2
+               (fun a b ->
+                 Policy_file.Member (Printf.sprintf "u%d" a, Printf.sprintf "g%d" b))
+               (int_bound 5) (int_bound 5);
+             map
+               (fun (a, m, node, (grant, self)) ->
+                 Policy_file.Access
+                   {
+                     sign = (if grant then Rule.Grant else Rule.Deny);
+                     subject = Printf.sprintf "u%d" a;
+                     mode = Printf.sprintf "m%d" m;
+                     node = string_of_int node;
+                     scope = (if self then Rule.Self else Rule.Subtree);
+                   })
+               (quad (int_bound 5) (int_bound 5) (int_bound 100) (pair bool bool));
+           ]))
+    (fun directives ->
+      Policy_file.parse_string (Policy_file.print directives) = directives)
+
+let suite =
+  [
+    Alcotest.test_case "view: prune semantics" `Quick test_view_prune;
+    Alcotest.test_case "view: lift semantics" `Quick test_view_lift;
+    Alcotest.test_case "view: root inaccessible" `Quick test_view_root_inaccessible;
+    Alcotest.test_case "view: preserves text" `Quick test_view_preserves_text;
+    Alcotest.test_case "view: visible nodes" `Quick test_visible_nodes_counts;
+    prop_view_sizes;
+    Alcotest.test_case "policy: parse" `Quick test_policy_parse;
+    Alcotest.test_case "policy: compile" `Quick test_policy_compile;
+    Alcotest.test_case "policy: resolver" `Quick test_policy_resolver;
+    Alcotest.test_case "policy: errors" `Quick test_policy_errors;
+    prop_policy_print_parse_roundtrip;
+  ]

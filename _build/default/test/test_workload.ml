@@ -1,0 +1,262 @@
+(** Tests for the workload generators: XMark documents, synthetic ACLs,
+    and the LiveLink / Unix-FS simulators. *)
+
+module Tree = Dolx_xml.Tree
+module Tree_stats = Dolx_xml.Tree_stats
+module Prng = Dolx_util.Prng
+module Labeling = Dolx_policy.Labeling
+module Subject = Dolx_policy.Subject
+module Acl = Dolx_policy.Acl
+module Dol = Dolx_core.Dol
+module Xmark = Dolx_workload.Xmark
+module Synth_acl = Dolx_workload.Synth_acl
+module Livelink = Dolx_workload.Livelink
+module Unixfs = Dolx_workload.Unixfs
+module Engine = Dolx_nok.Engine
+module Store = Dolx_core.Secure_store
+module Tag_index = Dolx_index.Tag_index
+
+let check = Alcotest.check
+
+(* --- XMark --- *)
+
+let test_xmark_deterministic () =
+  let a = Xmark.generate ~config:{ Xmark.default_config with seed = 5 } () in
+  let b = Xmark.generate ~config:{ Xmark.default_config with seed = 5 } () in
+  check Alcotest.int "same size" (Tree.size a) (Tree.size b);
+  check Alcotest.string "same structure" (Tree.structure_string a) (Tree.structure_string b)
+
+let test_xmark_target_nodes () =
+  List.iter
+    (fun target ->
+      let t = Xmark.generate_nodes ~seed:1 target in
+      let n = Tree.size t in
+      let err = abs (n - target) in
+      Alcotest.(check bool)
+        (Printf.sprintf "size %d within 25%% of %d" n target)
+        true
+        (float_of_int err < 0.25 *. float_of_int target))
+    [ 2000; 10_000; 40_000 ]
+
+let test_xmark_queries_have_matches () =
+  let tree = Xmark.generate_nodes ~seed:2 20_000 in
+  let n = Tree.size tree in
+  let dol = Dol.of_bool_array (Array.make n true) in
+  let store = Store.create tree dol in
+  let index = Tag_index.build tree in
+  List.iter
+    (fun (name, q) ->
+      let r = Engine.query store index q Engine.Insecure in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s (%s) has answers" name q)
+        true
+        (List.length r.Engine.answers > 0))
+    Xmark.queries
+
+let test_xmark_validates () =
+  let t = Xmark.generate_nodes ~seed:3 5000 in
+  Tree.validate t;
+  let s = Tree_stats.compute t in
+  Alcotest.(check bool) "depth reasonable" true (s.Tree_stats.max_depth >= 5);
+  Alcotest.(check bool) "has many tags" true (s.Tree_stats.distinct_tags > 30)
+
+(* --- synthetic ACLs --- *)
+
+let test_synth_acl_ratio () =
+  let tree = Xmark.generate_nodes ~seed:4 20_000 in
+  List.iter
+    (fun target ->
+      let params =
+        { Synth_acl.propagation_ratio = 0.1; accessibility_ratio = target; sibling_copy_p = 0.5 }
+      in
+      let bools = Synth_acl.generate_bool tree ~params (Prng.create 9) in
+      let frac =
+        float_of_int (Array.fold_left (fun a b -> if b then a + 1 else a) 0 bools)
+        /. float_of_int (Array.length bools)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "fraction %.2f near %.2f" frac target)
+        true
+        (Float.abs (frac -. target) < 0.2))
+    [ 0.1; 0.5; 0.9 ]
+
+let test_synth_acl_root_labeled () =
+  let tree = Fixtures.figure2_tree () in
+  (* propagation 0: only the root is a seed; the whole doc gets its label *)
+  let params =
+    { Synth_acl.propagation_ratio = 0.0; accessibility_ratio = 1.0; sibling_copy_p = 0.0 }
+  in
+  let bools = Synth_acl.generate_bool tree ~params (Prng.create 1) in
+  Alcotest.(check bool) "all accessible" true (Array.for_all Fun.id bools)
+
+let test_synth_acl_locality () =
+  (* propagated ACLs must have far fewer transitions than iid ones *)
+  let tree = Xmark.generate_nodes ~seed:5 20_000 in
+  let n = Tree.size tree in
+  let params =
+    { Synth_acl.propagation_ratio = 0.05; accessibility_ratio = 0.5; sibling_copy_p = 0.5 }
+  in
+  let local = Synth_acl.generate_bool tree ~params (Prng.create 2) in
+  let rng = Prng.create 3 in
+  let iid = Fixtures.random_bools rng n 0.5 in
+  let t_local = Dol.transition_count (Dol.of_bool_array local) in
+  let t_iid = Dol.transition_count (Dol.of_bool_array iid) in
+  Alcotest.(check bool)
+    (Printf.sprintf "locality: %d << %d" t_local t_iid)
+    true
+    (t_local * 3 < t_iid)
+
+let test_synth_multi_correlated () =
+  let tree = Xmark.generate_nodes ~seed:6 5000 in
+  let lab =
+    Synth_acl.generate_multi tree ~seed:10 ~n_subjects:40 ~n_archetypes:4 ()
+  in
+  let dol = Dol.of_labeling lab in
+  (* correlated subjects: codebook far below the 2^40 worst case and below
+     the per-subject-independent expectation *)
+  let entries = Dolx_core.Codebook.count (Dol.codebook dol) in
+  Alcotest.(check bool)
+    (Printf.sprintf "codebook small (%d)" entries)
+    true (entries < 1000);
+  Dol.verify_against dol lab
+
+(* --- LiveLink simulator --- *)
+
+let livelink_small () =
+  Livelink.generate
+    ~config:
+      {
+        Livelink.default_config with
+        seed = 3;
+        target_nodes = 4000;
+        n_departments = 6;
+        users_per_department = 10;
+        n_modes = 4;
+      }
+    ()
+
+let test_livelink_shape () =
+  let ll = livelink_small () in
+  Tree.validate ll.Livelink.tree;
+  let s = Tree_stats.compute ll.Livelink.tree in
+  Alcotest.(check bool)
+    (Fmt.str "avg depth plausible (%a)" Tree_stats.pp s)
+    true
+    (s.Tree_stats.avg_depth > 3.0 && s.Tree_stats.avg_depth < 14.0);
+  Alcotest.(check bool) "max depth <= 19" true (s.Tree_stats.max_depth <= 19);
+  check Alcotest.int "subjects" (6 + (6 * 10)) (Subject.count ll.Livelink.subjects);
+  check Alcotest.int "modes" 4 (Array.length ll.Livelink.labelings)
+
+let test_livelink_department_rights () =
+  let ll = livelink_small () in
+  let lab = ll.Livelink.labelings.(0) in
+  (* each department's users can see their own workspace root *)
+  Array.iteri
+    (fun d root ->
+      let group = ll.Livelink.groups.(d) in
+      Alcotest.(check bool)
+        (Printf.sprintf "dept %d group sees its workspace" d)
+        true
+        (Labeling.accessible lab ~subject:group root))
+    ll.Livelink.dept_roots
+
+let test_livelink_correlation () =
+  let ll = livelink_small () in
+  let lab = ll.Livelink.labelings.(0) in
+  let dol = Dol.of_labeling lab in
+  let n_subjects = Subject.count ll.Livelink.subjects in
+  let entries = Dolx_core.Codebook.count (Dol.codebook dol) in
+  (* strong correlation: codebook entries far below node count and far
+     below 2^S *)
+  Alcotest.(check bool)
+    (Printf.sprintf "codebook %d sublinear in subjects %d" entries n_subjects)
+    true
+    (entries < 20 * n_subjects);
+  Dol.verify_against dol lab
+
+(* --- Unix FS simulator --- *)
+
+let unixfs_small () =
+  Unixfs.generate
+    ~config:{ Unixfs.seed = 4; target_nodes = 4000; n_users = 30; n_groups = 8 }
+    ()
+
+let test_unixfs_owner_reads_home () =
+  let fs = unixfs_small () in
+  let lab = fs.Unixfs.read_labeling in
+  let tree = fs.Unixfs.tree in
+  (* home dirs are children of /home (preorder 1); owner i = user index i *)
+  let homes = Tree.children tree 1 in
+  List.iteri
+    (fun i home ->
+      let owner = fs.Unixfs.users.(i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "user %d reads own home" i)
+        true
+        (Labeling.accessible lab ~subject:owner home))
+    homes
+
+let test_unixfs_semantics_brute_force () =
+  let fs = unixfs_small () in
+  let tree = fs.Unixfs.tree in
+  let lab = fs.Unixfs.read_labeling in
+  let rng = Prng.create 55 in
+  (* spot-check 200 random (user, node) pairs against a direct permission
+     evaluation *)
+  let n = Tree.size tree in
+  let user_in_group u g =
+    List.exists
+      (fun grp -> grp = fs.Unixfs.groups.(g))
+      (Subject.direct_groups fs.Unixfs.subjects fs.Unixfs.users.(u))
+  in
+  let perm_ok u v ~shift =
+    let p = fs.Unixfs.perms.(v) in
+    let bit off = p.Unixfs.mode land (1 lsl off) <> 0 in
+    if p.Unixfs.owner = u then bit (6 + shift)
+    else if p.Unixfs.group >= 0 && user_in_group u p.Unixfs.group then bit (3 + shift)
+    else bit shift
+  in
+  let readable u v =
+    let rec exec_path x =
+      x = Tree.nil || (perm_ok u x ~shift:0 && exec_path (Tree.parent tree x))
+    in
+    perm_ok u v ~shift:2 && exec_path (Tree.parent tree v)
+  in
+  for _ = 1 to 200 do
+    let u = Prng.int rng (Array.length fs.Unixfs.users) in
+    let v = Prng.int rng n in
+    Alcotest.(check bool)
+      (Printf.sprintf "user %d node %d" u v)
+      (readable u v)
+      (Labeling.accessible lab ~subject:fs.Unixfs.users.(u) v)
+  done
+
+let test_unixfs_correlation () =
+  let fs = unixfs_small () in
+  let dol = Dol.of_labeling fs.Unixfs.read_labeling in
+  let entries = Dolx_core.Codebook.count (Dol.codebook dol) in
+  let n = Tree.size fs.Unixfs.tree in
+  Alcotest.(check bool)
+    (Printf.sprintf "codebook %d << nodes %d" entries n)
+    true
+    (entries * 4 < n);
+  (* transition density well below 1 (structural locality) *)
+  Alcotest.(check bool) "sparse transitions" true (Dol.transition_density dol < 0.5)
+
+let suite =
+  [
+    Alcotest.test_case "xmark deterministic" `Quick test_xmark_deterministic;
+    Alcotest.test_case "xmark target size" `Quick test_xmark_target_nodes;
+    Alcotest.test_case "xmark queries have matches" `Slow test_xmark_queries_have_matches;
+    Alcotest.test_case "xmark validates" `Quick test_xmark_validates;
+    Alcotest.test_case "synthetic ACL ratio" `Quick test_synth_acl_ratio;
+    Alcotest.test_case "synthetic ACL root seed" `Quick test_synth_acl_root_labeled;
+    Alcotest.test_case "synthetic ACL locality" `Quick test_synth_acl_locality;
+    Alcotest.test_case "synthetic multi-subject correlation" `Quick test_synth_multi_correlated;
+    Alcotest.test_case "livelink shape" `Quick test_livelink_shape;
+    Alcotest.test_case "livelink department rights" `Quick test_livelink_department_rights;
+    Alcotest.test_case "livelink correlation" `Quick test_livelink_correlation;
+    Alcotest.test_case "unixfs owner reads home" `Quick test_unixfs_owner_reads_home;
+    Alcotest.test_case "unixfs semantics brute force" `Quick test_unixfs_semantics_brute_force;
+    Alcotest.test_case "unixfs correlation" `Quick test_unixfs_correlation;
+  ]

@@ -1,0 +1,212 @@
+(** Tests for [Dolx_xml]: arena trees, builder, parser, serializer. *)
+
+module Tree = Dolx_xml.Tree
+module Tag = Dolx_xml.Tag
+module Parser = Dolx_xml.Parser
+module Serializer = Dolx_xml.Serializer
+module Tree_stats = Dolx_xml.Tree_stats
+module Prng = Dolx_util.Prng
+
+let check = Alcotest.check
+
+let test_figure2_structure () =
+  let t = Fixtures.figure2_tree () in
+  check Alcotest.int "12 nodes" 12 (Tree.size t);
+  (* the compacted document-order string of §3.1 *)
+  check Alcotest.string "structure string"
+    "a(b)(c)(d)(e(f)(g)(h(i)(j)(k)(l)))" (Tree.structure_string t);
+  Tree.validate t
+
+let test_navigation () =
+  let t = Fixtures.figure2_tree () in
+  (* preorders: a=0 b=1 c=2 d=3 e=4 f=5 g=6 h=7 i=8 j=9 k=10 l=11 *)
+  check Alcotest.string "root tag" "a" (Tree.tag_name t 0);
+  check Alcotest.int "first child of a" 1 (Tree.first_child t 0);
+  check Alcotest.int "b's sibling" 2 (Tree.next_sibling t 1);
+  check Alcotest.int "e = 4" 4 (Tree.next_sibling t 3);
+  check Alcotest.int "parent of l" 7 (Tree.parent t 11);
+  check Alcotest.int "subtree size of e" 8 (Tree.subtree_size t 4);
+  check Alcotest.int "subtree end of e" 11 (Tree.subtree_end t 4);
+  Alcotest.(check bool) "a ancestor of l" true (Tree.is_ancestor t 0 11);
+  Alcotest.(check bool) "e ancestor of l" true (Tree.is_ancestor t 4 11);
+  Alcotest.(check bool) "b not ancestor of l" false (Tree.is_ancestor t 1 11);
+  Alcotest.(check bool) "not self-ancestor" false (Tree.is_ancestor t 4 4);
+  check Alcotest.int "depth of l" 3 (Tree.depth t 11);
+  check Fixtures.int_list "children of h" [ 8; 9; 10; 11 ] (Tree.children t 7)
+
+let test_closes_after () =
+  let t = Fixtures.figure2_tree () in
+  (* l closes l, h, e, a -> 4 *)
+  check Alcotest.int "l closes 4" 4 (Tree.closes_after t 11);
+  check Alcotest.int "b closes 1" 1 (Tree.closes_after t 1);
+  check Alcotest.int "a closes 0" 0 (Tree.closes_after t 0);
+  check Alcotest.int "g closes 1" 1 (Tree.closes_after t 6);
+  (* sum of closes = number of nodes *)
+  let total = Tree.fold (fun acc v -> acc + Tree.closes_after t v) 0 t in
+  check Alcotest.int "closes sum to node count" (Tree.size t) total
+
+let test_builder_text_and_errors () =
+  let b = Tree.Builder.create () in
+  ignore (Tree.Builder.open_element b "r");
+  Tree.Builder.add_text b "hello ";
+  ignore (Tree.Builder.leaf b "kid" "txt");
+  Tree.Builder.add_text b "world";
+  Tree.Builder.close_element b;
+  let t = Tree.Builder.finish b in
+  check Alcotest.string "concatenated text" "hello world" (Tree.text t 0);
+  check Alcotest.string "leaf text" "txt" (Tree.text t 1);
+  Alcotest.check_raises "unclosed element" (Invalid_argument "Builder: unclosed elements remain")
+    (fun () ->
+      let b = Tree.Builder.create () in
+      ignore (Tree.Builder.open_element b "x");
+      ignore (Tree.Builder.finish b));
+  Alcotest.check_raises "multiple roots" (Invalid_argument "Builder: document already finished")
+    (fun () ->
+      let b = Tree.Builder.create () in
+      ignore (Tree.Builder.open_element b "x");
+      Tree.Builder.close_element b;
+      ignore (Tree.Builder.open_element b "y"))
+
+let test_parser_basic () =
+  let t = Parser.parse "<a><b>one</b><c attr=\"v\">two</c><d/></a>" in
+  check Alcotest.int "4 nodes" 4 (Tree.size t);
+  check Alcotest.string "structure" "a(b)(c)(d)" (Tree.structure_string t);
+  check Alcotest.string "text b" "one" (Tree.text t 1);
+  check Alcotest.string "text c" "two" (Tree.text t 2)
+
+let test_parser_entities () =
+  let t = Parser.parse "<a>x &amp; y &lt;z&gt; &#65;&#x42;</a>" in
+  check Alcotest.string "entities decoded" "x & y <z> AB" (Tree.text t 0)
+
+let test_parser_skips () =
+  let t =
+    Parser.parse
+      "<?xml version=\"1.0\"?><!DOCTYPE a><a><!-- comment --><b><![CDATA[1<2]]></b></a>"
+  in
+  check Alcotest.int "2 nodes" 2 (Tree.size t);
+  check Alcotest.string "cdata preserved" "1<2" (Tree.text t 1)
+
+let test_parser_errors () =
+  let fails s =
+    match Parser.parse s with
+    | exception Parser.Parse_error _ -> ()
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" s
+  in
+  fails "<a><b></a>";
+  fails "<a>";
+  fails "no markup";
+  fails "<a></a><b></b>";
+  fails "<a>&unknown;</a>"
+
+let test_serializer_roundtrip () =
+  let t = Fixtures.library_tree () in
+  let s = Serializer.to_string t in
+  let t2 = Parser.parse s in
+  check Alcotest.string "structure preserved" (Tree.structure_string t)
+    (Tree.structure_string t2);
+  check Alcotest.string "texts preserved" (Tree.text t 2) (Tree.text t2 2)
+
+let test_serializer_escaping () =
+  let t =
+    Tree.of_spec (Tree.Elt ("a", "x & <y>", []))
+  in
+  let s = Serializer.to_string t in
+  let t2 = Parser.parse s in
+  check Alcotest.string "escaped text survives" "x & <y>" (Tree.text t2 0)
+
+let prop_random_tree_valid =
+  Fixtures.qtest ~count:50 "random trees satisfy arena invariants"
+    QCheck2.Gen.(pair (int_bound 1000) (int_range 1 200))
+    (fun (seed, n) ->
+      let t = Fixtures.random_tree (Prng.create seed) n in
+      Tree.validate t;
+      Tree.size t = n)
+
+let prop_parse_serialize_roundtrip =
+  Fixtures.qtest ~count:50 "parse . serialize = id (structure)"
+    QCheck2.Gen.(pair (int_bound 1000) (int_range 1 100))
+    (fun (seed, n) ->
+      let t = Fixtures.random_tree (Prng.create seed) n in
+      let t2 = Parser.parse (Serializer.to_string t) in
+      Tree.structure_string t = Tree.structure_string t2)
+
+let prop_subtree_interval =
+  Fixtures.qtest ~count:50 "is_ancestor agrees with parent chain"
+    QCheck2.Gen.(triple (int_bound 1000) (int_range 2 100) (int_bound 10_000))
+    (fun (seed, n, pick) ->
+      let t = Fixtures.random_tree (Prng.create seed) n in
+      let a = pick mod n and d = (pick / 7) mod n in
+      let rec chain v = v <> Tree.nil && (v = a || chain (Tree.parent t v)) in
+      Tree.is_ancestor t a d = (a <> d && chain (Tree.parent t d)))
+
+let prop_parser_never_crashes =
+  (* Fuzz: arbitrary byte soup must either parse or raise Parse_error /
+     Invalid_argument — never a crash or another exception. *)
+  Fixtures.qtest ~count:300 "parser total on arbitrary input"
+    QCheck2.Gen.(string_size ~gen:(char_range '\x20' '\x7e') (int_bound 80))
+    (fun s ->
+      match Parser.parse s with
+      | _ -> true
+      | exception Parser.Parse_error _ -> true
+      | exception Invalid_argument _ -> true)
+
+let prop_parser_never_crashes_markupish =
+  (* Markup-shaped fuzz: higher density of <, >, /, &, quotes. *)
+  Fixtures.qtest ~count:300 "parser total on markup-like input"
+    QCheck2.Gen.(
+      string_size
+        ~gen:(oneofl [ '<'; '>'; '/'; '&'; '"'; 'a'; 'b'; ' '; '='; ';'; '!'; '-'; '[' ])
+        (int_bound 60))
+    (fun s ->
+      match Parser.parse s with
+      | _ -> true
+      | exception Parser.Parse_error _ -> true
+      | exception Invalid_argument _ -> true)
+
+let test_tag_interning () =
+  let tbl = Tag.create () in
+  let a = Tag.intern tbl "x" in
+  let b = Tag.intern tbl "y" in
+  let a' = Tag.intern tbl "x" in
+  check Alcotest.int "stable ids" a a';
+  Alcotest.(check bool) "distinct ids" true (a <> b);
+  check Alcotest.string "name" "y" (Tag.name tbl b);
+  check Alcotest.int "count" 2 (Tag.count tbl)
+
+let test_tree_stats () =
+  let t = Fixtures.figure2_tree () in
+  let s = Tree_stats.compute t in
+  check Alcotest.int "nodes" 12 s.Tree_stats.nodes;
+  check Alcotest.int "max depth" 3 s.Tree_stats.max_depth;
+  check Alcotest.int "leaves" 9 s.Tree_stats.leaves;
+  check Alcotest.int "max fanout" 4 s.Tree_stats.max_fanout;
+  check Alcotest.int "tags" 12 s.Tree_stats.distinct_tags
+
+let test_iter_subtree () =
+  let t = Fixtures.figure2_tree () in
+  let acc = ref [] in
+  Tree.iter_subtree (fun v -> acc := v :: !acc) t 4;
+  check Fixtures.int_list "subtree of e" [ 4; 5; 6; 7; 8; 9; 10; 11 ] (List.rev !acc)
+
+let suite =
+  [
+    Alcotest.test_case "figure 2 structure" `Quick test_figure2_structure;
+    Alcotest.test_case "navigation" `Quick test_navigation;
+    Alcotest.test_case "closes_after" `Quick test_closes_after;
+    Alcotest.test_case "builder text + errors" `Quick test_builder_text_and_errors;
+    Alcotest.test_case "parser basic" `Quick test_parser_basic;
+    Alcotest.test_case "parser entities" `Quick test_parser_entities;
+    Alcotest.test_case "parser skips" `Quick test_parser_skips;
+    Alcotest.test_case "parser errors" `Quick test_parser_errors;
+    Alcotest.test_case "serializer roundtrip" `Quick test_serializer_roundtrip;
+    Alcotest.test_case "serializer escaping" `Quick test_serializer_escaping;
+    prop_random_tree_valid;
+    prop_parse_serialize_roundtrip;
+    prop_subtree_interval;
+    prop_parser_never_crashes;
+    prop_parser_never_crashes_markupish;
+    Alcotest.test_case "tag interning" `Quick test_tag_interning;
+    Alcotest.test_case "tree stats" `Quick test_tree_stats;
+    Alcotest.test_case "iter subtree" `Quick test_iter_subtree;
+  ]
