@@ -1,1 +1,1 @@
-bench/main.ml: Ablation Array Bench_common Dolx_workload Fig4 Fig5_6 Fig7 List Micro Printf Storage_cost String Sys Updates_bench
+bench/main.ml: Ablation Array Bench_common Dolx_workload Fig4 Fig5_6 Fig7 List Micro Printf Robustness Storage_cost String Sys Updates_bench

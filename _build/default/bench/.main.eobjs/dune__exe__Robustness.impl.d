@@ -1,0 +1,1 @@
+bench/robustness.ml: Array Bench_common Dolx_core Dolx_index Dolx_nok Dolx_storage Dolx_util Dolx_workload Dolx_xml List Printf Unix

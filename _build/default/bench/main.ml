@@ -4,7 +4,7 @@
     Usage:
       dune exec bench/main.exe            # all experiments
       dune exec bench/main.exe -- fig4a   # one experiment
-    Experiments: fig4a fig4b fig5 fig6 storage queries fig7 joins updates micro
+    Experiments: fig4a fig4b fig5 fig6 storage queries fig7 joins updates micro robustness
     Set DOLX_BENCH_SCALE=k to scale dataset sizes by k. *)
 
 let queries_table () =
@@ -26,6 +26,7 @@ let experiments =
     ("updates", Updates_bench.run);
     ("ablation", Ablation.run);
     ("micro", Micro.run);
+    ("robustness", Robustness.run);
   ]
 
 let run_all () =
@@ -37,7 +38,8 @@ let run_all () =
   Fig7.run_joins ();
   Updates_bench.run ();
   Ablation.run ();
-  Micro.run ()
+  Micro.run ();
+  Robustness.run ()
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

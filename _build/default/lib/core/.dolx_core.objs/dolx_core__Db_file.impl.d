@@ -1,1 +1,1 @@
-lib/core/db_file.ml: Array Buffer Bytes Dol Dolx_policy Dolx_storage Dolx_util Dolx_xml List Persist Secure_store String
+lib/core/db_file.ml: Array Buffer Bytes Codebook Dol Dolx_policy Dolx_storage Dolx_util Dolx_xml Fun Int32 List Persist Printf Secure_store String

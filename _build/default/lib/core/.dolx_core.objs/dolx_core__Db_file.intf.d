@@ -1,1 +1,1 @@
-lib/core/db_file.mli: Bytes Dolx_policy Secure_store
+lib/core/db_file.mli: Bytes Dolx_policy Dolx_util Secure_store

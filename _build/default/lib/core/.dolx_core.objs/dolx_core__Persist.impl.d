@@ -1,1 +1,1 @@
-lib/core/persist.ml: Array Buffer Bytes Codebook Dol Dolx_util List
+lib/core/persist.ml: Array Buffer Bytes Codebook Dol Dolx_util Int32 List

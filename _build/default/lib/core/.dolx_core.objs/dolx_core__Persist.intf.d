@@ -1,1 +1,1 @@
-lib/core/persist.mli: Bytes Dol
+lib/core/persist.mli: Buffer Bytes Dol

@@ -1,1 +1,1 @@
-lib/core/secure_store.ml: Array Codebook Dol Dolx_storage Dolx_xml Fmt
+lib/core/secure_store.ml: Array Codebook Dol Dolx_storage Dolx_xml Fmt List

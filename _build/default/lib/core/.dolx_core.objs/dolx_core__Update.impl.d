@@ -1,1 +1,1 @@
-lib/core/update.ml: Array Codebook Dol Dolx_policy Dolx_storage Dolx_util Dolx_xml List Secure_store
+lib/core/update.ml: Array Codebook Db_file Dol Dolx_policy Dolx_storage Dolx_util Dolx_xml List Secure_store

@@ -1,1 +1,1 @@
-lib/core/update.mli: Dol Dolx_policy Dolx_util Dolx_xml Secure_store
+lib/core/update.mli: Bytes Dol Dolx_policy Dolx_util Dolx_xml Secure_store

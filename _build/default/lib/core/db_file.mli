@@ -1,21 +1,71 @@
-(** Single-file database format: page images + node values + tag names +
-    DOL in one file — compile a labeled document once, open or ship it
-    without the source XML or the policy.  Optionally self-describing:
-    the subject registry and mode names can be embedded so ACL bits are
-    addressable by name.  See docs/FORMAT.md. *)
+(** Single-file database format v2: page images + node values + tag
+    names + DOL in one file — compile a labeled document once, open or
+    ship it without the source XML or the policy.  Optionally
+    self-describing: the subject registry and mode names can be embedded
+    so ACL bits are addressable by name.
+
+    Robustness (see docs/FORMAT.md for the exact layout):
+    - every section carries a CRC32C verified {e before} parsing; page
+      images are checksummed individually;
+    - a write-ahead journal region makes multi-page accessibility
+      updates atomic: a load sees exactly the pre-update or exactly the
+      post-update labeling, never a hybrid;
+    - recovery from unrecoverable page corruption is fail-secure: the
+      affected preorder range can be quarantined (denied for every
+      subject), never silently granted;
+    - {!of_bytes} treats input as untrusted and raises only {!Corrupt}
+      on malformed bytes. *)
 
 exception Corrupt of string
 
-(** Serialize a store (buffered pages are flushed first). *)
+(** Serialize a store (buffered pages are flushed and the layout's
+    dirty-page tracking drained first).  The result is a clean image —
+    its journal region is empty. *)
 val to_bytes :
   ?subjects:Dolx_policy.Subject.registry -> ?modes:Dolx_policy.Mode.registry ->
   Secure_store.t -> Bytes.t
 
 (** Load a store; also returns the embedded registries when present.
-    @raise Corrupt on malformed input. *)
+
+    [on_bad_page] selects the policy for page images whose checksum does
+    not verify: [`Fail] (default) raises [Corrupt] naming the pages;
+    [`Deny_subtree] replaces each lost run with structural filler
+    carrying a deny-all code and reports the preorder ranges via
+    {!Secure_store.quarantined} — data may be lost, access is never
+    gained.  A journal sealed by its CRC and commit mark is rolled
+    forward; a torn journal (crash artifact) is ignored, yielding the
+    pre-update state.
+    @raise Corrupt on malformed input — never [Invalid_argument] or an
+    out-of-bounds error. *)
 val of_bytes :
-  ?pool_capacity:int -> Bytes.t ->
+  ?pool_capacity:int -> ?on_bad_page:[ `Fail | `Deny_subtree ] -> Bytes.t ->
   Secure_store.t * (Dolx_policy.Subject.registry * Dolx_policy.Mode.registry) option
+
+(** [update_images ~base f] loads the clean image [base], applies the
+    update [f] to the store, and returns every durable image a crash
+    during the journaled commit could leave behind, in write order:
+    the untouched base, the journal flag alone, torn journal prefixes
+    (plus [torn]-PRNG-chosen extra tear points), the sealed journal
+    without its commit mark, and last the committed image.  Every image
+    loads via {!of_bytes}; all but the last yield exactly the pre-update
+    state, the last exactly the post-update state.  When [f] changed
+    nothing, the result is [[base]].
+    @raise Invalid_argument when [base] is not a clean image. *)
+val update_images :
+  ?pool_capacity:int -> ?torn:Dolx_util.Prng.t -> base:Bytes.t ->
+  (Secure_store.t -> unit) -> Bytes.t list
+
+(** Apply an update durably: journal it, reload the committed image
+    (exercising journal roll-forward), and compact to a clean image.
+    Registries embedded in [base] are re-embedded. *)
+val apply_update :
+  ?pool_capacity:int -> base:Bytes.t -> (Secure_store.t -> unit) -> Bytes.t
+
+(** Byte extent [(offset, length)] of logical page [lp]'s image + CRC
+    inside a database image — for corruption-injection tests.
+    @raise Corrupt when the image prefix is malformed or [lp] is out of
+    range. *)
+val page_extent : Bytes.t -> int -> int * int
 
 val save :
   ?subjects:Dolx_policy.Subject.registry -> ?modes:Dolx_policy.Mode.registry ->
@@ -23,5 +73,5 @@ val save :
 
 (** @raise Corrupt on malformed input; [Sys_error] on I/O failure. *)
 val load :
-  ?pool_capacity:int -> string ->
+  ?pool_capacity:int -> ?on_bad_page:[ `Fail | `Deny_subtree ] -> string ->
   Secure_store.t * (Dolx_policy.Subject.registry * Dolx_policy.Mode.registry) option

@@ -4,29 +4,37 @@
     the {!Secure_store} layout, but the codebook and the logical
     transition list also need a durable form — for shipping a secured
     document to another site (dissemination), for restarting, and for
-    the streaming filter.  Format (little-endian):
+    the streaming filter.  Format v2 (little-endian):
 
     {v
       magic   "DOLX"            4 bytes
-      version u8                = 1
+      version u8                = 2
       width   varint            subjects per ACL
       nnodes  varint
       ncodes  varint            codebook entries
       entries ncodes * ceil(width/8) bytes, entry order = code order
       ntrans  varint
       trans   ntrans * (varint delta_pre, varint code)
+      crc     u32               CRC32C over all preceding bytes
     v}
 
     Transition preorders are delta-encoded: sorted ascending, the paper's
     structural locality makes the deltas small, so they varint-compress
-    well. *)
+    well.
+
+    This is an access-control artifact, so [of_bytes] treats its input as
+    untrusted: the trailing checksum is verified before anything is
+    parsed, every varint is bounds- and overflow-checked, and counts are
+    sanity-capped against the input length — any malformed input raises
+    {!Corrupt}, never [Invalid_argument] or an out-of-bounds error. *)
 
 module Bitset = Dolx_util.Bitset
 module Varint = Dolx_util.Varint
+module Crc = Dolx_util.Crc
 
 let magic = "DOLX"
 
-let version = 1
+let version = 2
 
 exception Corrupt of string
 
@@ -49,12 +57,11 @@ let bitset_of_bytes ~width buf pos =
   done;
   bits
 
-(** Serialize a DOL. *)
-let to_bytes (dol : Dol.t) =
+(** Serialize a DOL (body only, no trailing CRC) into [buf]. *)
+let write_body buf (dol : Dol.t) =
   let cb = Dol.codebook dol in
   let width = Codebook.width cb in
   let entry_bytes = (width + 7) / 8 in
-  let buf = Buffer.create 1024 in
   Buffer.add_string buf magic;
   Buffer.add_uint8 buf version;
   let add_varint x =
@@ -79,30 +86,45 @@ let to_bytes (dol : Dol.t) =
       add_varint (pre - !prev);
       add_varint code;
       prev := pre)
-    transitions;
-  Buffer.to_bytes buf
+    transitions
 
-(** Deserialize.  @raise Corrupt on malformed input. *)
-let of_bytes buf =
+(** Serialize a DOL. *)
+let to_bytes (dol : Dol.t) =
+  let buf = Buffer.create 1024 in
+  write_body buf dol;
+  let body = Buffer.to_bytes buf in
+  let out = Bytes.create (Bytes.length body + 4) in
+  Bytes.blit body 0 out 0 (Bytes.length body);
+  Bytes.set_int32_le out (Bytes.length body) (Int32.of_int (Crc.digest body));
+  out
+
+(* Parse the body of a checksummed blob: bytes [0, limit) of [buf].
+   Shared with Db_file, whose journal embeds a DOL body. *)
+let of_body buf ~limit =
   let pos = ref 0 in
   let need n =
-    if !pos + n > Bytes.length buf then raise (Corrupt "truncated input")
+    if n < 0 || !pos + n > limit then raise (Corrupt "truncated input")
   in
   need 5;
   if Bytes.sub_string buf 0 4 <> magic then raise (Corrupt "bad magic");
   if Bytes.get_uint8 buf 4 <> version then raise (Corrupt "unsupported version");
   pos := 5;
   let read_varint () =
-    need 1;
-    let x, p = Varint.read buf !pos in
-    pos := p;
-    x
+    match Varint.read_opt buf ~pos:!pos ~limit with
+    | None -> raise (Corrupt "bad varint")
+    | Some (x, p) ->
+        pos := p;
+        x
   in
   let width = read_varint () in
   let n_nodes = read_varint () in
   let n_codes = read_varint () in
   if width < 0 || n_nodes <= 0 || n_codes <= 0 then raise (Corrupt "bad header");
   let entry_bytes = (width + 7) / 8 in
+  (* Cap the counts by what the remaining bytes could possibly hold
+     before allocating anything proportional to them. *)
+  if entry_bytes > 0 && n_codes > (limit - !pos) / entry_bytes then
+    raise (Corrupt "truncated input");
   let cb = Codebook.create ~width in
   for _ = 1 to n_codes do
     need entry_bytes;
@@ -114,6 +136,7 @@ let of_bytes buf =
     raise (Corrupt "duplicate codebook entries");
   let n_trans = read_varint () in
   if n_trans <= 0 then raise (Corrupt "no transitions");
+  if n_trans > (limit - !pos) / 2 then raise (Corrupt "truncated input");
   let pres = Array.make n_trans 0 in
   let codes = Array.make n_trans 0 in
   let prev = ref 0 in
@@ -128,7 +151,18 @@ let of_bytes buf =
     codes.(i) <- code;
     prev := pre
   done;
+  if !pos <> limit then raise (Corrupt "trailing garbage");
   { Dol.codebook = cb; trans_pre = pres; trans_code = codes; n_nodes }
+
+(** Deserialize.  @raise Corrupt on malformed input. *)
+let of_bytes buf =
+  let len = Bytes.length buf in
+  if len < 4 then raise (Corrupt "truncated input");
+  let body_len = len - 4 in
+  let stored = Int32.to_int (Bytes.get_int32_le buf body_len) land 0xFFFFFFFF in
+  if Crc.digest_sub buf ~pos:0 ~len:body_len <> stored then
+    raise (Corrupt "checksum mismatch");
+  of_body buf ~limit:body_len
 
 (** File convenience. *)
 let save path dol =

@@ -1,11 +1,26 @@
 (** Serialization of DOLs (codebook + transition list) to a compact byte
     format — for shipping secured documents (dissemination), restarts,
     and the streaming filter.  Transition preorders are delta-encoded;
-    structural locality makes the deltas varint-friendly. *)
+    structural locality makes the deltas varint-friendly.
+
+    Format v2 ends with a CRC32C over the whole body; {!of_bytes} treats
+    input as untrusted and raises only {!Corrupt} on any malformation
+    (bad magic/version, checksum mismatch, truncation, varint overflow,
+    inconsistent counts, trailing garbage). *)
 
 exception Corrupt of string
 
 val to_bytes : Dol.t -> Bytes.t
+
+(** Serialize the body only (no trailing CRC) into [buf] — for embedding
+    a DOL inside an outer checksummed structure ({!Db_file}'s sections
+    and journal). *)
+val write_body : Buffer.t -> Dol.t -> unit
+
+(** Parse an embedded body: bytes [0, limit) of [buf], no trailing CRC.
+    The caller is responsible for having verified integrity.
+    @raise Corrupt on malformed input. *)
+val of_body : Bytes.t -> limit:int -> Dol.t
 
 (** @raise Corrupt on malformed input. *)
 val of_bytes : Bytes.t -> Dol.t

@@ -21,6 +21,11 @@ type t = {
   pool_capacity : int;
   mutable access_checks : int;
   mutable header_skips : int; (* page loads avoided via the header check *)
+  (* Fail-secure quarantine: sorted disjoint preorder ranges [lo, hi]
+     whose label pages could not be recovered after corruption.  Access
+     to a quarantined node is denied for every subject — recovery must
+     never fail open. *)
+  quarantine : (int * int) array;
 }
 
 let create ?(page_size = 4096) ?(pool_capacity = 64) ?(fill = 0.9) tree dol =
@@ -32,15 +37,40 @@ let create ?(page_size = 4096) ?(pool_capacity = 64) ?(fill = 0.9) tree dol =
   in
   let layout = Nok_layout.build ~fill disk tree ~transitions in
   let pool = Buffer_pool.create ~capacity:pool_capacity disk in
-  { tree; dol; layout; pool; disk; pool_capacity; access_checks = 0; header_skips = 0 }
+  { tree; dol; layout; pool; disk; pool_capacity; access_checks = 0;
+    header_skips = 0; quarantine = [||] }
 
 (** Assemble a store from pre-built parts (database-file loading): the
-    layout must already live on [disk]. *)
-let assemble ?(pool_capacity = 64) ~tree ~dol ~disk ~layout () =
+    layout must already live on [disk].  [quarantine] lists preorder
+    ranges whose labels were lost to corruption and must be denied. *)
+let assemble ?(pool_capacity = 64) ?(quarantine = []) ~tree ~dol ~disk ~layout
+    () =
   if Dol.n_nodes dol <> Tree.size tree then
     invalid_arg "Secure_store.assemble: tree / DOL size mismatch";
+  List.iter
+    (fun (lo, hi) ->
+      if lo < 0 || hi < lo || hi >= Tree.size tree then
+        invalid_arg "Secure_store.assemble: bad quarantine range")
+    quarantine;
+  let quarantine =
+    Array.of_list (List.sort (fun (a, _) (b, _) -> compare a b) quarantine)
+  in
   let pool = Buffer_pool.create ~capacity:pool_capacity disk in
-  { tree; dol; layout; pool; disk; pool_capacity; access_checks = 0; header_skips = 0 }
+  { tree; dol; layout; pool; disk; pool_capacity; access_checks = 0;
+    header_skips = 0; quarantine }
+
+let quarantined t = Array.to_list t.quarantine
+
+let in_quarantine t v =
+  (* Few ranges in practice; linear scan with early exit on sorted lo. *)
+  let n = Array.length t.quarantine in
+  let rec go i =
+    if i >= n then false
+    else
+      let lo, hi = t.quarantine.(i) in
+      if v < lo then false else v <= hi || go (i + 1)
+  in
+  n > 0 && go 0
 
 let tree t = t.tree
 let dol t = t.dol
@@ -121,8 +151,10 @@ let text t v = Tree.text t.tree v
     loaded to visit [v]. *)
 let accessible (t : t) ~subject v =
   t.access_checks <- t.access_checks + 1;
-  let code = Nok_layout.code_in_force t.layout t.pool v in
-  Codebook.grants (Dol.codebook t.dol) code subject
+  if in_quarantine t v then false
+  else
+    let code = Nok_layout.code_in_force t.layout t.pool v in
+    Codebook.grants (Dol.codebook t.dol) code subject
 
 (** Header-only test: true when the in-memory page table already proves
     every node on [v]'s page is inaccessible to [subject] ("if the
@@ -139,7 +171,8 @@ let page_provably_inaccessible t ~subject v =
     first and only fall back to loading the page when it cannot decide. *)
 let accessible_with_skip (t : t) ~subject v =
   t.access_checks <- t.access_checks + 1;
-  if page_provably_inaccessible t ~subject v then begin
+  if in_quarantine t v then false
+  else if page_provably_inaccessible t ~subject v then begin
     t.header_skips <- t.header_skips + 1;
     false
   end

@@ -14,10 +14,19 @@ val create :
   ?page_size:int -> ?pool_capacity:int -> ?fill:float -> Tree.t -> Dol.t -> t
 
 (** Assemble from pre-built parts (used by {!Db_file}); the layout must
-    already live on [disk]. *)
+    already live on [disk].  [quarantine] lists inclusive preorder ranges
+    whose access-control labels were lost to storage corruption: every
+    access check inside a quarantined range answers [false] for every
+    subject (fail-secure — recovery must never fail open).
+    @raise Invalid_argument on a malformed range. *)
 val assemble :
-  ?pool_capacity:int -> tree:Tree.t -> dol:Dol.t ->
-  disk:Dolx_storage.Disk.t -> layout:Dolx_storage.Nok_layout.t -> unit -> t
+  ?pool_capacity:int -> ?quarantine:(int * int) list -> tree:Tree.t ->
+  dol:Dol.t -> disk:Dolx_storage.Disk.t ->
+  layout:Dolx_storage.Nok_layout.t -> unit -> t
+
+(** The quarantined preorder ranges (sorted, inclusive); empty for stores
+    built or rebuilt from source. *)
+val quarantined : t -> (int * int) list
 
 val tree : t -> Tree.t
 

@@ -316,3 +316,20 @@ let sync_ranges (dol : Dol.t) labeling runs =
         u := !stop + 1
       done)
     runs
+
+(** {1 Durable (journaled) updates}
+
+    Crash-safe variants over a clean database image ({!Db_file}): the
+    update is journaled with a commit mark before the file is compacted,
+    so a crash at any point leaves an image that loads as exactly the
+    pre- or exactly the post-update labeling — never a hybrid. *)
+
+(** Durable {!set_node_accessibility}: returns the new clean image. *)
+let durable_node_update ?pool_capacity ~base ~subject ~grant v =
+  Db_file.apply_update ?pool_capacity ~base (fun store ->
+      ignore (set_node_accessibility store ~subject ~grant v))
+
+(** Durable {!set_subtree_accessibility}: returns the new clean image. *)
+let durable_subtree_update ?pool_capacity ~base ~subject ~grant v =
+  Db_file.apply_update ?pool_capacity ~base (fun store ->
+      set_subtree_accessibility store ~subject ~grant v)

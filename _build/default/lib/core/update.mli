@@ -78,3 +78,20 @@ val set_subtree_accessibility :
     the DOL side of incremental accessibility-map maintenance (see
     [Dolx_policy.Incremental]). *)
 val sync_ranges : Dol.t -> Dolx_policy.Labeling.t -> (int * int) list -> unit
+
+(** {1 Durable (journaled) updates}
+
+    Crash-safe variants over a clean {!Db_file} image: the update is
+    journaled (write-ahead, commit-marked) before the file is compacted,
+    so a crash at any point leaves an image loading as exactly the pre-
+    or exactly the post-update labeling — never a hybrid. *)
+
+(** Durable {!set_node_accessibility}: returns the new clean image. *)
+val durable_node_update :
+  ?pool_capacity:int -> base:Bytes.t -> subject:int -> grant:bool ->
+  Tree.node -> Bytes.t
+
+(** Durable {!set_subtree_accessibility}: returns the new clean image. *)
+val durable_subtree_update :
+  ?pool_capacity:int -> base:Bytes.t -> subject:int -> grant:bool ->
+  Tree.node -> Bytes.t

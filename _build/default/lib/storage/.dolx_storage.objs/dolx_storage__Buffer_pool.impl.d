@@ -1,1 +1,1 @@
-lib/storage/buffer_pool.ml: Disk Dolx_util Hashtbl Page
+lib/storage/buffer_pool.ml: Disk Dolx_util Hashtbl List Page Printexc Printf String

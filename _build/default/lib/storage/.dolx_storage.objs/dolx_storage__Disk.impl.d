@@ -1,1 +1,1 @@
-lib/storage/disk.ml: Array Bytes Page
+lib/storage/disk.ml: Array Bytes Dolx_util Hashtbl Page Printexc Printf

@@ -1,1 +1,1 @@
-lib/storage/disk.mli: Page
+lib/storage/disk.mli: Dolx_util Page

@@ -1,1 +1,1 @@
-lib/storage/nok_layout.ml: Array Buffer_pool Bytes Disk Dolx_util Dolx_xml Fun List Page
+lib/storage/nok_layout.ml: Array Buffer_pool Bytes Disk Dolx_util Dolx_xml Fun Hashtbl List Page

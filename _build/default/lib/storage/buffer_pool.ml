@@ -4,14 +4,34 @@
     logical page touches, buffer hits, and physical disk I/O separately.
     The ε-NoK evaluation result (≈2% overhead, paper §5.2) rests on the
     access-control check being buffer-resident ("piggy-backed") — the
-    counters here are what demonstrate it. *)
+    counters here are what demonstrate it.
+
+    Disk faults are handled, not ignored: transient read errors are
+    retried a bounded number of times (counted in [stats.retries]), and
+    {!flush_all} attempts every dirty frame before reporting failures,
+    so one bad page cannot silently discard unrelated dirty pages. *)
 
 module Lru = Dolx_util.Lru
+
+exception Flush_failed of (int * exn) list
+
+let () =
+  Printexc.register_printer (function
+    | Flush_failed failures ->
+        Some
+          (Printf.sprintf "Buffer_pool.Flush_failed([%s])"
+             (String.concat "; "
+                (List.map
+                   (fun (pid, exn) ->
+                     Printf.sprintf "page %d: %s" pid (Printexc.to_string exn))
+                   failures)))
+    | _ -> None)
 
 type stats = {
   mutable touches : int; (* logical page accesses *)
   mutable hits : int;
   mutable misses : int;
+  mutable retries : int; (* re-reads after transient disk faults *)
 }
 
 type frame = { mutable page_id : int; data : Page.t; mutable dirty : bool }
@@ -19,19 +39,23 @@ type frame = { mutable page_id : int; data : Page.t; mutable dirty : bool }
 type t = {
   disk : Disk.t;
   capacity : int;
+  max_read_retries : int;
   frames : (int, frame) Hashtbl.t; (* page_id -> frame *)
   lru : Lru.t;
   stats : stats;
 }
 
-let create ?(capacity = 64) disk =
+let create ?(capacity = 64) ?(max_read_retries = 3) disk =
   if capacity < 1 then invalid_arg "Buffer_pool.create";
+  if max_read_retries < 0 then
+    invalid_arg "Buffer_pool.create: negative max_read_retries";
   {
     disk;
     capacity;
+    max_read_retries;
     frames = Hashtbl.create (2 * capacity);
     lru = Lru.create ~capacity_hint:capacity ();
-    stats = { touches = 0; hits = 0; misses = 0 };
+    stats = { touches = 0; hits = 0; misses = 0; retries = 0 };
   }
 
 let disk t = t.disk
@@ -41,7 +65,8 @@ let stats t = t.stats
 let reset_stats t =
   t.stats.touches <- 0;
   t.stats.hits <- 0;
-  t.stats.misses <- 0
+  t.stats.misses <- 0;
+  t.stats.retries <- 0
 
 let flush_frame t frame =
   if frame.dirty then begin
@@ -54,9 +79,23 @@ let evict_one t =
   | None -> failwith "Buffer_pool: all frames pinned (impossible: no pinning)"
   | Some victim ->
       let frame = Hashtbl.find t.frames victim in
-      flush_frame t frame;
+      (* Drop the frame from the table before flushing so a write fault
+         leaves the pool consistent (the page is simply not resident);
+         the fault still propagates to the caller. *)
       Hashtbl.remove t.frames victim;
+      flush_frame t frame;
       frame
+
+(* Read with bounded retry: only [Transient_read] faults are retried —
+   bad pages and checksum mismatches are not going to get better. *)
+let read_retrying t id dst =
+  let rec go attempts_left =
+    try Disk.read t.disk id dst with
+    | Disk.Fault { kind = Disk.Transient_read; _ } when attempts_left > 0 ->
+        t.stats.retries <- t.stats.retries + 1;
+        go (attempts_left - 1)
+  in
+  go t.max_read_retries
 
 (** Fetch page [id], reading from disk on a miss.  The returned bytes are
     the pool's frame: treat as read-only unless followed by
@@ -78,7 +117,13 @@ let get t id =
         end
         else { page_id = id; data = Page.create (Disk.page_size t.disk); dirty = false }
       in
-      Disk.read t.disk id frame.data;
+      (match read_retrying t id frame.data with
+      | () -> ()
+      | exception e ->
+          (* Recycled frames must not stay registered under their old id
+             with stale dirty state; the read never populated [frame]. *)
+          frame.dirty <- false;
+          raise e);
       frame.dirty <- false;
       Hashtbl.replace t.frames id frame;
       Lru.touch t.lru id;
@@ -88,18 +133,35 @@ let get t id =
 let mark_dirty t id =
   match Hashtbl.find_opt t.frames id with
   | Some frame -> frame.dirty <- true
-  | None -> invalid_arg "Buffer_pool.mark_dirty: page not resident"
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Buffer_pool.mark_dirty: page %d not resident (mark_dirty must \
+            follow the get that produced the frame, before any other get \
+            that could evict it)"
+           id)
 
-(** Write all dirty frames back to disk. *)
-let flush_all t = Hashtbl.iter (fun _ frame -> flush_frame t frame) t.frames
+(** Write all dirty frames back to disk.  Every dirty frame is attempted;
+    failures are collected and reported together. *)
+let flush_all t =
+  let failures = ref [] in
+  Hashtbl.iter
+    (fun pid frame ->
+      try flush_frame t frame
+      with e -> failures := (pid, e) :: !failures)
+    t.frames;
+  match !failures with
+  | [] -> ()
+  | fs -> raise (Flush_failed (List.sort (fun (a, _) (b, _) -> compare a b) fs))
 
 (** Drop everything (writing dirty pages back); resets residency but not
     counters. *)
 let clear t =
-  flush_all t;
+  let flush_error = try flush_all t; None with e -> Some e in
   Hashtbl.reset t.frames;
   while Lru.pop_lru t.lru <> None do
     ()
-  done
+  done;
+  match flush_error with None -> () | Some e -> raise e
 
 let resident t id = Hashtbl.mem t.frames id

@@ -1,40 +1,111 @@
-(** A simulated block device.
+(** A simulated block device with modeled faults.
 
     Pages are stored in memory; the point is faithful accounting of page
     reads and writes (and an optional synthetic latency model) so that the
     paper's I/O arguments — "the access control check for d requires no
     additional I/O" (§3.3), "the cost for updating accessibility of a
     subtree with N nodes would be N/B page reads and writes" (§3.4) — can
-    be measured rather than asserted. *)
+    be measured rather than asserted.
+
+    On top of the idealized device sits a fault model, because an access
+    control store must not fail open when hardware misbehaves:
+
+    - every write records a CRC32C of the intended page image; every read
+      re-verifies it, so any divergence between intended and stored bytes
+      surfaces as a typed {!Fault} instead of silently corrupt labels;
+    - a {!fault_plan} (driven by an explicit [Prng.t], so every failure
+      schedule is reproducible) injects transient read errors, permanent
+      bad pages, torn writes (only a prefix of the page persists) and
+      random bit flips. *)
+
+module Prng = Dolx_util.Prng
+module Crc = Dolx_util.Crc
+
+type fault_kind =
+  | Transient_read  (** the read failed but a retry may succeed *)
+  | Bad_page  (** the page is permanently unreadable/unwritable *)
+  | Checksum_mismatch  (** stored bytes do not match the recorded CRC32C *)
+
+let fault_kind_name = function
+  | Transient_read -> "transient read error"
+  | Bad_page -> "bad page"
+  | Checksum_mismatch -> "checksum mismatch"
+
+exception Fault of { page : int; kind : fault_kind }
+
+let () =
+  Printexc.register_printer (function
+    | Fault { page; kind } ->
+        Some (Printf.sprintf "Disk.Fault(page %d: %s)" page (fault_kind_name kind))
+    | _ -> None)
+
+type fault_plan = {
+  fault_prng : Prng.t;
+  transient_read_p : float;  (** per read: raise [Transient_read] *)
+  torn_write_p : float;  (** per write: persist only a random prefix *)
+  bit_flip_p : float;  (** per write: flip one random stored bit *)
+  bad_page_p : float;  (** per write: page goes permanently bad after *)
+}
+
+let fault_plan ?(transient_read_p = 0.0) ?(torn_write_p = 0.0)
+    ?(bit_flip_p = 0.0) ?(bad_page_p = 0.0) prng =
+  { fault_prng = prng; transient_read_p; torn_write_p; bit_flip_p; bad_page_p }
 
 type stats = {
   mutable reads : int;
   mutable writes : int;
   mutable allocations : int;
+  mutable transient_faults : int;  (** injected transient read errors *)
+  mutable torn_writes : int;  (** injected torn writes *)
+  mutable bit_flips : int;  (** injected bit flips *)
+  mutable checksum_failures : int;  (** reads rejected by CRC verification *)
 }
 
 type t = {
   page_size : int;
   mutable pages : Page.t array;
+  mutable crcs : int array; (* CRC32C of the *intended* image of each page *)
   mutable count : int;
   stats : stats;
   (* Synthetic cost model: simulated microseconds charged per page I/O,
      accumulated so experiments can report "disk time". *)
   read_cost_us : float;
   write_cost_us : float;
+  crc_cost_us : float;
   mutable simulated_us : float;
+  mutable crc_us : float; (* share of simulated_us spent verifying CRCs *)
+  mutable verify_reads : bool;
+  mutable plan : fault_plan option;
+  bad : (int, unit) Hashtbl.t; (* permanently failed pages *)
+  zero_crc : int; (* CRC of an all-zero page, stored at allocation *)
 }
 
 let create ?(page_size = Page.default_size) ?(read_cost_us = 100.0)
-    ?(write_cost_us = 120.0) () =
+    ?(write_cost_us = 120.0) ?(crc_cost_us = 2.0) ?(verify_reads = true) () =
   {
     page_size;
     pages = Array.make 16 (Page.create 0);
+    crcs = Array.make 16 0;
     count = 0;
-    stats = { reads = 0; writes = 0; allocations = 0 };
+    stats =
+      {
+        reads = 0;
+        writes = 0;
+        allocations = 0;
+        transient_faults = 0;
+        torn_writes = 0;
+        bit_flips = 0;
+        checksum_failures = 0;
+      };
     read_cost_us;
     write_cost_us;
+    crc_cost_us;
     simulated_us = 0.0;
+    crc_us = 0.0;
+    verify_reads;
+    plan = None;
+    bad = Hashtbl.create 8;
+    zero_crc = Crc.digest (Page.create page_size);
   }
 
 let page_size t = t.page_size
@@ -45,37 +116,104 @@ let stats t = t.stats
 
 let simulated_us t = t.simulated_us
 
+let crc_us t = t.crc_us
+
 let reset_stats t =
   t.stats.reads <- 0;
   t.stats.writes <- 0;
-  t.simulated_us <- 0.0
+  t.stats.transient_faults <- 0;
+  t.stats.torn_writes <- 0;
+  t.stats.bit_flips <- 0;
+  t.stats.checksum_failures <- 0;
+  t.simulated_us <- 0.0;
+  t.crc_us <- 0.0
+
+let set_fault_plan t plan = t.plan <- plan
+
+let set_verify_reads t b = t.verify_reads <- b
+
+let mark_bad t id =
+  if id < 0 || id >= t.count then
+    invalid_arg
+      (Printf.sprintf "Disk.mark_bad: page %d out of range (page count %d)" id
+         t.count);
+  Hashtbl.replace t.bad id ()
+
+let is_bad t id = Hashtbl.mem t.bad id
 
 (** Allocate a fresh zeroed page, returning its id. *)
 let allocate t =
   if t.count >= Array.length t.pages then begin
     let pages = Array.make (2 * Array.length t.pages) (Page.create 0) in
     Array.blit t.pages 0 pages 0 t.count;
-    t.pages <- pages
+    t.pages <- pages;
+    let crcs = Array.make (Array.length pages) 0 in
+    Array.blit t.crcs 0 crcs 0 t.count;
+    t.crcs <- crcs
   end;
   let id = t.count in
   t.pages.(id) <- Page.create t.page_size;
+  t.crcs.(id) <- t.zero_crc;
   t.count <- id + 1;
   t.stats.allocations <- t.stats.allocations + 1;
   id
 
-let check t id =
-  if id < 0 || id >= t.count then invalid_arg "Disk: page id out of range"
+let check t id op =
+  if id < 0 || id >= t.count then
+    invalid_arg
+      (Printf.sprintf "Disk.%s: page %d out of range (page count %d)" op id
+         t.count)
 
-(** Read page [id] into [dst] (a full-page buffer). *)
+let draw plan p = p > 0.0 && Prng.bool plan.fault_prng ~p
+
+(** Read page [id] into [dst] (a full-page buffer).
+    @raise Fault on a bad page, an injected transient error, or a
+    checksum mismatch between the stored bytes and the CRC recorded at
+    write time (torn write or bit rot). *)
 let read t id dst =
-  check t id;
+  check t id "read";
   t.stats.reads <- t.stats.reads + 1;
   t.simulated_us <- t.simulated_us +. t.read_cost_us;
-  Bytes.blit t.pages.(id) 0 dst 0 t.page_size
+  if Hashtbl.mem t.bad id then raise (Fault { page = id; kind = Bad_page });
+  (match t.plan with
+  | Some plan when draw plan plan.transient_read_p ->
+      t.stats.transient_faults <- t.stats.transient_faults + 1;
+      raise (Fault { page = id; kind = Transient_read })
+  | _ -> ());
+  Bytes.blit t.pages.(id) 0 dst 0 t.page_size;
+  if t.verify_reads then begin
+    t.simulated_us <- t.simulated_us +. t.crc_cost_us;
+    t.crc_us <- t.crc_us +. t.crc_cost_us;
+    if Crc.digest_sub dst ~pos:0 ~len:t.page_size <> t.crcs.(id) then begin
+      t.stats.checksum_failures <- t.stats.checksum_failures + 1;
+      raise (Fault { page = id; kind = Checksum_mismatch })
+    end
+  end
 
-(** Write [src] to page [id]. *)
+(** Write [src] to page [id].  The CRC of the *intended* image is always
+    recorded; an injected torn write or bit flip corrupts the stored
+    bytes without touching it, so the damage is caught by the next
+    verified read.
+    @raise Fault when the page has gone permanently bad. *)
 let write t id src =
-  check t id;
+  check t id "write";
   t.stats.writes <- t.stats.writes + 1;
   t.simulated_us <- t.simulated_us +. t.write_cost_us;
-  Bytes.blit src 0 t.pages.(id) 0 t.page_size
+  if Hashtbl.mem t.bad id then raise (Fault { page = id; kind = Bad_page });
+  t.crcs.(id) <- Crc.digest_sub src ~pos:0 ~len:t.page_size;
+  (match t.plan with
+  | Some plan when draw plan plan.torn_write_p ->
+      t.stats.torn_writes <- t.stats.torn_writes + 1;
+      let keep = Prng.int plan.fault_prng t.page_size in
+      Bytes.blit src 0 t.pages.(id) 0 keep
+  | _ -> Bytes.blit src 0 t.pages.(id) 0 t.page_size);
+  (match t.plan with
+  | Some plan when draw plan plan.bit_flip_p ->
+      t.stats.bit_flips <- t.stats.bit_flips + 1;
+      let bit = Prng.int plan.fault_prng (t.page_size * 8) in
+      let b = Bytes.get_uint8 t.pages.(id) (bit / 8) in
+      Bytes.set_uint8 t.pages.(id) (bit / 8) (b lxor (1 lsl (bit mod 8)))
+  | _ -> ());
+  match t.plan with
+  | Some plan when draw plan plan.bad_page_p -> Hashtbl.replace t.bad id ()
+  | _ -> ()

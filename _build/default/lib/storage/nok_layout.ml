@@ -68,6 +68,11 @@ type t = {
   mutable cur_pre : int;  (* last preorder processed *)
   mutable cur_pos : int;  (* byte offset of the record after cur_pre *)
   mutable cur_code : int; (* code in force at cur_pre *)
+  (* Update tracking for journaled persistence: which logical pages were
+     rewritten in place since the last [drain_dirty], and whether a page
+     split renumbered the logical order (invalidating recorded ids). *)
+  dirty : (int, unit) Hashtbl.t;
+  mutable renumbered : bool;
 }
 
 type record = {
@@ -129,8 +134,8 @@ let encode_records page ~n ~first_pre ~first_code ~first_depth ~change records =
     records;
   Page.set_u16 page 13 (!pos - header_bytes)
 
-(** Decode all records of a fetched page. *)
-let decode_page page =
+(** Decode all records of a raw page image (no pool, no layout). *)
+let decode_image page =
   let n = Page.get_u16 page 0 in
   let first_pre = Page.get_u32 page 2 in
   let pos = ref header_bytes in
@@ -246,6 +251,8 @@ let build ?(fill = 0.9) disk tree ~transitions =
     cur_pre = -1;
     cur_pos = 0;
     cur_code = 0;
+    dirty = Hashtbl.create 8;
+    renumbered = false;
   }
 
 (** Attach to an existing disk whose pages [0, n_pages) hold a layout in
@@ -284,6 +291,8 @@ let attach disk ~n_pages =
     cur_pre = -1;
     cur_pos = 0;
     cur_code = 0;
+    dirty = Hashtbl.create 8;
+    renumbered = false;
   }
 
 (** Page image of logical page [lp] (for database-file export), bypassing
@@ -306,7 +315,7 @@ let touch t pool pre =
 
 let records t pool lp =
   if lp < 0 || lp >= t.n_pages then invalid_arg "Nok_layout.records";
-  decode_page (Buffer_pool.get pool (t.phys.(lp)))
+  decode_image (Buffer_pool.get pool (t.phys.(lp)))
 
 (** The access-control code in force at node [pre] (§3.3): fetch the
     node's page, start from the header code and replay inline transition
@@ -399,7 +408,8 @@ let rewrite_page t pool lp records ~code_before =
       ()
     end;
     t.first_codes.(lp) <- first_code;
-    t.changes.(lp) <- change
+    t.changes.(lp) <- change;
+    Hashtbl.replace t.dirty lp ()
   end
   else begin
     (* Split: first half stays on this physical page, second half goes to
@@ -459,8 +469,26 @@ let rewrite_page t pool lp records ~code_before =
     t.changes.(lp + 1) <- change_r;
     (* Invalidate any stale pool copy of the split page. *)
     if Buffer_pool.resident pool t.phys.(lp) then
-      Bytes.blit page_l 0 (Buffer_pool.get pool t.phys.(lp)) 0 page_size
+      Bytes.blit page_l 0 (Buffer_pool.get pool t.phys.(lp)) 0 page_size;
+    (* Splitting shifts every logical page id after [lp]: previously
+       recorded dirty ids no longer name the same pages. *)
+    t.renumbered <- true
   end
+
+(** Report and clear the pages rewritten since the last drain.  After a
+    split the logical numbering changed, so the only safe answer is
+    [`Renumbered] (journal everything). *)
+let drain_dirty t =
+  let result =
+    if t.renumbered then `Renumbered
+    else if Hashtbl.length t.dirty = 0 then `Clean
+    else
+      `Pages
+        (List.sort compare (Hashtbl.fold (fun lp () acc -> lp :: acc) t.dirty []))
+  in
+  Hashtbl.reset t.dirty;
+  t.renumbered <- false;
+  result
 
 (** {1 Verification} *)
 

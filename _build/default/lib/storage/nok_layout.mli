@@ -79,6 +79,10 @@ val touch : t -> Buffer_pool.t -> int -> int
 (** Decode all records of logical page [lp]. *)
 val records : t -> Buffer_pool.t -> int -> record list
 
+(** Decode all records of a raw page image (no pool, no layout) —
+    database-file recovery use. *)
+val decode_image : Page.t -> record list
+
 (** The access-control code in force at node [pre] (§3.3): the header
     code replayed through the inline codes up to [pre], on the node's own
     page only.  Consecutive forward lookups resume from an internal scan
@@ -92,6 +96,12 @@ val code_in_force : t -> Buffer_pool.t -> int -> int
     record carries none. *)
 val rewrite_page :
   t -> Buffer_pool.t -> int -> record list -> code_before:(int -> int) -> unit
+
+(** Logical pages rewritten since the last drain (sorted), [`Clean] when
+    none, or [`Renumbered] when a page split shifted logical ids — then
+    previously recorded ids are meaningless and callers must treat every
+    page as changed.  Clears the tracked state. *)
+val drain_dirty : t -> [ `Clean | `Pages of int list | `Renumbered ]
 
 (** Rebuild the document by scanning all pages — the full decode path;
     for round-trip tests.  [tag_table] must resolve the stored tag ids

@@ -1,0 +1,1 @@
+lib/util/crc.ml: Array Bytes Lazy

@@ -1,0 +1,15 @@
+(** CRC32C (Castagnoli) checksums, table-driven, no dependencies — the
+    single checksum implementation shared by all on-disk formats (disk
+    pages, persisted DOLs, database-file sections and journals).
+
+    Values are 32-bit, returned as non-negative [int]s. *)
+
+(** Checksum of [len] bytes of [buf] starting at [pos].
+    @raise Invalid_argument on an out-of-range slice. *)
+val digest_sub : Bytes.t -> pos:int -> len:int -> int
+
+(** Checksum of a whole byte buffer. *)
+val digest : Bytes.t -> int
+
+(** Checksum of a string. *)
+val digest_string : string -> int

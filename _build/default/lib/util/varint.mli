@@ -13,3 +13,10 @@ val write : Bytes.t -> int -> int -> int
 
 (** [read buf pos] returns [(value, position after)]. *)
 val read : Bytes.t -> int -> int * int
+
+(** Bounds- and overflow-checked read for untrusted input: decode at
+    [pos] without touching [limit] or beyond.  [None] when the varint is
+    truncated or its value would exceed 62 bits; deserializers map this
+    to their [Corrupt] exception instead of letting {!read} raise
+    [Invalid_argument] or wrap negative. *)
+val read_opt : Bytes.t -> pos:int -> limit:int -> (int * int) option

@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Array Bytes Char Dolx_core Dolx_storage Dolx_util Dolx_workload Dolx_xml Fixtures List Printexc Printf QCheck2 String

@@ -1,0 +1,115 @@
+(* Time-bounded robustness smoke loop for CI: replays the journaled
+   crash-recovery and fail-secure quarantine properties over fresh random
+   seeds until the deadline.  Usage: fault_smoke [seconds] (default 30).
+   Exits 1 on the first violation. *)
+
+module Prng = Dolx_util.Prng
+module Tree = Dolx_xml.Tree
+module Dol = Dolx_core.Dol
+module Codebook = Dolx_core.Codebook
+module Db_file = Dolx_core.Db_file
+module Store = Dolx_core.Secure_store
+module Update = Dolx_core.Update
+module Nok_layout = Dolx_storage.Nok_layout
+module Synth_acl = Dolx_workload.Synth_acl
+
+let random_tree rng n =
+  let n = max 1 n in
+  let tags = [| "a"; "b"; "c"; "d" |] in
+  let b = Tree.Builder.create () in
+  let rec go budget depth =
+    ignore (Tree.Builder.open_element b (Prng.choose rng tags));
+    let remaining = ref (budget - 1) in
+    while !remaining > 0 do
+      let child_budget = 1 + Prng.int rng !remaining in
+      let child_budget = if depth > 30 then 1 else child_budget in
+      go child_budget (depth + 1);
+      remaining := !remaining - child_budget
+    done;
+    Tree.Builder.close_element b
+  in
+  go n 0;
+  Tree.Builder.finish b
+
+let make_store ~seed n =
+  let rng = Prng.create seed in
+  let tree = random_tree rng (max 2 n) in
+  let lab =
+    Synth_acl.generate_multi tree ~seed:(seed + 1) ~n_subjects:3
+      ~n_archetypes:2 ()
+  in
+  Store.create ~page_size:128 ~pool_capacity:8 tree (Dol.of_labeling lab)
+
+let matrix store =
+  let n = Tree.size (Store.tree store) in
+  let w = Codebook.width (Store.codebook store) in
+  Array.init w (fun s ->
+      Array.init n (fun v -> Store.accessible store ~subject:s v))
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let crash_recovery seed =
+  let rng = Prng.create (seed * 7919) in
+  let store = make_store ~seed (10 + Prng.int rng 60) in
+  let n = Tree.size (Store.tree store) in
+  let base = Db_file.to_bytes store in
+  let subject = Prng.int rng 3 in
+  let grant = Prng.bool rng ~p:0.5 in
+  let v = Prng.int rng n in
+  let subtree = Prng.bool rng ~p:0.4 in
+  let update st =
+    if subtree then Update.set_subtree_accessibility st ~subject ~grant v
+    else ignore (Update.set_node_accessibility st ~subject ~grant v)
+  in
+  let pre = matrix (fst (Db_file.of_bytes base)) in
+  let post =
+    let st, _ = Db_file.of_bytes base in
+    update st;
+    matrix st
+  in
+  let images = Db_file.update_images ~torn:(Prng.split rng) ~base update in
+  List.iteri
+    (fun i img ->
+      let m = matrix (fst (Db_file.of_bytes img)) in
+      if not (m = pre || m = post) then
+        fail "seed %d: crash image %d recovered a hybrid state" seed i)
+    images
+
+let quarantine seed =
+  let rng = Prng.create ((seed * 31) + 17) in
+  let store = make_store ~seed:(seed + 1_000_000) (10 + Prng.int rng 100) in
+  let img = Db_file.to_bytes store in
+  let n_pages = Nok_layout.page_count (Store.layout store) in
+  let bad = Bytes.copy img in
+  (* corrupt one random byte inside each of up to 2 random page images *)
+  for _ = 1 to 1 + Prng.int rng 2 do
+    let off, len = Db_file.page_extent bad (Prng.int rng n_pages) in
+    let p = off + Prng.int rng len in
+    Bytes.set_uint8 bad p (Bytes.get_uint8 bad p lxor (1 lsl Prng.int rng 8))
+  done;
+  match Db_file.of_bytes ~on_bad_page:`Deny_subtree bad with
+  | exception Db_file.Corrupt _ -> () (* damage outside page bodies *)
+  | st, _ ->
+      let n = Tree.size (Store.tree store) in
+      let w = Codebook.width (Store.codebook store) in
+      for v = 0 to n - 1 do
+        for s = 0 to w - 1 do
+          if
+            Store.accessible st ~subject:s v
+            && not (Store.accessible store ~subject:s v)
+          then fail "seed %d: quarantine recovery granted access to %d" seed v
+        done
+      done
+
+let () =
+  let seconds =
+    if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 30.0
+  in
+  let deadline = Unix.gettimeofday () +. seconds in
+  let seed = ref 0 in
+  while Unix.gettimeofday () < deadline do
+    incr seed;
+    crash_recovery !seed;
+    quarantine !seed
+  done;
+  Printf.printf "fault_smoke: %d iterations, no violations\n" !seed

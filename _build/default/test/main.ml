@@ -17,4 +17,5 @@ let () =
       ("edge", Test_edge.suite);
       ("structural", Test_structural.suite);
       ("coverage", Test_coverage.suite);
+      ("faults", Test_faults.suite);
     ]

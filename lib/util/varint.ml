@@ -35,3 +35,23 @@ let read buf pos =
     if b < 128 then (acc, pos + 1) else go (pos + 1) (shift + 7) acc
   in
   go pos 0 0
+
+(** Bounds- and overflow-checked read for untrusted input: decode a
+    varint from [buf] at [pos] without touching [limit] or beyond.
+    Returns [None] when the varint is truncated (a continuation byte runs
+    into [limit]) or when the value would exceed 62 bits — either case
+    would make {!read} raise [Invalid_argument] or silently wrap
+    negative, which deserializers must surface as corruption instead. *)
+let read_opt buf ~pos ~limit =
+  let limit = min limit (Bytes.length buf) in
+  let rec go pos shift acc =
+    if pos >= limit || shift > 56 then None
+    else
+      let b = Bytes.get_uint8 buf pos in
+      let v = b land 127 in
+      if shift = 56 && v > 63 then None
+      else
+        let acc = acc lor (v lsl shift) in
+        if b < 128 then Some (acc, pos + 1) else go (pos + 1) (shift + 7) acc
+  in
+  go pos 0 0

@@ -175,7 +175,8 @@ let test_layout_accessors () =
 
 let test_disk_errors () =
   let d = Disk.create ~page_size:64 () in
-  Alcotest.check_raises "bad page id" (Invalid_argument "Disk: page id out of range")
+  Alcotest.check_raises "bad page id"
+    (Invalid_argument "Disk.read: page 0 out of range (page count 0)")
     (fun () -> Disk.read d 0 (Bytes.create 64))
 
 let test_btree_accessors () =

@@ -126,6 +126,35 @@ let test_db_file_roundtrip () =
         (Engine.query store' index' q (Engine.Secure 0)).Engine.answers)
     Xmark.queries
 
+let test_db_file_pool_capacity_1 () =
+  (* a reload must stay correct under maximal buffer-pool pressure: every
+     page access evicts the previous frame *)
+  let tree = Xmark.generate_nodes ~seed:71 800 in
+  let n = Tree.size tree in
+  let rng = Prng.create 72 in
+  let bools = Fixtures.random_bools rng n 0.5 in
+  bools.(0) <- true;
+  let store = Store.create ~page_size:256 tree (Dol.of_bool_array bools) in
+  let store', _ =
+    Db_file.of_bytes ~pool_capacity:1 (Db_file.to_bytes store)
+  in
+  for v = 0 to n - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "access %d" v)
+      (Store.accessible store ~subject:0 v)
+      (Store.accessible store' ~subject:0 v)
+  done;
+  (* and it serializes back identically from the capacity-1 pool *)
+  let store'', _ =
+    Db_file.of_bytes ~pool_capacity:1 (Db_file.to_bytes store')
+  in
+  for v = 0 to n - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "re-roundtrip access %d" v)
+      (Store.accessible store ~subject:0 v)
+      (Store.accessible store'' ~subject:0 v)
+  done
+
 let test_db_file_on_disk () =
   let tree = Fixtures.library_tree () in
   let dol = Dol.of_bool_array (Array.make (Tree.size tree) true) in
@@ -493,6 +522,8 @@ let suite =
     Alcotest.test_case "persist: corrupt input" `Quick test_persist_corrupt;
     Alcotest.test_case "persist: delta compression" `Quick test_persist_delta_compression;
     Alcotest.test_case "db file: roundtrip" `Quick test_db_file_roundtrip;
+    Alcotest.test_case "db file: pool capacity 1" `Quick
+      test_db_file_pool_capacity_1;
     Alcotest.test_case "db file: on disk" `Quick test_db_file_on_disk;
     Alcotest.test_case "db file: registry roundtrip" `Quick test_db_file_registry_roundtrip;
     Alcotest.test_case "db file: after page splits" `Quick test_db_file_after_splits;

@@ -75,6 +75,35 @@ let test_pool_writeback () =
   Disk.read d pid buf;
   check Alcotest.int "dirty page written back" 42 (Bytes.get_uint8 buf 5)
 
+(* Regression for the evict-then-mark race: a frame modified after its
+   get must be marked dirty before any other get can evict it.  The pool
+   cannot detect a lost update after the fact, so mark_dirty on a
+   no-longer-resident page must raise instead of no-op'ing. *)
+let test_pool_mark_dirty_after_evict () =
+  let d = Disk.create ~page_size:64 () in
+  let a = Disk.allocate d in
+  let b = Disk.allocate d in
+  let pool = Buffer_pool.create ~capacity:1 d in
+  let frame = Buffer_pool.get pool a in
+  Bytes.set_uint8 frame 0 42;
+  (* page b evicts page a; a's unmarked modification is dropped *)
+  ignore (Buffer_pool.get pool b);
+  Alcotest.check_raises "late mark_dirty raises"
+    (Invalid_argument
+       "Buffer_pool.mark_dirty: page 0 not resident (mark_dirty must follow \
+        the get that produced the frame, before any other get that could \
+        evict it)")
+    (fun () -> Buffer_pool.mark_dirty pool a);
+  (* the correct ordering survives the same eviction pressure *)
+  let frame = Buffer_pool.get pool a in
+  Bytes.set_uint8 frame 0 42;
+  Buffer_pool.mark_dirty pool a;
+  ignore (Buffer_pool.get pool b);
+  let buf = Page.create 64 in
+  Disk.read d a buf;
+  check Alcotest.int "marked modification survives eviction" 42
+    (Bytes.get_uint8 buf 0)
+
 (* --- NoK layout --- *)
 
 let build_layout ?(page_size = 128) ?(fill = 0.9) tree bools =
@@ -239,6 +268,8 @@ let suite =
     Alcotest.test_case "disk counters" `Quick test_disk_counters;
     Alcotest.test_case "pool hits + eviction" `Quick test_pool_hits_and_eviction;
     Alcotest.test_case "pool writeback" `Quick test_pool_writeback;
+    Alcotest.test_case "pool mark_dirty after evict" `Quick
+      test_pool_mark_dirty_after_evict;
     Alcotest.test_case "layout roundtrip (figure 2)" `Quick test_layout_roundtrip_figure2;
     Alcotest.test_case "layout codes" `Quick test_layout_codes;
     Alcotest.test_case "layout headers" `Quick test_layout_headers;
