@@ -4,7 +4,7 @@
     Usage:
       dune exec bench/main.exe            # all experiments
       dune exec bench/main.exe -- fig4a   # one experiment
-    Experiments: fig4a fig4b fig5 fig6 storage queries fig7 joins updates micro robustness
+    Experiments: fig4a fig4b fig5 fig6 storage queries fig7 joins updates micro robustness obs
     Set DOLX_BENCH_SCALE=k to scale dataset sizes by k. *)
 
 let queries_table () =
@@ -27,6 +27,7 @@ let experiments =
     ("ablation", Ablation.run);
     ("micro", Micro.run);
     ("robustness", Robustness.run);
+    ("obs", Obs_bench.run);
   ]
 
 let run_all () =
@@ -39,7 +40,8 @@ let run_all () =
   Updates_bench.run ();
   Ablation.run ();
   Micro.run ();
-  Robustness.run ()
+  Robustness.run ();
+  Obs_bench.run ()
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

@@ -11,6 +11,11 @@
      inspect-dol  print statistics of a persisted DOL
      compile-db   compile document + policy into a one-file database
      query-db     query a compiled database file
+     stats-db     print statistics of a compiled database file
+
+   query and query-db accept --metrics[=json]: the default metrics
+   registry and span trace are reset before the engine run and printed
+   after it (JSON as the final stdout line).
 
    Policy files use the Dolx_policy.Policy_file language; node anchors
    written as @<xpath> are resolved against the document. *)
@@ -31,14 +36,21 @@ module Cam = Dolx_cam.Cam
 module Engine = Dolx_nok.Engine
 module Tag_index = Dolx_index.Tag_index
 module Xmark = Dolx_workload.Xmark
+module Metrics = Dolx_obs.Metrics
+module Trace = Dolx_obs.Trace
 open Cmdliner
 
 let read_file path =
   let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
 
 let load_doc path = Parser.parse (read_file path)
 
@@ -86,16 +98,44 @@ let mode_arg =
 let subject_arg =
   Arg.(required & opt (some string) None & info [ "s"; "subject" ] ~docv:"NAME" ~doc:"Subject.")
 
+(* --metrics[=json]: observe the engine run through the default registry
+   and print it afterwards.  JSON is emitted as the final stdout line so
+   scripts can [tail -n 1 | parse]. *)
+let metrics_arg =
+  let fmt = Arg.enum [ ("human", `Human); ("json", `Json) ] in
+  Arg.(value
+       & opt ~vopt:(Some `Human) (some fmt) None
+       & info [ "metrics" ] ~docv:"FORMAT"
+           ~doc:"Print metrics for the query run ($(b,human) or $(b,json)).")
+
+(* Reset both the registry and the store's legacy counters right before
+   the measured run, so the two views agree (see docs/ARCHITECTURE.md,
+   "Observability"); wall-clock spans need a real clock. *)
+let metrics_begin fmt store =
+  match fmt with
+  | None -> ()
+  | Some _ ->
+      Trace.set_clock Unix.gettimeofday;
+      Trace.set_enabled true;
+      Trace.reset ();
+      Store.reset_stats store;
+      Metrics.reset Metrics.default
+
+let metrics_end fmt =
+  match fmt with
+  | None -> ()
+  | Some `Human ->
+      Fmt.pr "-- metrics --@.%a@." Metrics.pp Metrics.default;
+      Fmt.pr "-- trace --@.%a@." (fun ppf () -> Trace.pp ppf ()) ()
+  | Some `Json -> print_endline (Metrics.to_json_string Metrics.default)
+
 (* --- generate --- *)
 
 let generate nodes seed output =
   let tree = Xmark.generate_nodes ~seed nodes in
   let xml = Serializer.to_string ~indent:true tree in
   (match output with
-  | Some path ->
-      let oc = open_out path in
-      output_string oc xml;
-      close_out oc
+  | Some path -> write_file path xml
   | None -> print_string xml);
   Printf.eprintf "generated %d nodes\n" (Tree.size tree)
 
@@ -155,7 +195,7 @@ let node_path tree v =
   in
   go v ""
 
-let query doc policy mode subject path_semantics q =
+let query doc policy mode subject path_semantics metrics q =
   let tree = load_doc doc in
   let subjects, _, labeling = compile tree policy ~mode in
   let s = subject_id subjects subject in
@@ -163,13 +203,15 @@ let query doc policy mode subject path_semantics q =
   let store = Store.create tree dol in
   let index = Tag_index.build tree in
   let sem = if path_semantics then Engine.Secure_path s else Engine.Secure s in
+  metrics_begin metrics store;
   let r = Engine.query store index q sem in
   List.iter
     (fun v ->
       let txt = Tree.text tree v in
       Printf.printf "%s%s\n" (node_path tree v) (if txt = "" then "" else ": " ^ txt))
     r.Engine.answers;
-  Printf.eprintf "%d answers\n" (List.length r.Engine.answers)
+  Printf.eprintf "%d answers\n" (List.length r.Engine.answers);
+  metrics_end metrics
 
 let query_cmd =
   let path_sem =
@@ -178,7 +220,8 @@ let query_cmd =
   in
   let q = Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY") in
   Cmd.v (Cmd.info "query" ~doc:"Evaluate a twig query as a subject")
-    Term.(const query $ doc_arg $ policy_arg $ mode_arg $ subject_arg $ path_sem $ q)
+    Term.(const query $ doc_arg $ policy_arg $ mode_arg $ subject_arg $ path_sem
+          $ metrics_arg $ q)
 
 (* --- view --- *)
 
@@ -219,10 +262,7 @@ let filter doc policy mode subject lift output =
     Dolx_core.Stream_filter.filter_string ~semantics dol ~subject:s (read_file doc)
   in
   match output with
-  | Some path ->
-      let oc = open_out path in
-      output_string oc out;
-      close_out oc
+  | Some path -> write_file path out
   | None -> print_endline out
 
 let filter_cmd =
@@ -307,7 +347,7 @@ let compile_db_cmd =
        ~doc:"Compile document + policy into a single-file secured database")
     Term.(const compile_db $ doc_arg $ policy_arg $ mode_arg $ output)
 
-let query_db db subject path_semantics q =
+let query_db db subject path_semantics metrics q =
   let store, registries = Dolx_core.Db_file.load db in
   let tree = Store.tree store in
   let index = Tag_index.build tree in
@@ -321,13 +361,15 @@ let query_db db subject path_semantics q =
         | None -> failwith "database file has no subject registry; use a bit index")
   in
   let sem = if path_semantics then Engine.Secure_path bit else Engine.Secure bit in
+  metrics_begin metrics store;
   let r = Engine.query store index q sem in
   List.iter
     (fun v ->
       let txt = Tree.text tree v in
       Printf.printf "%s%s\n" (node_path tree v) (if txt = "" then "" else ": " ^ txt))
     r.Engine.answers;
-  Printf.eprintf "%d answers\n" (List.length r.Engine.answers)
+  Printf.eprintf "%d answers\n" (List.length r.Engine.answers);
+  metrics_end metrics
 
 let query_db_cmd =
   let db = Arg.(required & opt (some file) None & info [ "db" ] ~docv:"FILE") in
@@ -340,7 +382,49 @@ let query_db_cmd =
   let q = Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY") in
   Cmd.v
     (Cmd.info "query-db" ~doc:"Evaluate a twig query against a compiled database file")
-    Term.(const query_db $ db $ subject_bit $ path_sem $ q)
+    Term.(const query_db $ db $ subject_bit $ path_sem $ metrics_arg $ q)
+
+(* --- stats-db: database-file statistics --- *)
+
+let stats_db db =
+  let store, registries = Dolx_core.Db_file.load db in
+  let tree = Store.tree store in
+  let dol = Store.dol store in
+  let layout = Store.layout store in
+  let file_bytes = (Unix.stat db).Unix.st_size in
+  Printf.printf "file: %s (%d bytes)\n" db file_bytes;
+  Printf.printf "nodes: %d\n" (Tree.size tree);
+  Printf.printf "pages: %d x %d bytes\n"
+    (Dolx_storage.Nok_layout.page_count layout)
+    (Dolx_storage.Disk.page_size (Store.disk store));
+  Printf.printf "codebook: %d entries over %d subjects (%d bytes)\n"
+    (Codebook.count (Dol.codebook dol))
+    (Codebook.width (Dol.codebook dol))
+    (Dol.codebook_bytes dol);
+  Printf.printf "transitions: %d (density %.4f); embedded codes: %d bytes\n"
+    (Dol.transition_count dol)
+    (Dol.transition_density dol)
+    (Dol.embedded_bytes dol);
+  (match registries with
+  | Some (subjects, modes) ->
+      let names n get count =
+        String.concat ", " (List.init (count n) (fun i -> get n i))
+      in
+      Printf.printf "subjects: %s\n" (names subjects Subject.name Subject.count);
+      Printf.printf "modes: %s\n" (names modes Mode.name Mode.count)
+  | None -> print_endline "no embedded subject/mode registry");
+  match Store.quarantined store with
+  | [] -> ()
+  | qs ->
+      Printf.printf "quarantined ranges (fail-secure): %s\n"
+        (String.concat ", "
+           (List.map (fun (lo, hi) -> Printf.sprintf "[%d,%d]" lo hi) qs))
+
+let stats_db_cmd =
+  let db = Arg.(required & opt (some file) None & info [ "db" ] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "stats-db" ~doc:"Print statistics of a compiled database file")
+    Term.(const stats_db $ db)
 
 let main_cmd =
   Cmd.group
@@ -348,7 +432,8 @@ let main_cmd =
        ~doc:"Compact access-control labeling for secure XML query evaluation")
     [
       generate_cmd; stats_cmd; label_cmd; query_cmd; view_cmd; filter_cmd;
-      save_dol_cmd; inspect_dol_cmd; compile_db_cmd; query_db_cmd; explain_cmd;
+      save_dol_cmd; inspect_dol_cmd; compile_db_cmd; query_db_cmd;
+      stats_db_cmd; explain_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

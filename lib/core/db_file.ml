@@ -64,6 +64,11 @@ module Varint = Dolx_util.Varint
 module Crc = Dolx_util.Crc
 module Bitset = Dolx_util.Bitset
 module Prng = Dolx_util.Prng
+module Metrics = Dolx_obs.Metrics
+
+let c_journal_writes = Metrics.counter "db.journal_writes"
+
+let c_journal_bytes = Metrics.counter "db.journal_bytes"
 
 let magic = "DOLXDB"
 
@@ -637,6 +642,8 @@ let update_images ?pool_capacity ?torn ~base f =
       add_varint payload (Buffer.length dol_body);
       Buffer.add_buffer payload dol_body;
       let payload = Buffer.to_bytes payload in
+      Metrics.incr c_journal_writes;
+      Metrics.add c_journal_bytes (Bytes.length payload);
       (* stem = base minus its trailing journal flag byte *)
       let journal = Buffer.create (Bytes.length payload + 16) in
       Buffer.add_subbytes journal base 0 (base_len - 1);
@@ -691,16 +698,23 @@ let page_extent buf lp =
   R.need r ((lp + 1) * (page_size + 4));
   (off, page_size + 4)
 
-(** File convenience. *)
+(** File convenience.  Channels are closed even when serialization or
+    parsing raises. *)
 let save ?subjects ?modes path store =
   let oc = open_out_bin path in
-  output_bytes oc (to_bytes ?subjects ?modes store);
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_bytes oc (to_bytes ?subjects ?modes store))
 
 let load ?pool_capacity ?on_bad_page path =
   let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let buf = Bytes.create n in
-  really_input ic buf 0 n;
-  close_in ic;
+  let buf =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        let buf = Bytes.create n in
+        really_input ic buf 0 n;
+        buf)
+  in
   of_bytes ?pool_capacity ?on_bad_page buf

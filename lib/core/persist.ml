@@ -164,18 +164,25 @@ let of_bytes buf =
     raise (Corrupt "checksum mismatch");
   of_body buf ~limit:body_len
 
-(** File convenience. *)
+(** File convenience.  Channels are closed even when serialization or
+    parsing raises. *)
 let save path dol =
   let oc = open_out_bin path in
-  output_bytes oc (to_bytes dol);
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_bytes oc (to_bytes dol))
 
 let load path =
   let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let buf = Bytes.create n in
-  really_input ic buf 0 n;
-  close_in ic;
+  let buf =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        let buf = Bytes.create n in
+        really_input ic buf 0 n;
+        buf)
+  in
   of_bytes buf
 
 (** Serialized size in bytes, without materializing. *)

@@ -11,6 +11,13 @@ module Tree = Dolx_xml.Tree
 module Nok_layout = Dolx_storage.Nok_layout
 module Buffer_pool = Dolx_storage.Buffer_pool
 module Disk = Dolx_storage.Disk
+module Metrics = Dolx_obs.Metrics
+
+let c_access_checks = Metrics.counter "store.access_checks"
+
+let c_header_skips = Metrics.counter "store.header_skips"
+
+let c_codebook_lookups = Metrics.counter "store.codebook_lookups"
 
 type t = {
   tree : Tree.t;
@@ -21,6 +28,7 @@ type t = {
   pool_capacity : int;
   mutable access_checks : int;
   mutable header_skips : int; (* page loads avoided via the header check *)
+  mutable codebook_lookups : int; (* Codebook.grants evaluations *)
   (* Fail-secure quarantine: sorted disjoint preorder ranges [lo, hi]
      whose label pages could not be recovered after corruption.  Access
      to a quarantined node is denied for every subject — recovery must
@@ -38,7 +46,7 @@ let create ?(page_size = 4096) ?(pool_capacity = 64) ?(fill = 0.9) tree dol =
   let layout = Nok_layout.build ~fill disk tree ~transitions in
   let pool = Buffer_pool.create ~capacity:pool_capacity disk in
   { tree; dol; layout; pool; disk; pool_capacity; access_checks = 0;
-    header_skips = 0; quarantine = [||] }
+    header_skips = 0; codebook_lookups = 0; quarantine = [||] }
 
 (** Assemble a store from pre-built parts (database-file loading): the
     layout must already live on [disk].  [quarantine] lists preorder
@@ -57,7 +65,7 @@ let assemble ?(pool_capacity = 64) ?(quarantine = []) ~tree ~dol ~disk ~layout
   in
   let pool = Buffer_pool.create ~capacity:pool_capacity disk in
   { tree; dol; layout; pool; disk; pool_capacity; access_checks = 0;
-    header_skips = 0; quarantine }
+    header_skips = 0; codebook_lookups = 0; quarantine }
 
 let quarantined t = Array.to_list t.quarantine
 
@@ -89,6 +97,7 @@ type io_stats = {
   disk_writes : int;
   access_checks : int;
   header_skips : int;
+  codebook_lookups : int;
 }
 
 let io_stats t =
@@ -102,19 +111,22 @@ let io_stats t =
     disk_writes = ds.Disk.writes;
     access_checks = t.access_checks;
     header_skips = t.header_skips;
+    codebook_lookups = t.codebook_lookups;
   }
 
 let reset_stats t =
   Buffer_pool.reset_stats t.pool;
   Disk.reset_stats t.disk;
   t.access_checks <- 0;
-  t.header_skips <- 0
+  t.header_skips <- 0;
+  t.codebook_lookups <- 0
 
 let pp_io ppf s =
   Fmt.pf ppf
-    "touches=%d hits=%d misses=%d disk_reads=%d disk_writes=%d checks=%d skips=%d"
+    "touches=%d hits=%d misses=%d disk_reads=%d disk_writes=%d checks=%d \
+     skips=%d lookups=%d"
     s.page_touches s.pool_hits s.pool_misses s.disk_reads s.disk_writes
-    s.access_checks s.header_skips
+    s.access_checks s.header_skips s.codebook_lookups
 
 (** {1 Navigation (with I/O accounting)}
 
@@ -149,12 +161,18 @@ let text t v = Tree.text t.tree v
 (** ACCESS of Algorithm 1: the code in force at [v] is found on [v]'s own
     page, so this incurs no I/O beyond the page the evaluator already
     loaded to visit [v]. *)
+let grants (t : t) code subject =
+  t.codebook_lookups <- t.codebook_lookups + 1;
+  Metrics.incr c_codebook_lookups;
+  Codebook.grants (Dol.codebook t.dol) code subject
+
 let accessible (t : t) ~subject v =
   t.access_checks <- t.access_checks + 1;
+  Metrics.incr c_access_checks;
   if in_quarantine t v then false
   else
     let code = Nok_layout.code_in_force t.layout t.pool v in
-    Codebook.grants (Dol.codebook t.dol) code subject
+    grants t code subject
 
 (** Header-only test: true when the in-memory page table already proves
     every node on [v]'s page is inaccessible to [subject] ("if the
@@ -165,20 +183,22 @@ let page_provably_inaccessible t ~subject v =
   let lp = Nok_layout.page_of t.layout v in
   let h = Nok_layout.header t.layout lp in
   (not h.Nok_layout.change)
-  && not (Codebook.grants (Dol.codebook t.dol) h.Nok_layout.first_code subject)
+  && not (grants t h.Nok_layout.first_code subject)
 
 (** ACCESS with the header optimization: consult the in-memory header
     first and only fall back to loading the page when it cannot decide. *)
 let accessible_with_skip (t : t) ~subject v =
   t.access_checks <- t.access_checks + 1;
+  Metrics.incr c_access_checks;
   if in_quarantine t v then false
   else if page_provably_inaccessible t ~subject v then begin
     t.header_skips <- t.header_skips + 1;
+    Metrics.incr c_header_skips;
     false
   end
   else
     let code = Nok_layout.code_in_force t.layout t.pool v in
-    Codebook.grants (Dol.codebook t.dol) code subject
+    grants t code subject
 
 (** {1 Structural reorganization}
 

@@ -50,6 +50,7 @@ type io_stats = {
   disk_writes : int;
   access_checks : int;  (** ACCESS evaluations (§3.3) *)
   header_skips : int;   (** page loads avoided via the header check *)
+  codebook_lookups : int;  (** [Codebook.grants] evaluations *)
 }
 
 val io_stats : t -> io_stats

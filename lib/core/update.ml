@@ -16,6 +16,13 @@ module Bitset = Dolx_util.Bitset
 module Int_vec = Dolx_util.Int_vec
 module Binsearch = Dolx_util.Binsearch
 module Nok_layout = Dolx_storage.Nok_layout
+module Metrics = Dolx_obs.Metrics
+
+let c_node_updates = Metrics.counter "update.node_updates"
+
+let c_subtree_updates = Metrics.counter "update.subtree_updates"
+
+let c_pages_refreshed = Metrics.counter "update.pages_refreshed"
 
 (** {1 Logical transition-list surgery} *)
 
@@ -273,6 +280,7 @@ let refresh_pages (store : Secure_store.t) ~lo ~hi =
           rs
       in
       Nok_layout.rewrite_page layout pool lp rs' ~code_before:(Dol.code_at dol);
+      Metrics.incr c_pages_refreshed;
       go (first_pre + count)
     end
   in
@@ -282,12 +290,14 @@ let refresh_pages (store : Secure_store.t) ~lo ~hi =
     change + page write-back ("the cost for update a specific node is a
     page read followed by a page write", §3.4). *)
 let set_node_accessibility store ~subject ~grant v =
+  Metrics.incr c_node_updates;
   let changed = dol_set_node (Secure_store.dol store) ~subject ~grant v in
   if changed then refresh_pages store ~lo:v ~hi:(v + 1);
   changed
 
 (** Subtree accessibility update on a secured store (~N/B page I/Os). *)
 let set_subtree_accessibility store ~subject ~grant v =
+  Metrics.incr c_subtree_updates;
   let tree = Secure_store.tree store in
   let dol = Secure_store.dol store in
   let hi = Tree.subtree_end tree v in

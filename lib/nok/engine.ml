@@ -19,6 +19,18 @@ module Store = Dolx_core.Secure_store
 module Tree = Dolx_xml.Tree
 module Tag = Dolx_xml.Tag
 module Tag_index = Dolx_index.Tag_index
+module Metrics = Dolx_obs.Metrics
+module Trace = Dolx_obs.Trace
+
+let c_queries = Metrics.counter "engine.queries"
+
+let c_segments = Metrics.counter "engine.segments"
+
+let c_joins = Metrics.counter "engine.joins"
+
+let c_candidates = Metrics.counter "engine.candidates_scanned"
+
+let c_answers = Metrics.counter "engine.answers"
 
 type semantics =
   | Insecure              (** plain NoK evaluation, no access control *)
@@ -104,6 +116,7 @@ let eval_segment store index mode (seg : Decompose.segment) roots scanned =
       List.sort_uniq compare out
 
 let run ?(options = default_options) ?value_index store index pattern semantics =
+  Trace.with_span "engine.query" @@ fun () ->
   let plan = Decompose.plan pattern in
   let mode = match_mode options semantics in
   let scanned = ref 0 in
@@ -112,13 +125,17 @@ let run ?(options = default_options) ?value_index store index pattern semantics 
     match segments with
     | [] -> roots
     | (seg : Decompose.segment) :: rest ->
-        let bindings = eval_segment store index mode seg roots scanned in
+        let bindings =
+          Trace.with_span "engine.segment" @@ fun () ->
+          eval_segment store index mode seg roots scanned
+        in
         (match rest with
         | [] -> bindings
         | next :: _ ->
             if bindings = [] then []
             else begin
               incr joins;
+              Trace.with_span "engine.join" @@ fun () ->
               let next_step =
                 match next.Decompose.steps with
                 | s :: _ -> s
@@ -140,6 +157,7 @@ let run ?(options = default_options) ?value_index store index pattern semantics 
             end)
   in
   let first_roots =
+    Trace.with_span "engine.index_seed" @@ fun () ->
     match plan.Decompose.segments with
     | [] -> []
     | seg :: _ -> (
@@ -153,12 +171,13 @@ let run ?(options = default_options) ?value_index store index pattern semantics 
             | [] -> []))
   in
   let answers = go plan.Decompose.segments first_roots in
-  {
-    answers;
-    segments = Decompose.segment_count plan;
-    joins = !joins;
-    candidates_scanned = !scanned;
-  }
+  let segments = Decompose.segment_count plan in
+  Metrics.incr c_queries;
+  Metrics.add c_segments segments;
+  Metrics.add c_joins !joins;
+  Metrics.add c_candidates !scanned;
+  Metrics.add c_answers (List.length answers);
+  { answers; segments; joins = !joins; candidates_scanned = !scanned }
 
 (** {1 Full binding tuples}
 

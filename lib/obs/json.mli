@@ -1,0 +1,30 @@
+(** Minimal dependency-free JSON: enough for the metrics/trace exporters
+    (objects, arrays, strings, finite numbers) plus a strict parser so
+    tests and CI can round-trip every export. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of { pos : int; message : string }
+
+val num_of_int : int -> t
+
+(** Serialize.  Non-finite numbers print as [null] (JSON has no NaN). *)
+val to_string : t -> string
+
+(** Strict parse of a complete JSON document.
+    @raise Parse_error on malformed input or trailing garbage. *)
+val parse : string -> t
+
+(** Field lookup on an [Obj]; [None] on other values or missing keys. *)
+val member : string -> t -> t option
+
+val to_float : t -> float option
+
+(** [Some i] only for integral numbers. *)
+val to_int : t -> int option

@@ -1,0 +1,49 @@
+(** Span-based tracing: [with_span "nok.match" f] times [f] on a
+    monotonic clock and records a nested span.  Disabled (the default),
+    [with_span] is one branch + a closure call; enabled, each finished
+    span also feeds the [span.<name>] histogram (microseconds) of the
+    collector's metrics registry for p50/p95/p99 per phase. *)
+
+type span = {
+  name : string;
+  depth : int;  (** nesting depth when the span opened *)
+  seq : int;  (** start order; children have larger [seq] than parents *)
+  start : float;  (** clock seconds since the collector's epoch *)
+  dur : float;  (** clock seconds *)
+}
+
+type t
+
+(** [cap] bounds retained spans (aggregation continues past it);
+    [metrics] receives the [span.*] histograms (default
+    {!Metrics.default}). *)
+val create : ?enabled:bool -> ?cap:int -> ?metrics:Metrics.t -> unit -> t
+
+(** The collector the built-in instrumentation records into. *)
+val default : t
+
+val enabled : t -> bool
+
+val set_enabled : ?c:t -> bool -> unit
+
+(** Replace the clock (default [Sys.time]; the CLI and bench install
+    [Unix.gettimeofday]).  Must be monotone non-decreasing. *)
+val set_clock : ?c:t -> (unit -> float) -> unit
+
+(** Drop recorded spans and restart the epoch. *)
+val reset : ?c:t -> unit -> unit
+
+(** Run [f] inside a span.  Exception-safe: the span closes (and the
+    exception propagates) even when [f] raises. *)
+val with_span : ?c:t -> string -> (unit -> 'a) -> 'a
+
+(** Finished spans, start order. *)
+val spans : t -> span list
+
+val span_count : t -> int
+
+(** Array of [{name, depth, seq, start_us, dur_us}]. *)
+val to_json : ?c:t -> unit -> Json.t
+
+(** Indented tree, one line per span. *)
+val pp : ?c:t -> Format.formatter -> unit -> unit

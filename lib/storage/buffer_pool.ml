@@ -12,6 +12,23 @@
     so one bad page cannot silently discard unrelated dirty pages. *)
 
 module Lru = Dolx_util.Lru
+module Metrics = Dolx_obs.Metrics
+
+let c_touches = Metrics.counter "pool.touches"
+
+let c_hits = Metrics.counter "pool.hits"
+
+let c_misses = Metrics.counter "pool.misses"
+
+let c_retries = Metrics.counter "pool.retries"
+
+let c_evictions = Metrics.counter "pool.evictions"
+
+let c_eviction_flush_failures = Metrics.counter "pool.eviction_flush_failures"
+
+let c_flush_failures = Metrics.counter "pool.flush_failures"
+
+let c_flushes = Metrics.counter "pool.flushes"
 
 exception Flush_failed of (int * exn) list
 
@@ -32,6 +49,10 @@ type stats = {
   mutable hits : int;
   mutable misses : int;
   mutable retries : int; (* re-reads after transient disk faults *)
+  mutable evictions : int; (* frames recycled to make room *)
+  mutable eviction_flush_failures : int;
+      (* evictions aborted because the victim's dirty flush faulted; the
+         victim stays resident, so no modified page is ever dropped *)
 }
 
 type frame = { mutable page_id : int; data : Page.t; mutable dirty : bool }
@@ -55,7 +76,15 @@ let create ?(capacity = 64) ?(max_read_retries = 3) disk =
     max_read_retries;
     frames = Hashtbl.create (2 * capacity);
     lru = Lru.create ~capacity_hint:capacity ();
-    stats = { touches = 0; hits = 0; misses = 0; retries = 0 };
+    stats =
+      {
+        touches = 0;
+        hits = 0;
+        misses = 0;
+        retries = 0;
+        evictions = 0;
+        eviction_flush_failures = 0;
+      };
   }
 
 let disk t = t.disk
@@ -66,7 +95,9 @@ let reset_stats t =
   t.stats.touches <- 0;
   t.stats.hits <- 0;
   t.stats.misses <- 0;
-  t.stats.retries <- 0
+  t.stats.retries <- 0;
+  t.stats.evictions <- 0;
+  t.stats.eviction_flush_failures <- 0
 
 let flush_frame t frame =
   if frame.dirty then begin
@@ -79,11 +110,23 @@ let evict_one t =
   | None -> failwith "Buffer_pool: all frames pinned (impossible: no pinning)"
   | Some victim ->
       let frame = Hashtbl.find t.frames victim in
-      (* Drop the frame from the table before flushing so a write fault
-         leaves the pool consistent (the page is simply not resident);
-         the fault still propagates to the caller. *)
+      (* Flush the victim BEFORE unregistering it.  The old order
+         (remove, then flush) orphaned the frame when the write faulted:
+         the dirty page was silently lost and a later [get] re-read the
+         stale on-disk copy.  On a flush fault the victim is re-queued
+         as most-recently-used — still resident, still dirty — and the
+         fault propagates; a permanently bad page then surfaces on every
+         further eviction attempt instead of failing open. *)
+      (match flush_frame t frame with
+      | () -> ()
+      | exception e ->
+          t.stats.eviction_flush_failures <- t.stats.eviction_flush_failures + 1;
+          Metrics.incr c_eviction_flush_failures;
+          Lru.touch t.lru victim;
+          raise e);
       Hashtbl.remove t.frames victim;
-      flush_frame t frame;
+      t.stats.evictions <- t.stats.evictions + 1;
+      Metrics.incr c_evictions;
       frame
 
 (* Read with bounded retry: only [Transient_read] faults are retried —
@@ -93,6 +136,7 @@ let read_retrying t id dst =
     try Disk.read t.disk id dst with
     | Disk.Fault { kind = Disk.Transient_read; _ } when attempts_left > 0 ->
         t.stats.retries <- t.stats.retries + 1;
+        Metrics.incr c_retries;
         go (attempts_left - 1)
   in
   go t.max_read_retries
@@ -102,13 +146,16 @@ let read_retrying t id dst =
     [mark_dirty]. *)
 let get t id =
   t.stats.touches <- t.stats.touches + 1;
+  Metrics.incr c_touches;
   match Hashtbl.find_opt t.frames id with
   | Some frame ->
       t.stats.hits <- t.stats.hits + 1;
+      Metrics.incr c_hits;
       Lru.touch t.lru id;
       frame.data
   | None ->
       t.stats.misses <- t.stats.misses + 1;
+      Metrics.incr c_misses;
       let frame =
         if Hashtbl.length t.frames >= t.capacity then begin
           let f = evict_one t in
@@ -144,6 +191,7 @@ let mark_dirty t id =
 (** Write all dirty frames back to disk.  Every dirty frame is attempted;
     failures are collected and reported together. *)
 let flush_all t =
+  Metrics.incr c_flushes;
   let failures = ref [] in
   Hashtbl.iter
     (fun pid frame ->
@@ -152,7 +200,9 @@ let flush_all t =
     t.frames;
   match !failures with
   | [] -> ()
-  | fs -> raise (Flush_failed (List.sort (fun (a, _) (b, _) -> compare a b) fs))
+  | fs ->
+      Metrics.add c_flush_failures (List.length fs);
+      raise (Flush_failed (List.sort (fun (a, _) (b, _) -> compare a b) fs))
 
 (** Drop everything (writing dirty pages back); resets residency but not
     counters. *)

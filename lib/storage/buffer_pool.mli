@@ -16,6 +16,11 @@ type stats = {
   mutable hits : int;
   mutable misses : int;
   mutable retries : int;  (** re-reads after transient disk faults *)
+  mutable evictions : int;  (** frames recycled to make room *)
+  mutable eviction_flush_failures : int;
+      (** evictions aborted because the victim's dirty flush faulted; the
+          victim stays resident (and dirty), so no modified page is
+          dropped *)
 }
 
 type t
@@ -39,7 +44,10 @@ val reset_stats : t -> unit
     @raise Disk.Fault when the read keeps failing after
     [max_read_retries] retries, the page is bad, or its checksum does
     not verify.  The pool is left consistent: the page is simply not
-    resident. *)
+    resident.  Also raised when eviction is needed and the victim's
+    dirty flush faults — the victim then stays resident and dirty
+    (counted in [eviction_flush_failures]); no modified page is ever
+    silently dropped. *)
 val get : t -> int -> Page.t
 
 (** Declare the cached copy of page [id] modified in place.

@@ -20,6 +20,31 @@
 
 module Prng = Dolx_util.Prng
 module Crc = Dolx_util.Crc
+module Metrics = Dolx_obs.Metrics
+
+(* Process-wide mirrors of the per-instance stats record (see
+   docs/ARCHITECTURE.md, "Observability"): every increment below is
+   routed to both, so the registry totals equal the legacy record sums
+   whenever they are reset together. *)
+let c_reads = Metrics.counter "disk.reads"
+
+let c_writes = Metrics.counter "disk.writes"
+
+let c_allocations = Metrics.counter "disk.allocations"
+
+let c_transient_faults = Metrics.counter "disk.transient_faults"
+
+let c_torn_writes = Metrics.counter "disk.torn_writes"
+
+let c_bit_flips = Metrics.counter "disk.bit_flips"
+
+let c_checksum_failures = Metrics.counter "disk.checksum_failures"
+
+let c_bad_page_faults = Metrics.counter "disk.bad_page_faults"
+
+let g_simulated_us = Metrics.gauge "disk.simulated_us"
+
+let g_crc_us = Metrics.gauge "disk.crc_us"
 
 type fault_kind =
   | Transient_read  (** the read failed but a retry may succeed *)
@@ -139,6 +164,11 @@ let mark_bad t id =
          t.count);
   Hashtbl.replace t.bad id ()
 
+(** Undo {!mark_bad} / an injected bad page — the "sector remapped"
+    event of a fault-injection schedule, letting tests exercise recovery
+    after a write failure. *)
+let clear_bad t id = Hashtbl.remove t.bad id
+
 let is_bad t id = Hashtbl.mem t.bad id
 
 (** Allocate a fresh zeroed page, returning its id. *)
@@ -156,6 +186,7 @@ let allocate t =
   t.crcs.(id) <- t.zero_crc;
   t.count <- id + 1;
   t.stats.allocations <- t.stats.allocations + 1;
+  Metrics.incr c_allocations;
   id
 
 let check t id op =
@@ -173,19 +204,28 @@ let draw plan p = p > 0.0 && Prng.bool plan.fault_prng ~p
 let read t id dst =
   check t id "read";
   t.stats.reads <- t.stats.reads + 1;
+  Metrics.incr c_reads;
   t.simulated_us <- t.simulated_us +. t.read_cost_us;
-  if Hashtbl.mem t.bad id then raise (Fault { page = id; kind = Bad_page });
+  Metrics.gauge_add g_simulated_us t.read_cost_us;
+  if Hashtbl.mem t.bad id then begin
+    Metrics.incr c_bad_page_faults;
+    raise (Fault { page = id; kind = Bad_page })
+  end;
   (match t.plan with
   | Some plan when draw plan plan.transient_read_p ->
       t.stats.transient_faults <- t.stats.transient_faults + 1;
+      Metrics.incr c_transient_faults;
       raise (Fault { page = id; kind = Transient_read })
   | _ -> ());
   Bytes.blit t.pages.(id) 0 dst 0 t.page_size;
   if t.verify_reads then begin
     t.simulated_us <- t.simulated_us +. t.crc_cost_us;
     t.crc_us <- t.crc_us +. t.crc_cost_us;
+    Metrics.gauge_add g_simulated_us t.crc_cost_us;
+    Metrics.gauge_add g_crc_us t.crc_cost_us;
     if Crc.digest_sub dst ~pos:0 ~len:t.page_size <> t.crcs.(id) then begin
       t.stats.checksum_failures <- t.stats.checksum_failures + 1;
+      Metrics.incr c_checksum_failures;
       raise (Fault { page = id; kind = Checksum_mismatch })
     end
   end
@@ -198,18 +238,25 @@ let read t id dst =
 let write t id src =
   check t id "write";
   t.stats.writes <- t.stats.writes + 1;
+  Metrics.incr c_writes;
   t.simulated_us <- t.simulated_us +. t.write_cost_us;
-  if Hashtbl.mem t.bad id then raise (Fault { page = id; kind = Bad_page });
+  Metrics.gauge_add g_simulated_us t.write_cost_us;
+  if Hashtbl.mem t.bad id then begin
+    Metrics.incr c_bad_page_faults;
+    raise (Fault { page = id; kind = Bad_page })
+  end;
   t.crcs.(id) <- Crc.digest_sub src ~pos:0 ~len:t.page_size;
   (match t.plan with
   | Some plan when draw plan plan.torn_write_p ->
       t.stats.torn_writes <- t.stats.torn_writes + 1;
+      Metrics.incr c_torn_writes;
       let keep = Prng.int plan.fault_prng t.page_size in
       Bytes.blit src 0 t.pages.(id) 0 keep
   | _ -> Bytes.blit src 0 t.pages.(id) 0 t.page_size);
   (match t.plan with
   | Some plan when draw plan plan.bit_flip_p ->
       t.stats.bit_flips <- t.stats.bit_flips + 1;
+      Metrics.incr c_bit_flips;
       let bit = Prng.int plan.fault_prng (t.page_size * 8) in
       let b = Bytes.get_uint8 t.pages.(id) (bit / 8) in
       Bytes.set_uint8 t.pages.(id) (bit / 8) (b lxor (1 lsl (bit mod 8)))

@@ -85,6 +85,11 @@ val set_verify_reads : t -> bool -> unit
     @raise Invalid_argument on an out-of-range id. *)
 val mark_bad : t -> int -> unit
 
+(** Undo {!mark_bad} / an injected bad page — the "sector remapped"
+    event of a fault schedule; lets tests drive recovery after a write
+    failure.  No-op when the page is not bad. *)
+val clear_bad : t -> int -> unit
+
 val is_bad : t -> int -> bool
 
 (** Allocate a fresh zeroed page; returns its id. *)

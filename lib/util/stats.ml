@@ -17,12 +17,20 @@ let stddev l =
       let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 l in
       sqrt (ss /. float_of_int (List.length l - 1))
 
-(** [percentile p l] with p in [0,100], nearest-rank method. *)
+(** [percentile p l] with p in [0,100], nearest-rank method.
+
+    Non-finite samples are dropped before ranking: a stray [nan] would
+    otherwise poison the polymorphic sort silently (nan compares
+    arbitrarily) and return a garbage rank.  These summaries feed the
+    observability histograms, so they must be right.  An out-of-range or
+    non-finite [p] is a caller bug and fails loudly. *)
 let percentile p l =
-  match l with
+  if not (Float.is_finite p) || p < 0.0 || p > 100.0 then
+    invalid_arg "Stats.percentile: p out of [0,100]";
+  match List.filter Float.is_finite l with
   | [] -> nan
-  | _ ->
-      let sorted = List.sort compare l in
+  | finite ->
+      let sorted = List.sort Float.compare finite in
       let n = List.length sorted in
       let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
       let rank = max 1 (min n rank) in

@@ -8,9 +8,14 @@ val mean_arr : float array -> float
 (** Sample standard deviation. *)
 val stddev : float list -> float
 
-(** [percentile p l], [p] in [0,100], nearest-rank method. *)
+(** [percentile p l], [p] in [0,100], nearest-rank method.  Non-finite
+    samples are dropped before ranking (NaN would poison the sort);
+    returns NaN when no finite sample remains.  [percentile 0.] is the
+    minimum, [percentile 100.] the maximum.
+    @raise Invalid_argument when [p] is outside [0,100] or non-finite. *)
 val percentile : float -> float list -> float
 
+(** [percentile 50.]. *)
 val median : float list -> float
 
 (** Counts per distinct value, ascending. *)

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "dolx"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("xml", Test_xml.suite);
       ("policy", Test_policy.suite);
       ("dol", Test_dol.suite);

@@ -220,6 +220,47 @@ let test_pool_flush_failures_collected () =
   Disk.read d pids.(2) buf;
   check Alcotest.int "page 2 flushed" 102 (Bytes.get_uint8 buf 0)
 
+(* Regression: evict_one used to unregister the victim *before* flushing
+   it, so a faulting flush orphaned the frame — the dirty page was
+   silently lost and a later get re-read the stale on-disk copy.  The
+   fixed order keeps the victim resident (and dirty) when its flush
+   faults, so the modification survives until the fault is repaired. *)
+let test_eviction_flush_failure_keeps_dirty_page () =
+  let d = Disk.create ~page_size:64 () in
+  let p0 = Disk.allocate d in
+  let p1 = Disk.allocate d in
+  let pool = Buffer_pool.create ~capacity:1 d in
+  let frame = Buffer_pool.get pool p0 in
+  Bytes.set_uint8 frame 0 77;
+  Buffer_pool.mark_dirty pool p0;
+  Disk.mark_bad d p0;
+  (* caching p1 requires evicting p0, whose dirty flush faults *)
+  (match Buffer_pool.get pool p1 with
+  | _ -> Alcotest.fail "expected eviction flush fault"
+  | exception Disk.Fault { page; kind = Disk.Bad_page } ->
+      check Alcotest.int "fault names the victim" p0 page);
+  check Alcotest.int "failure counted" 1
+    (Buffer_pool.stats pool).Buffer_pool.eviction_flush_failures;
+  check Alcotest.int "no eviction counted" 0
+    (Buffer_pool.stats pool).Buffer_pool.evictions;
+  Alcotest.(check bool) "victim still resident" true
+    (Buffer_pool.resident pool p0);
+  (* the modified bytes are still served from the pool, not lost *)
+  check Alcotest.int "modified byte preserved" 77
+    (Bytes.get_uint8 (Buffer_pool.get pool p0) 0);
+  (* sector remapped: the retained dirty page becomes durable *)
+  Disk.clear_bad d p0;
+  Buffer_pool.flush_all pool;
+  let buf = Page.create 64 in
+  Disk.read d p0 buf;
+  check Alcotest.int "dirty page durable after repair" 77 (Bytes.get_uint8 buf 0);
+  (* and eviction proceeds normally again *)
+  ignore (Buffer_pool.get pool p1);
+  check Alcotest.int "eviction counted" 1
+    (Buffer_pool.stats pool).Buffer_pool.evictions;
+  Alcotest.(check bool) "p1 resident" true (Buffer_pool.resident pool p1);
+  Alcotest.(check bool) "p0 evicted" false (Buffer_pool.resident pool p0)
+
 (* --- fixtures for store-level tests --- *)
 
 let make_store ?(page_size = 128) ?(n_subjects = 3) ~seed n =
@@ -518,6 +559,8 @@ let suite =
     Alcotest.test_case "pool: retry recovers" `Quick test_pool_retry_recovers;
     Alcotest.test_case "pool: flush failures collected" `Quick
       test_pool_flush_failures_collected;
+    Alcotest.test_case "pool: eviction flush failure keeps dirty page" `Quick
+      test_eviction_flush_failure_keeps_dirty_page;
     Alcotest.test_case "crash recovery (500 seeds)" `Quick test_crash_recovery_500;
     Alcotest.test_case "update_images: no change" `Quick test_update_images_no_change;
     Alcotest.test_case "durable update API" `Quick test_durable_update_api;

@@ -242,6 +242,31 @@ let test_stats () =
   check (Alcotest.float 1e-9) "ratio" 0.5 (Stats.ratio 1.0 2.0);
   Alcotest.(check bool) "ratio by zero is nan" true (Float.is_nan (Stats.ratio 1.0 0.0))
 
+let test_percentile_edges () =
+  check (Alcotest.float 1e-9) "p=0 is min" 1.0
+    (Stats.percentile 0.0 [ 3.0; 1.0; 2.0 ]);
+  check (Alcotest.float 1e-9) "p=100 is max" 3.0
+    (Stats.percentile 100.0 [ 3.0; 1.0; 2.0 ]);
+  check (Alcotest.float 1e-9) "single element, any p" 7.0
+    (Stats.percentile 37.5 [ 7.0 ]);
+  check (Alcotest.float 1e-9) "median of single" 7.0 (Stats.median [ 7.0 ]);
+  Alcotest.(check bool) "empty list is nan" true
+    (Float.is_nan (Stats.percentile 50.0 []));
+  (* NaN samples must be dropped, not poison the nearest-rank sort — the
+     polymorphic-compare sort gave order-dependent garbage here *)
+  check (Alcotest.float 1e-9) "nan samples dropped" 2.0
+    (Stats.percentile 50.0 [ nan; 3.0; nan; 1.0; 2.0; nan ]);
+  check (Alcotest.float 1e-9) "infinities dropped too" 2.0
+    (Stats.percentile 100.0 [ infinity; 2.0; neg_infinity; 1.0 ]);
+  Alcotest.(check bool) "all-nan is nan" true
+    (Float.is_nan (Stats.percentile 50.0 [ nan; nan ]));
+  Alcotest.check_raises "p out of range fails loudly"
+    (Invalid_argument "Stats.percentile: p out of [0,100]") (fun () ->
+      ignore (Stats.percentile 101.0 [ 1.0 ]));
+  Alcotest.check_raises "nan p fails loudly"
+    (Invalid_argument "Stats.percentile: p out of [0,100]") (fun () ->
+      ignore (Stats.percentile nan [ 1.0 ]))
+
 let suite =
   [
     Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
@@ -269,4 +294,5 @@ let suite =
     Alcotest.test_case "int_vec" `Quick test_int_vec;
     Alcotest.test_case "int_vec to_array" `Quick test_int_vec_to_array;
     Alcotest.test_case "stats" `Quick test_stats;
+    Alcotest.test_case "percentile edge cases" `Quick test_percentile_edges;
   ]
