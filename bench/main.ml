@@ -4,7 +4,7 @@
     Usage:
       dune exec bench/main.exe            # all experiments
       dune exec bench/main.exe -- fig4a   # one experiment
-    Experiments: fig4a fig4b fig5 fig6 storage queries fig7 joins updates micro robustness obs
+    Experiments: fig4a fig4b fig5 fig6 storage queries fig7 joins updates micro robustness obs parallel
     Set DOLX_BENCH_SCALE=k to scale dataset sizes by k. *)
 
 let queries_table () =
@@ -28,6 +28,7 @@ let experiments =
     ("micro", Micro.run);
     ("robustness", Robustness.run);
     ("obs", Obs_bench.run);
+    ("parallel", Parallel_bench.run);
   ]
 
 let run_all () =
@@ -41,7 +42,8 @@ let run_all () =
   Ablation.run ();
   Micro.run ();
   Robustness.run ();
-  Obs_bench.run ()
+  Obs_bench.run ();
+  Parallel_bench.run ()
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

@@ -54,31 +54,44 @@ let run_suite store index =
     (fun (_, _, p) -> ignore (Engine.run store index p (Engine.Secure 0)))
     patterns
 
-(* Best-of-[trials] wall time for [reps] back-to-back suite runs in the
-   current registry state.  The pool is warmed first so the two
-   configurations see identical I/O. *)
-let time_suite ?(trials = 5) ?(reps = 5) store index =
-  run_suite store index;
-  let best = ref infinity in
-  for _ = 1 to trials do
-    let t0 = Unix.gettimeofday () in
-    for _ = 1 to reps do
-      run_suite store index
-    done;
-    let dt = (Unix.gettimeofday () -. t0) /. float_of_int reps in
-    if dt < !best then best := dt
+(* Mean wall time of [reps] back-to-back suite runs in the current
+   registry state. *)
+let time_suite_once ?(reps = 5) store index =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    run_suite store index
   done;
-  !best
+  (Unix.gettimeofday () -. t0) /. float_of_int reps
 
-let overhead store index =
+let median a =
+  let a = Array.copy a in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n land 1 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+(* Interleaved A/B: each repetition times the suite with the registry
+   off then on, so slow drift (GC heap shape, CPU frequency, competing
+   load) lands on both configurations instead of biasing whichever was
+   measured second; the reported pair is the per-configuration median
+   over [repetitions] >= 5.  The pool is warmed first so both see
+   identical I/O. *)
+let overhead ?(repetitions = 7) store index =
   header "Observability overhead: Table-1 suite, registry on vs off";
   let was_enabled = Metrics.enabled Metrics.default in
   Trace.set_enabled false;
   Metrics.set_enabled Metrics.default false;
-  let t_off = time_suite store index in
-  Metrics.set_enabled Metrics.default true;
-  let t_on = time_suite store index in
+  run_suite store index;
+  let offs = Array.make repetitions 0.0 in
+  let ons = Array.make repetitions 0.0 in
+  for i = 0 to repetitions - 1 do
+    Metrics.set_enabled Metrics.default false;
+    offs.(i) <- time_suite_once store index;
+    Metrics.set_enabled Metrics.default true;
+    ons.(i) <- time_suite_once store index
+  done;
   Metrics.set_enabled Metrics.default was_enabled;
+  let t_off = median offs in
+  let t_on = median ons in
   let pct = ((t_on /. t_off) -. 1.0) *. 100.0 in
   table
     [

@@ -5,6 +5,7 @@
      stats        shape statistics of an XML document
      label        compile a policy file against a document; print DOL stats
      query        evaluate a twig query as a subject
+     query-batch  evaluate a batch of queries on a domain pool (--jobs)
      view         export a subject's secured view of a document
      filter       stream a document through the one-pass secure filter
      save-dol     compile a policy and persist the DOL
@@ -34,8 +35,10 @@ module Store = Dolx_core.Secure_store
 module Secure_view = Dolx_core.Secure_view
 module Cam = Dolx_cam.Cam
 module Engine = Dolx_nok.Engine
+module Exec = Dolx_exec.Exec
 module Tag_index = Dolx_index.Tag_index
 module Xmark = Dolx_workload.Xmark
+module Query_mix = Dolx_workload.Query_mix
 module Metrics = Dolx_obs.Metrics
 module Trace = Dolx_obs.Trace
 open Cmdliner
@@ -222,6 +225,108 @@ let query_cmd =
   Cmd.v (Cmd.info "query" ~doc:"Evaluate a twig query as a subject")
     Term.(const query $ doc_arg $ policy_arg $ mode_arg $ subject_arg $ path_sem
           $ metrics_arg $ q)
+
+(* --- query-batch --- *)
+
+(* Batch evaluation on the Dolx_exec domain pool: queries come either
+   from a file of "SUBJECT QUERY" lines (SUBJECT = policy subject name,
+   or "*" for an unsecured evaluation) or from a deterministic
+   Query_mix stream over the policy's subject population. *)
+
+let parse_query_file subjects path_semantics text =
+  text
+  |> String.split_on_char '\n'
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else
+           match String.index_opt line ' ' with
+           | None ->
+               failwith
+                 (Printf.sprintf
+                    "query file: expected \"SUBJECT QUERY\", got %S" line)
+           | Some i ->
+               let subj = String.sub line 0 i in
+               let q =
+                 String.trim (String.sub line (i + 1) (String.length line - i - 1))
+               in
+               let sem =
+                 if subj = "*" then Engine.Insecure
+                 else
+                   let s = subject_id subjects subj in
+                   if path_semantics then Engine.Secure_path s else Engine.Secure s
+               in
+               Some (q, sem))
+
+let engine_semantics = function
+  | Query_mix.Insecure -> Engine.Insecure
+  | Query_mix.Secure s -> Engine.Secure s
+  | Query_mix.Secure_path s -> Engine.Secure_path s
+
+let semantics_name = function
+  | Engine.Insecure -> "*"
+  | Engine.Secure s -> Printf.sprintf "s%d" s
+  | Engine.Secure_path s -> Printf.sprintf "s%d/path" s
+
+let query_batch doc policy mode jobs path_semantics metrics queries_file mix
+    mix_seed =
+  let tree = load_doc doc in
+  let subjects, _, labeling = compile tree policy ~mode in
+  let dol = Dol.of_labeling labeling in
+  let store = Store.create tree dol in
+  let index = Tag_index.build tree in
+  let batch =
+    match (queries_file, mix) with
+    | Some path, _ -> parse_query_file subjects path_semantics (read_file path)
+    | None, Some n ->
+        Query_mix.generate ~n ~subjects:(Subject.count subjects) ~seed:mix_seed ()
+        |> List.map (fun e ->
+               (e.Query_mix.xpath, engine_semantics e.Query_mix.semantics))
+    | None, None -> failwith "query-batch: provide --queries FILE or --mix N"
+  in
+  let exec = Exec.create ~jobs store index in
+  metrics_begin metrics store;
+  let t0 = Unix.gettimeofday () in
+  let results = Exec.query_batch exec batch in
+  let dt = Unix.gettimeofday () -. t0 in
+  List.iter2
+    (fun (q, sem) r ->
+      Printf.printf "%s\t%s\t%d answers\n" (semantics_name sem) q
+        (List.length r.Engine.answers))
+    batch results;
+  Printf.eprintf "%d queries on %d worker(s): %.3fs wall (%.1f queries/s)\n"
+    (List.length batch) (Exec.jobs exec) dt
+    (float_of_int (List.length batch) /. Float.max dt 1e-9);
+  Exec.shutdown exec;
+  metrics_end metrics
+
+let query_batch_cmd =
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains in the pool.")
+  in
+  let path_sem =
+    Arg.(value & flag & info [ "path-semantics" ]
+           ~doc:"Use the Gabillon-Bruno semantics for file-sourced queries.")
+  in
+  let queries_file =
+    Arg.(value & opt (some file) None
+         & info [ "queries" ] ~docv:"FILE"
+             ~doc:"File of $(i,SUBJECT QUERY) lines ($(b,*) = insecure).")
+  in
+  let mix =
+    Arg.(value & opt (some int) None
+         & info [ "mix" ] ~docv:"N"
+             ~doc:"Generate $(docv) queries from the XMark benchmark mix.")
+  in
+  let mix_seed =
+    Arg.(value & opt int 7 & info [ "mix-seed" ] ~docv:"SEED" ~doc:"Mix PRNG seed.")
+  in
+  Cmd.v
+    (Cmd.info "query-batch"
+       ~doc:"Evaluate a batch of twig queries on a worker-domain pool")
+    Term.(const query_batch $ doc_arg $ policy_arg $ mode_arg $ jobs $ path_sem
+          $ metrics_arg $ queries_file $ mix $ mix_seed)
 
 (* --- view --- *)
 
@@ -431,7 +536,8 @@ let main_cmd =
     (Cmd.info "dolx" ~version:"1.0.0"
        ~doc:"Compact access-control labeling for secure XML query evaluation")
     [
-      generate_cmd; stats_cmd; label_cmd; query_cmd; view_cmd; filter_cmd;
+      generate_cmd; stats_cmd; label_cmd; query_cmd; query_batch_cmd; view_cmd;
+      filter_cmd;
       save_dol_cmd; inspect_dol_cmd; compile_db_cmd; query_db_cmd;
       stats_db_cmd; explain_cmd;
     ]

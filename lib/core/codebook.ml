@@ -25,10 +25,27 @@ type t = {
   mutable codes : code Tbl.t;
   mutable count : int;
   mutable width : int; (* number of subjects *)
+  (* Per-subject decoded column: byte [c] is non-zero iff entry [c]
+     grants the subject, so the ACCESS check of Algorithm 1 is a single
+     byte load instead of a bit extraction behind two bounds checks.
+     Built lazily per subject; a slice shorter than [count] simply means
+     codes interned since it was built miss to the slow path.  [Atomic]
+     gives publication safety when evaluator domains share the book;
+     subject addition/removal (single-threaded maintenance phases)
+     reallocate the array wholesale. *)
+  mutable slices : Bytes.t Atomic.t array;
 }
 
+let make_slices width = Array.init width (fun _ -> Atomic.make Bytes.empty)
+
 let create ~width =
-  { entries = Array.make 8 (Bitset.create width); codes = Tbl.create 64; count = 0; width }
+  {
+    entries = Array.make 8 (Bitset.create width);
+    codes = Tbl.create 64;
+    count = 0;
+    width;
+    slices = make_slices width;
+  }
 
 let width t = t.width
 
@@ -56,9 +73,30 @@ let get t c =
   if c < 0 || c >= t.count then invalid_arg "Codebook.get: unknown code";
   t.entries.(c)
 
+let rebuild_slice t subject =
+  let b = Bytes.make t.count '\000' in
+  for c = 0 to t.count - 1 do
+    if Bitset.get t.entries.(c) subject then Bytes.unsafe_set b c '\001'
+  done;
+  Atomic.set t.slices.(subject) b
+
 (** "The s-th bit in that code book entry indicates the accessibility of
-    the node for subject s" (§3.3). *)
-let grants t c subject = Bitset.get (get t c) subject
+    the node for subject s" (§3.3).  Served from the subject's decoded
+    slice — one byte load on the hot path. *)
+let grants t c subject =
+  if subject >= 0 && subject < Array.length t.slices then begin
+    let b = Atomic.get t.slices.(subject) in
+    if c >= 0 && c < Bytes.length b && c < t.count then
+      Bytes.unsafe_get b c <> '\000'
+    else begin
+      (* slow path: validate [c] exactly as before, then (re)decode the
+         column so later lookups for this subject hit *)
+      let r = Bitset.get (get t c) subject in
+      rebuild_slice t subject;
+      r
+    end
+  end
+  else Bitset.get (get t c) subject
 
 (** Code for the ACL equal to entry [c] with [subject]'s bit set to [b]. *)
 let with_bit t c subject b =
@@ -87,6 +125,7 @@ let add_subject t ?like () =
   done;
   t.codes <- fresh;
   t.width <- new_width;
+  t.slices <- make_slices new_width;
   t.width - 1
 
 (** Drop a subject column.  This may leave duplicate entries ("unnecessary
@@ -103,7 +142,8 @@ let remove_subject t subject =
     Tbl.replace fresh bits c
   done;
   t.codes <- fresh;
-  t.width <- new_width
+  t.width <- new_width;
+  t.slices <- make_slices new_width
 
 (** Number of duplicate (redundant) entries after subject removals. *)
 let redundant_entries t =

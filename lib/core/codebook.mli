@@ -25,7 +25,12 @@ val intern : t -> Bitset.t -> code
 val get : t -> code -> Bitset.t
 
 (** "The s-th bit in that code book entry indicates the accessibility of
-    the node for subject s" (§3.3). *)
+    the node for subject s" (§3.3).  Served from a lazily decoded
+    per-subject byte slice, so the per-node check of Algorithm 1 is a
+    single byte load; the slice self-repairs after {!intern} and is
+    dropped on subject addition/removal.  Safe for concurrent readers
+    (the slice is published through an [Atomic]); mutators must be
+    quiescent. *)
 val grants : t -> code -> int -> bool
 
 (** Code of the ACL equal to entry [c] with [subject]'s bit set to [b]. *)

@@ -26,6 +26,9 @@ type t = {
   pool : Buffer_pool.t;
   disk : Disk.t;
   pool_capacity : int;
+  (* Scan-resume cursor for [Nok_layout.code_in_force_at]: per handle,
+     so reader handles never share scan state. *)
+  cursor : Nok_layout.cursor;
   mutable access_checks : int;
   mutable header_skips : int; (* page loads avoided via the header check *)
   mutable codebook_lookups : int; (* Codebook.grants evaluations *)
@@ -45,7 +48,8 @@ let create ?(page_size = 4096) ?(pool_capacity = 64) ?(fill = 0.9) tree dol =
   in
   let layout = Nok_layout.build ~fill disk tree ~transitions in
   let pool = Buffer_pool.create ~capacity:pool_capacity disk in
-  { tree; dol; layout; pool; disk; pool_capacity; access_checks = 0;
+  { tree; dol; layout; pool; disk; pool_capacity;
+    cursor = Nok_layout.cursor layout; access_checks = 0;
     header_skips = 0; codebook_lookups = 0; quarantine = [||] }
 
 (** Assemble a store from pre-built parts (database-file loading): the
@@ -64,8 +68,30 @@ let assemble ?(pool_capacity = 64) ?(quarantine = []) ~tree ~dol ~disk ~layout
     Array.of_list (List.sort (fun (a, _) (b, _) -> compare a b) quarantine)
   in
   let pool = Buffer_pool.create ~capacity:pool_capacity disk in
-  { tree; dol; layout; pool; disk; pool_capacity; access_checks = 0;
+  { tree; dol; layout; pool; disk; pool_capacity;
+    cursor = Nok_layout.cursor layout; access_checks = 0;
     header_skips = 0; codebook_lookups = 0; quarantine }
+
+(** A read-only evaluation handle over the same store: shares the
+    immutable parts (tree, DOL, layout, disk, quarantine) but owns a
+    fresh buffer pool, scan cursor and I/O statistics.  Handles can be
+    used concurrently from separate domains as long as no mutation
+    ({!Update}, {!rebuild}) runs — the disk serializes physical I/O
+    internally, and everything else a reader touches is private or
+    read-only.  [pool_capacity] defaults to the parent's. *)
+let reader ?pool_capacity t =
+  let pool_capacity =
+    match pool_capacity with Some c -> c | None -> t.pool_capacity
+  in
+  {
+    t with
+    pool = Buffer_pool.create ~capacity:pool_capacity t.disk;
+    cursor = Nok_layout.cursor t.layout;
+    pool_capacity;
+    access_checks = 0;
+    header_skips = 0;
+    codebook_lookups = 0;
+  }
 
 let quarantined t = Array.to_list t.quarantine
 
@@ -171,7 +197,7 @@ let accessible (t : t) ~subject v =
   Metrics.incr c_access_checks;
   if in_quarantine t v then false
   else
-    let code = Nok_layout.code_in_force t.layout t.pool v in
+    let code = Nok_layout.code_in_force_at t.layout t.cursor t.pool v in
     grants t code subject
 
 (** Header-only test: true when the in-memory page table already proves
@@ -197,7 +223,7 @@ let accessible_with_skip (t : t) ~subject v =
     false
   end
   else
-    let code = Nok_layout.code_in_force t.layout t.pool v in
+    let code = Nok_layout.code_in_force_at t.layout t.cursor t.pool v in
     grants t code subject
 
 (** {1 Structural reorganization}

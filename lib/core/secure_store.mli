@@ -24,6 +24,15 @@ val assemble :
   dol:Dol.t -> disk:Dolx_storage.Disk.t ->
   layout:Dolx_storage.Nok_layout.t -> unit -> t
 
+(** A read-only evaluation handle over the same store: shares the tree,
+    DOL, layout, disk and quarantine with [t] but owns a private buffer
+    pool, scan cursor and statistics.  Handles may evaluate queries
+    concurrently from separate domains while no mutation ({!Update},
+    {!rebuild}, DB-file rewrites) is running — the disk serializes
+    physical page I/O internally.  [pool_capacity] defaults to the
+    parent's. *)
+val reader : ?pool_capacity:int -> t -> t
+
 (** The quarantined preorder ranges (sorted, inclusive); empty for stores
     built or rebuilt from source. *)
 val quarantined : t -> (int * int) list

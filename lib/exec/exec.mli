@@ -1,0 +1,70 @@
+(** Multicore query execution over a shared secured store.
+
+    An executor owns a fixed pool of worker domains and one
+    {!Dolx_core.Secure_store.reader} handle per worker slot: the handles
+    share the immutable evaluation state (succinct tree, DOL, page
+    layout, codebook, tag index) and the simulated disk (which
+    serializes physical I/O internally) while keeping private buffer
+    pools, scan cursors and statistics — no lock is taken on the
+    evaluation hot path.
+
+    Results are byte-identical to sequential {!Engine.run} on the same
+    inputs: batch results are collected in submission order, and
+    intra-query candidate chunks are merged with the engine's own
+    sort-and-dedup.  Store mutation (updates, rebuilds, DB-file
+    rewrites) must be quiescent while the pool evaluates. *)
+
+module Store = Dolx_core.Secure_store
+module Engine = Dolx_nok.Engine
+
+type t
+
+(** [create ?options ?value_index ?pool_capacity ?jobs store index]
+    builds an executor with [jobs] worker slots (default 1 —
+    sequential, no domains spawned).  [pool_capacity] sizes each
+    reader's private buffer pool (defaults to the parent store's).
+    @raise Invalid_argument when [jobs < 1]. *)
+val create :
+  ?options:Engine.options -> ?value_index:Dolx_index.Value_index.t ->
+  ?pool_capacity:int -> ?jobs:int -> Store.t -> Dolx_index.Tag_index.t -> t
+
+(** Number of worker slots. *)
+val jobs : t -> int
+
+(** The per-slot reader handles (for statistics inspection). *)
+val readers : t -> Store.t list
+
+(** Join the worker domains.  The executor must not be used afterwards.
+    Safe to call twice; a no-op when [jobs = 1]. *)
+val shutdown : t -> unit
+
+(** {1 Inter-query parallelism} *)
+
+(** Evaluate independent queries across the pool.  Results are in
+    submission order, each equal to [Engine.run] on the same input.  A
+    task exception is re-raised after the batch drains. *)
+val run_batch : t -> (Dolx_nok.Pattern.t * Engine.semantics) list -> Engine.result list
+
+(** {!run_batch} over XPath strings.
+    @raise Dolx_nok.Xpath.Parse_error on a malformed query. *)
+val query_batch : t -> (string * Engine.semantics) list -> Engine.result list
+
+(** {1 Intra-query parallelism} *)
+
+(** Evaluate one query with each segment's candidate roots partitioned
+    into contiguous document-order chunks across the pool; chunk outputs
+    are merged (sorted, deduplicated) before each structural join.
+    Answers and statistics equal [Engine.run] on the same input. *)
+val run : t -> Dolx_nok.Pattern.t -> Engine.semantics -> Engine.result
+
+(** {!run} on an XPath string. *)
+val query : t -> string -> Engine.semantics -> Engine.result
+
+(** {1 Statistics} *)
+
+(** Sum of the per-reader pool/store statistics; the shared disk's
+    counters are included once. *)
+val aggregate_io : t -> Store.io_stats
+
+(** Zero every reader's statistics and the shared disk's. *)
+val reset_stats : t -> unit

@@ -61,3 +61,23 @@ val bindings :
 (** Human-readable evaluation plan: segments, joins, per-segment index
     candidate counts. *)
 val explain : Store.t -> Dolx_index.Tag_index.t -> Pattern.t -> string
+
+(** {1 Evaluator internals}
+
+    Exposed for [Dolx_exec], which re-drives the segment pipeline with
+    candidate lists partitioned across domains.  Results are identical
+    to what {!run} computes from the same inputs. *)
+
+(** Candidate roots for a descendant-entry segment step: tag postings,
+    or value postings when the step constrains text and a value index is
+    given.  Sorted in document order. *)
+val index_candidates :
+  ?value_index:Dolx_index.Value_index.t -> Store.t -> Dolx_index.Tag_index.t ->
+  Pattern.pnode -> int list
+
+(** Evaluate one NoK segment from the given (sorted) candidate roots;
+    returns the bindings of the segment's last trunk step, sorted and
+    deduplicated.  [scanned] is incremented per candidate examined. *)
+val eval_segment :
+  Store.t -> Dolx_index.Tag_index.t -> Nok_match.mode -> Decompose.segment ->
+  int list -> int ref -> int list

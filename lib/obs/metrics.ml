@@ -12,10 +12,17 @@
     together.
 
     Cost model: a counter increment is one [bool ref] dereference, one
-    branch and one mutable-field store — cheap enough to leave enabled on
-    the hot path (the [obs] micro-bench bounds the overhead at < 2% on
+    branch and one [Atomic.fetch_and_add] — cheap enough to leave enabled
+    on the hot path (the [obs] micro-bench bounds the overhead at < 2% on
     the Table-1 query suite).  Disabling a registry reduces every
     instrument to the dereference and branch.
+
+    Concurrency: counters and gauges are [Atomic.t]-backed, so the same
+    named cell can be bumped from several domains (the [Dolx_exec] pool)
+    without losing increments — the dual-written legacy stats records
+    stay per-instance (one owner domain each), and their sums equal the
+    registry totals exactly.  Histograms remain single-writer: they back
+    span tracing, which only records on the main domain.
 
     Histograms are log-scale (one bucket per power of two, exponents
     −32…31) with an exact reservoir for the first {!reservoir_cap}
@@ -33,9 +40,9 @@ let n_buckets = 64
 (* exponent −32 maps to bucket 0 *)
 let exp_bias = 32
 
-type counter = { c_name : string; mutable count : int; c_on : bool ref }
+type counter = { c_name : string; count : int Atomic.t; c_on : bool ref }
 
-type gauge = { g_name : string; mutable value : float; g_on : bool ref }
+type gauge = { g_name : string; value : float Atomic.t; g_on : bool ref }
 
 type histogram = {
   h_name : string;
@@ -79,15 +86,15 @@ let counter ?(reg = default) name =
   match Hashtbl.find_opt reg.counters name with
   | Some c -> c
   | None ->
-      let c = { c_name = name; count = 0; c_on = reg.enabled } in
+      let c = { c_name = name; count = Atomic.make 0; c_on = reg.enabled } in
       Hashtbl.add reg.counters name c;
       c
 
-let incr c = if !(c.c_on) then c.count <- c.count + 1
+let incr c = if !(c.c_on) then Atomic.incr c.count
 
-let add c n = if !(c.c_on) then c.count <- c.count + n
+let add c n = if !(c.c_on) then ignore (Atomic.fetch_and_add c.count n)
 
-let count c = c.count
+let count c = Atomic.get c.count
 
 let counter_name c = c.c_name
 
@@ -95,7 +102,9 @@ let find_counter ?(reg = default) name = Hashtbl.find_opt reg.counters name
 
 (** Current value of counter [name], 0 when it was never registered. *)
 let counter_value ?(reg = default) name =
-  match Hashtbl.find_opt reg.counters name with Some c -> c.count | None -> 0
+  match Hashtbl.find_opt reg.counters name with
+  | Some c -> Atomic.get c.count
+  | None -> 0
 
 (** {1 Gauges} *)
 
@@ -103,15 +112,23 @@ let gauge ?(reg = default) name =
   match Hashtbl.find_opt reg.gauges name with
   | Some g -> g
   | None ->
-      let g = { g_name = name; value = 0.0; g_on = reg.enabled } in
+      let g = { g_name = name; value = Atomic.make 0.0; g_on = reg.enabled } in
       Hashtbl.add reg.gauges name g;
       g
 
-let gauge_set g v = if !(g.g_on) then g.value <- v
+let gauge_set g v = if !(g.g_on) then Atomic.set g.value v
 
-let gauge_add g v = if !(g.g_on) then g.value <- g.value +. v
+let gauge_add g v =
+  if !(g.g_on) then begin
+    (* CAS loop: adds from concurrent domains must not be lost *)
+    let rec go () =
+      let old = Atomic.get g.value in
+      if not (Atomic.compare_and_set g.value old (old +. v)) then go ()
+    in
+    go ()
+  end
 
-let gauge_value g = g.value
+let gauge_value g = Atomic.get g.value
 
 let gauge_name g = g.g_name
 
@@ -230,8 +247,8 @@ let summary h =
 (** Zero every instrument; registrations (and handles held by the
     instrumented modules) survive. *)
 let reset t =
-  Hashtbl.iter (fun _ (c : counter) -> c.count <- 0) t.counters;
-  Hashtbl.iter (fun _ g -> g.value <- 0.0) t.gauges;
+  Hashtbl.iter (fun _ (c : counter) -> Atomic.set c.count 0) t.counters;
+  Hashtbl.iter (fun _ g -> Atomic.set g.value 0.0) t.gauges;
   Hashtbl.iter
     (fun _ h ->
       Array.fill h.buckets 0 n_buckets 0;
@@ -252,10 +269,14 @@ let sorted_bindings tbl =
 
 let to_json t =
   let counters =
-    List.map (fun (k, (c : counter)) -> (k, Json.num_of_int c.count)) (sorted_bindings t.counters)
+    List.map
+      (fun (k, (c : counter)) -> (k, Json.num_of_int (Atomic.get c.count)))
+      (sorted_bindings t.counters)
   in
   let gauges =
-    List.map (fun (k, g) -> (k, Json.Num g.value)) (sorted_bindings t.gauges)
+    List.map
+      (fun (k, g) -> (k, Json.Num (Atomic.get g.value)))
+      (sorted_bindings t.gauges)
   in
   let histograms =
     List.map
@@ -293,14 +314,16 @@ let pp ppf t =
   in
   Format.fprintf ppf "counters:@.";
   List.iter
-    (fun (k, (c : counter)) -> Format.fprintf ppf "  %-34s %d@." k c.count)
+    (fun (k, (c : counter)) ->
+      Format.fprintf ppf "  %-34s %d@." k (Atomic.get c.count))
     (sorted_bindings t.counters);
   (match sorted_bindings t.gauges with
   | [] -> ()
   | gauges ->
       Format.fprintf ppf "gauges:@.";
       List.iter
-        (fun (k, g) -> Format.fprintf ppf "  %-34s %s@." k (fnum g.value))
+        (fun (k, g) ->
+          Format.fprintf ppf "  %-34s %s@." k (fnum (Atomic.get g.value)))
         gauges);
   match sorted_bindings t.histograms with
   | [] -> ()

@@ -2,9 +2,15 @@
 
     Instruments are registered once (module-initialization time, by
     name) and then updated through the returned handle — an update is a
-    [bool ref] dereference, a branch and a store, cheap enough for the
-    storage/engine hot paths.  Disabling a registry turns every update
-    into the dereference + branch alone.
+    [bool ref] dereference, a branch and an atomic add, cheap enough for
+    the storage/engine hot paths.  Disabling a registry turns every
+    update into the dereference + branch alone.
+
+    Counters and gauges are [Atomic.t]-backed: increments from several
+    domains (the {!Dolx_exec} pool evaluating a batch) are never lost,
+    so the dual-written per-instance stats records sum exactly to the
+    registry totals.  Histograms are single-writer (they back span
+    tracing, which records only on the main domain).
 
     The legacy per-module [stats] records ({!Dolx_storage.Disk.stats},
     {!Dolx_storage.Buffer_pool.stats}, [Secure_store.io_stats]) remain

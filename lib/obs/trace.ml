@@ -85,7 +85,12 @@ let record c span =
     (span.dur *. 1e6)
 
 let with_span ?(c = default) name f =
-  if not c.on then f ()
+  (* The collector's nesting state is single-writer: spans are recorded
+     only on the main domain, so engine code running on a [Dolx_exec]
+     worker domain passes through untimed instead of racing on
+     [depth]/[spans].  Parallel runs are profiled by the per-reader
+     counters, not by spans. *)
+  if not (c.on && Domain.is_main_domain ()) then f ()
   else begin
     let depth = c.depth in
     let seq = c.next_seq in

@@ -55,7 +55,15 @@ type stats = {
          victim stays resident, so no modified page is ever dropped *)
 }
 
-type frame = { mutable page_id : int; data : Page.t; mutable dirty : bool }
+type frame = {
+  mutable page_id : int;
+  data : Page.t;
+  mutable dirty : bool;
+  (* The frame's position in the recency list, so a hit touches the LRU
+     through the node (pointer compare when already MRU) instead of a
+     second hash lookup. *)
+  mutable lnode : Lru.node;
+}
 
 type t = {
   disk : Disk.t;
@@ -122,7 +130,7 @@ let evict_one t =
       | exception e ->
           t.stats.eviction_flush_failures <- t.stats.eviction_flush_failures + 1;
           Metrics.incr c_eviction_flush_failures;
-          Lru.touch t.lru victim;
+          frame.lnode <- Lru.insert t.lru victim;
           raise e);
       Hashtbl.remove t.frames victim;
       t.stats.evictions <- t.stats.evictions + 1;
@@ -143,7 +151,8 @@ let read_retrying t id dst =
 
 (** Fetch page [id], reading from disk on a miss.  The returned bytes are
     the pool's frame: treat as read-only unless followed by
-    [mark_dirty]. *)
+    [mark_dirty].  The hit path is one hash lookup (the LRU is touched
+    through the frame's node, a no-op when the frame is already MRU). *)
 let get t id =
   t.stats.touches <- t.stats.touches + 1;
   Metrics.incr c_touches;
@@ -151,7 +160,7 @@ let get t id =
   | Some frame ->
       t.stats.hits <- t.stats.hits + 1;
       Metrics.incr c_hits;
-      Lru.touch t.lru id;
+      Lru.touch_node t.lru frame.lnode;
       frame.data
   | None ->
       t.stats.misses <- t.stats.misses + 1;
@@ -162,7 +171,13 @@ let get t id =
           f.page_id <- id;
           f
         end
-        else { page_id = id; data = Page.create (Disk.page_size t.disk); dirty = false }
+        else
+          {
+            page_id = id;
+            data = Page.create (Disk.page_size t.disk);
+            dirty = false;
+            lnode = Lru.detached ();
+          }
       in
       (match read_retrying t id frame.data with
       | () -> ()
@@ -173,7 +188,7 @@ let get t id =
           raise e);
       frame.dirty <- false;
       Hashtbl.replace t.frames id frame;
-      Lru.touch t.lru id;
+      frame.lnode <- Lru.insert t.lru id;
       frame.data
 
 (** Declare that the cached copy of [id] has been modified in place. *)

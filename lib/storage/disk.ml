@@ -103,7 +103,23 @@ type t = {
   mutable plan : fault_plan option;
   bad : (int, unit) Hashtbl.t; (* permanently failed pages *)
   zero_crc : int; (* CRC of an all-zero page, stored at allocation *)
+  (* One device, many domains: [Dolx_exec] readers share the disk while
+     holding private buffer pools, so the page store, the stats record
+     and the fault machinery are serialized here.  Contention is low by
+     construction — the pools absorb > 95% of touches, so the lock is
+     taken only on real page I/O. *)
+  m : Mutex.t;
 }
+
+let locked t f =
+  Mutex.lock t.m;
+  match f () with
+  | v ->
+      Mutex.unlock t.m;
+      v
+  | exception e ->
+      Mutex.unlock t.m;
+      raise e
 
 let create ?(page_size = Page.default_size) ?(read_cost_us = 100.0)
     ?(write_cost_us = 120.0) ?(crc_cost_us = 2.0) ?(verify_reads = true) () =
@@ -131,6 +147,7 @@ let create ?(page_size = Page.default_size) ?(read_cost_us = 100.0)
     plan = None;
     bad = Hashtbl.create 8;
     zero_crc = Crc.digest (Page.create page_size);
+    m = Mutex.create ();
   }
 
 let page_size t = t.page_size
@@ -162,17 +179,18 @@ let mark_bad t id =
     invalid_arg
       (Printf.sprintf "Disk.mark_bad: page %d out of range (page count %d)" id
          t.count);
-  Hashtbl.replace t.bad id ()
+  locked t (fun () -> Hashtbl.replace t.bad id ())
 
 (** Undo {!mark_bad} / an injected bad page — the "sector remapped"
     event of a fault-injection schedule, letting tests exercise recovery
     after a write failure. *)
-let clear_bad t id = Hashtbl.remove t.bad id
+let clear_bad t id = locked t (fun () -> Hashtbl.remove t.bad id)
 
 let is_bad t id = Hashtbl.mem t.bad id
 
 (** Allocate a fresh zeroed page, returning its id. *)
 let allocate t =
+  locked t @@ fun () ->
   if t.count >= Array.length t.pages then begin
     let pages = Array.make (2 * Array.length t.pages) (Page.create 0) in
     Array.blit t.pages 0 pages 0 t.count;
@@ -202,6 +220,7 @@ let draw plan p = p > 0.0 && Prng.bool plan.fault_prng ~p
     checksum mismatch between the stored bytes and the CRC recorded at
     write time (torn write or bit rot). *)
 let read t id dst =
+  locked t @@ fun () ->
   check t id "read";
   t.stats.reads <- t.stats.reads + 1;
   Metrics.incr c_reads;
@@ -236,6 +255,7 @@ let read t id dst =
     verified read.
     @raise Fault when the page has gone permanently bad. *)
 let write t id src =
+  locked t @@ fun () ->
   check t id "write";
   t.stats.writes <- t.stats.writes + 1;
   Metrics.incr c_writes;

@@ -4,7 +4,13 @@
     modeled fault layer (per-page CRC32C verified on read, and
     PRNG-driven injection of transient read errors, permanent bad pages,
     torn writes and bit flips) so the storage stack above can be tested
-    for fail-secure behavior. *)
+    for fail-secure behavior.
+
+    Thread-safety: {!read}, {!write}, {!allocate}, {!mark_bad} and
+    {!clear_bad} are serialized by an internal mutex, so one disk can be
+    shared by the per-domain buffer pools of [Dolx_exec] readers.
+    Configuration setters ({!set_fault_plan}, {!set_verify_reads}) and
+    {!reset_stats} are for quiescent use between runs. *)
 
 type fault_kind =
   | Transient_read  (** the read failed but a retry may succeed *)

@@ -50,6 +50,24 @@ type header = {
   first_depth : int;
 }
 
+(* Scan cursor for [code_in_force]: NoK evaluation visits nodes in
+   near-document order, so the code in force is maintained incrementally
+   instead of replaying the page from its start on every ACCESS check —
+   this is what makes the check effectively free, as the paper's
+   evaluator has the page cursor positioned already.
+
+   Cursors are separate values so every reader handle (each domain of a
+   parallel run) advances its own; [cur_gen] snapshots the layout's
+   rewrite generation, so a cursor left pointing into a page that was
+   since rewritten self-invalidates instead of misreading. *)
+type cursor = {
+  mutable cur_lp : int;   (* logical page the cursor is on, -1 = invalid *)
+  mutable cur_pre : int;  (* last preorder processed *)
+  mutable cur_pos : int;  (* byte offset of the record after cur_pre *)
+  mutable cur_code : int; (* code in force at cur_pre *)
+  mutable cur_gen : int;  (* layout generation the position is valid for *)
+}
+
 type t = {
   disk : Disk.t;
   mutable phys : int array;        (* logical page -> physical disk page *)
@@ -59,21 +77,20 @@ type t = {
   mutable first_depths : int array;
   mutable n_pages : int;
   mutable n_nodes : int;
-  (* Scan cursor for [code_in_force]: NoK evaluation visits nodes in
-     near-document order, so the code in force is maintained
-     incrementally instead of replaying the page from its start on every
-     ACCESS check — this is what makes the check effectively free, as the
-     paper's evaluator has the page cursor positioned already. *)
-  mutable cur_lp : int;   (* logical page the cursor is on, -1 = invalid *)
-  mutable cur_pre : int;  (* last preorder processed *)
-  mutable cur_pos : int;  (* byte offset of the record after cur_pre *)
-  mutable cur_code : int; (* code in force at cur_pre *)
+  own_cursor : cursor;    (* default cursor for single-handle use *)
+  mutable gen : int;      (* bumped by every page rewrite *)
   (* Update tracking for journaled persistence: which logical pages were
      rewritten in place since the last [drain_dirty], and whether a page
      split renumbered the logical order (invalidating recorded ids). *)
   dirty : (int, unit) Hashtbl.t;
   mutable renumbered : bool;
 }
+
+let fresh_cursor () =
+  { cur_lp = -1; cur_pre = -1; cur_pos = 0; cur_code = 0; cur_gen = 0 }
+
+(** A fresh, unpositioned cursor for [t] — one per reader handle. *)
+let cursor (_ : t) = fresh_cursor ()
 
 type record = {
   pre : int;
@@ -247,10 +264,8 @@ let build ?(fill = 0.9) disk tree ~transitions =
     first_depths = Int_vec.to_array first_depths;
     n_pages = Int_vec.length phys;
     n_nodes = n;
-    cur_lp = -1;
-    cur_pre = -1;
-    cur_pos = 0;
-    cur_code = 0;
+    own_cursor = fresh_cursor ();
+    gen = 0;
     dirty = Hashtbl.create 8;
     renumbered = false;
   }
@@ -287,10 +302,8 @@ let attach disk ~n_pages =
     first_depths;
     n_pages;
     n_nodes = !n_nodes;
-    cur_lp = -1;
-    cur_pre = -1;
-    cur_pos = 0;
-    cur_code = 0;
+    own_cursor = fresh_cursor ();
+    gen = 0;
     dirty = Hashtbl.create 8;
     renumbered = false;
   }
@@ -321,8 +334,10 @@ let records t pool lp =
     node's page, start from the header code and replay inline transition
     codes up to [pre].  No I/O beyond the node's own page.  This is the
     per-node ACCESS hot path of Algorithm 1, so it scans the raw record
-    bytes in place instead of materializing records. *)
-let code_in_force t pool pre =
+    bytes in place instead of materializing records.  [cu] is the
+    caller's scan cursor: consecutive forward lookups on one page resume
+    instead of replaying from the page start. *)
+let code_in_force_at t cu pool pre =
   let lp = page_of t pre in
   let page = Buffer_pool.get pool (t.phys.(lp)) in
   if not t.changes.(lp) then t.first_codes.(lp)
@@ -330,10 +345,14 @@ let code_in_force t pool pre =
     let n = Page.get_u16 page 0 in
     let first_pre = Page.get_u32 page 2 in
     let stop = min (pre - first_pre) (n - 1) in
-    (* resume from the cursor when scanning forward on the same page *)
+    (* resume from the cursor when scanning forward on the same page (and
+       no rewrite invalidated the recorded byte position) *)
     let start, pos0, code0 =
-      if t.cur_lp = lp && t.cur_pre <= first_pre + stop && t.cur_pre >= first_pre
-      then (t.cur_pre - first_pre + 1, t.cur_pos, t.cur_code)
+      if
+        cu.cur_gen = t.gen && cu.cur_lp = lp
+        && cu.cur_pre <= first_pre + stop
+        && cu.cur_pre >= first_pre
+      then (cu.cur_pre - first_pre + 1, cu.cur_pos, cu.cur_code)
       else (0, header_bytes, t.first_codes.(lp))
     in
     let code = ref code0 in
@@ -355,12 +374,15 @@ let code_in_force t pool pre =
         pos := p
       end
     done;
-    t.cur_lp <- lp;
-    t.cur_pre <- first_pre + stop;
-    t.cur_pos <- !pos;
-    t.cur_code <- !code;
+    cu.cur_gen <- t.gen;
+    cu.cur_lp <- lp;
+    cu.cur_pre <- first_pre + stop;
+    cu.cur_pos <- !pos;
+    cu.cur_code <- !code;
     !code
   end
+
+let code_in_force t pool pre = code_in_force_at t t.own_cursor pool pre
 
 (** {1 Updates} *)
 
@@ -370,7 +392,9 @@ let code_in_force t pool pre =
     "updates are confined within a contiguous region of the affected
     data" (§3.4, update locality). *)
 let rewrite_page t pool lp records ~code_before =
-  t.cur_lp <- -1;
+  (* invalidate every outstanding scan cursor: recorded byte positions
+     may no longer match the rewritten record stream *)
+  t.gen <- t.gen + 1;
   (match records with
   | [] -> invalid_arg "Nok_layout.rewrite_page: empty"
   | r :: _ ->

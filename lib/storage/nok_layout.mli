@@ -83,10 +83,25 @@ val records : t -> Buffer_pool.t -> int -> record list
     database-file recovery use. *)
 val decode_image : Page.t -> record list
 
+(** A private scan-resume position for {!code_in_force_at}.  Each reader
+    handle owns one; positions self-invalidate after any
+    {!rewrite_page} (generation stamp), so a stale cursor degrades to a
+    from-page-start replay, never a wrong code. *)
+type cursor
+
+(** A fresh (invalid) cursor for this layout. *)
+val cursor : t -> cursor
+
 (** The access-control code in force at node [pre] (§3.3): the header
     code replayed through the inline codes up to [pre], on the node's own
-    page only.  Consecutive forward lookups resume from an internal scan
-    cursor, mirroring the NoK evaluator's sequential page cursor. *)
+    page only.  Consecutive forward lookups resume from [cu], mirroring
+    the NoK evaluator's sequential page cursor.  Distinct cursors make
+    lookups independent, so concurrent readers (each with a private
+    buffer pool) can share one layout. *)
+val code_in_force_at : t -> cursor -> Buffer_pool.t -> int -> int
+
+(** {!code_in_force_at} on the layout's own built-in cursor —
+    single-handle use only. *)
 val code_in_force : t -> Buffer_pool.t -> int -> int
 
 (** Rewrite logical page [lp] with new records (same first preorder; an

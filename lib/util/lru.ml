@@ -47,6 +47,27 @@ let touch t key =
       push_front t n;
       t.size <- t.size + 1
 
+let node_key n = n.key
+
+let detached () = { key = -1; prev = None; next = None }
+
+let insert t key =
+  let n = { key; prev = None; next = None } in
+  Hashtbl.replace t.table key n;
+  push_front t n;
+  t.size <- t.size + 1;
+  n
+
+(** Touch through a node handle: no hash lookup, and when the node is
+    already most-recently-used (the common case for a scan that stays on
+    one page) no pointer surgery either. *)
+let touch_node t n =
+  match t.head with
+  | Some h when h == n -> ()
+  | _ ->
+      unlink t n;
+      push_front t n
+
 (** Remove [key] entirely (e.g. page pinned or freed). *)
 let remove t key =
   match Hashtbl.find_opt t.table key with

@@ -13,6 +13,32 @@ val mem : t -> int -> bool
 (** Mark [key] most-recently-used, inserting it if absent. *)
 val touch : t -> int -> unit
 
+(** {1 Node handles}
+
+    A caller that keeps the list node alongside its own per-key state
+    (the buffer pool stores it in the frame) can touch without the hash
+    lookup [touch] pays: {!touch_node} is a pointer comparison when the
+    node is already most-recently-used, and an unlink/relink otherwise. *)
+
+(** A handle to [key]'s position in the recency list. *)
+type node
+
+(** The key a node stands for. *)
+val node_key : node -> int
+
+(** A placeholder node not linked into any list — initialize a slot
+    before the first {!insert}.  Touching it is an error. *)
+val detached : unit -> node
+
+(** Insert [key] as most-recently-used and return its node.  [key] must
+    not be present (the buffer pool inserts only after a miss). *)
+val insert : t -> int -> node
+
+(** Mark the node most-recently-used: O(1), no hashing, and a no-op when
+    it is already the head.  The node must be linked (returned by
+    {!insert} and not since evicted). *)
+val touch_node : t -> node -> unit
+
 (** Forget [key] (no-op when absent). *)
 val remove : t -> int -> unit
 

@@ -1,0 +1,50 @@
+(** Deterministic query workloads for throughput experiments: a stream
+    of (XPath, evaluation semantics) pairs drawn from the paper's six
+    XMark benchmark queries (Table 1) over a configurable subject
+    population.  The mix is what a multi-tenant server sees — many
+    subjects, mostly secure evaluations, the occasional unsecured
+    administrative scan — and is fully reproducible from its seed, so
+    the parallel executor can be checked byte-for-byte against the
+    sequential engine on the same stream. *)
+
+module Prng = Dolx_util.Prng
+
+(* Mirrors [Dolx_nok.Engine.semantics] without depending on the engine:
+   the workload layer stays below the evaluator in the library DAG. *)
+type semantics =
+  | Insecure
+  | Secure of int  (** subject *)
+  | Secure_path of int  (** subject *)
+
+let semantics_name = function
+  | Insecure -> "insecure"
+  | Secure s -> Printf.sprintf "secure(%d)" s
+  | Secure_path s -> Printf.sprintf "secure-path(%d)" s
+
+type entry = { query_id : string; xpath : string; semantics : semantics }
+
+let pp_entry ppf e =
+  Fmt.pf ppf "%s %s [%s]" e.query_id (semantics_name e.semantics) e.xpath
+
+(** [generate ~n ~subjects ~seed ()] draws [n] entries: the query is
+    uniform over {!Xmark.queries}; the semantics is [Insecure] with
+    probability [insecure_p] (default 0.1), otherwise secure for a
+    uniform subject in [0, subjects), with path semantics
+    (Gabillon–Bruno) at probability [path_p] (default 0.25) among the
+    secure draws.
+    @raise Invalid_argument when [n < 0] or [subjects < 1]. *)
+let generate ?(insecure_p = 0.1) ?(path_p = 0.25) ~n ~subjects ~seed () =
+  if n < 0 then invalid_arg "Query_mix.generate: negative n";
+  if subjects < 1 then invalid_arg "Query_mix.generate: subjects < 1";
+  let prng = Prng.create seed in
+  let queries = Array.of_list Xmark.queries in
+  List.init n (fun _ ->
+      let query_id, xpath = Prng.choose prng queries in
+      let semantics =
+        if Prng.bool prng ~p:insecure_p then Insecure
+        else
+          let subject = Prng.int prng subjects in
+          if Prng.bool prng ~p:path_p then Secure_path subject
+          else Secure subject
+      in
+      { query_id; xpath; semantics })

@@ -1,0 +1,26 @@
+(** Deterministic (query, semantics) workload streams over the paper's
+    six XMark benchmark queries — the input of the batch-throughput
+    experiments and of the parallel-vs-sequential determinism suite.
+    Fully reproducible from the seed. *)
+
+(** Mirrors [Dolx_nok.Engine.semantics] without depending on the
+    evaluator (the workload layer sits below it). *)
+type semantics =
+  | Insecure
+  | Secure of int  (** subject *)
+  | Secure_path of int  (** subject *)
+
+val semantics_name : semantics -> string
+
+type entry = { query_id : string; xpath : string; semantics : semantics }
+
+val pp_entry : Format.formatter -> entry -> unit
+
+(** [generate ~n ~subjects ~seed ()] draws [n] entries: uniform over
+    {!Xmark.queries}; [Insecure] with probability [insecure_p] (default
+    0.1), otherwise secure for a uniform subject with path semantics at
+    probability [path_p] (default 0.25) among secure draws.
+    @raise Invalid_argument when [n < 0] or [subjects < 1]. *)
+val generate :
+  ?insecure_p:float -> ?path_p:float -> n:int -> subjects:int -> seed:int ->
+  unit -> entry list

@@ -19,4 +19,5 @@ let () =
       ("structural", Test_structural.suite);
       ("coverage", Test_coverage.suite);
       ("faults", Test_faults.suite);
+      ("parallel", Test_parallel.suite);
     ]
