@@ -53,7 +53,12 @@ let setup () =
           /. float_of_int (Tree.size tree)
         in
         let dol = Dol.of_bool_array bools in
-        let store = Store.create ~page_size:4096 ~pool_capacity:128 tree dol in
+        (* run index off: this figure reproduces the paper's §3.3
+           header-skip mechanism, which the run index would subsume *)
+        let store =
+          Store.create ~run_index:false ~page_size:4096 ~pool_capacity:128 tree
+            dol
+        in
         (a, frac, store))
       ratios
   in

@@ -28,7 +28,11 @@ let setup () =
   let bools = Synth_acl.generate_bool tree ~params (Prng.create 17) in
   bools.(0) <- true;
   let dol = Dol.of_bool_array bools in
-  let store = Store.create ~page_size:4096 ~pool_capacity:128 tree dol in
+  (* run index off: CRC share is measured on the page-read path, which
+     the run index would partially elide *)
+  let store =
+    Store.create ~run_index:false ~page_size:4096 ~pool_capacity:128 tree dol
+  in
   let index = Tag_index.build tree in
   (tree, index, store)
 

@@ -132,6 +132,15 @@ let metrics_end fmt =
       Fmt.pr "-- trace --@.%a@." (fun ppf () -> Trace.pp ppf ()) ()
   | Some `Json -> print_endline (Metrics.to_json_string Metrics.default)
 
+(* --no-run-index: evaluate with the per-subject access-run index
+   disabled, answering every check from the physical pages — the
+   baseline side of `bench runs`. *)
+let no_run_index_arg =
+  Arg.(value & flag
+       & info [ "no-run-index" ]
+           ~doc:"Disable the per-subject access-run index; answer access \
+                 checks from the physical pages.")
+
 (* --- generate --- *)
 
 let generate nodes seed output =
@@ -198,12 +207,12 @@ let node_path tree v =
   in
   go v ""
 
-let query doc policy mode subject path_semantics metrics q =
+let query doc policy mode subject path_semantics no_run_index metrics q =
   let tree = load_doc doc in
   let subjects, _, labeling = compile tree policy ~mode in
   let s = subject_id subjects subject in
   let dol = Dol.of_labeling labeling in
-  let store = Store.create tree dol in
+  let store = Store.create ~run_index:(not no_run_index) tree dol in
   let index = Tag_index.build tree in
   let sem = if path_semantics then Engine.Secure_path s else Engine.Secure s in
   metrics_begin metrics store;
@@ -224,7 +233,7 @@ let query_cmd =
   let q = Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY") in
   Cmd.v (Cmd.info "query" ~doc:"Evaluate a twig query as a subject")
     Term.(const query $ doc_arg $ policy_arg $ mode_arg $ subject_arg $ path_sem
-          $ metrics_arg $ q)
+          $ no_run_index_arg $ metrics_arg $ q)
 
 (* --- query-batch --- *)
 
@@ -268,12 +277,12 @@ let semantics_name = function
   | Engine.Secure s -> Printf.sprintf "s%d" s
   | Engine.Secure_path s -> Printf.sprintf "s%d/path" s
 
-let query_batch doc policy mode jobs path_semantics metrics queries_file mix
-    mix_seed =
+let query_batch doc policy mode jobs path_semantics no_run_index metrics
+    queries_file mix mix_seed =
   let tree = load_doc doc in
   let subjects, _, labeling = compile tree policy ~mode in
   let dol = Dol.of_labeling labeling in
-  let store = Store.create tree dol in
+  let store = Store.create ~run_index:(not no_run_index) tree dol in
   let index = Tag_index.build tree in
   let batch =
     match (queries_file, mix) with
@@ -326,7 +335,7 @@ let query_batch_cmd =
     (Cmd.info "query-batch"
        ~doc:"Evaluate a batch of twig queries on a worker-domain pool")
     Term.(const query_batch $ doc_arg $ policy_arg $ mode_arg $ jobs $ path_sem
-          $ metrics_arg $ queries_file $ mix $ mix_seed)
+          $ no_run_index_arg $ metrics_arg $ queries_file $ mix $ mix_seed)
 
 (* --- view --- *)
 
@@ -452,8 +461,9 @@ let compile_db_cmd =
        ~doc:"Compile document + policy into a single-file secured database")
     Term.(const compile_db $ doc_arg $ policy_arg $ mode_arg $ output)
 
-let query_db db subject path_semantics metrics q =
+let query_db db subject path_semantics no_run_index metrics q =
   let store, registries = Dolx_core.Db_file.load db in
+  if no_run_index then Store.set_run_index store false;
   let tree = Store.tree store in
   let index = Tag_index.build tree in
   (* subject by name when the file embeds its registry, else a bit index *)
@@ -487,7 +497,8 @@ let query_db_cmd =
   let q = Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY") in
   Cmd.v
     (Cmd.info "query-db" ~doc:"Evaluate a twig query against a compiled database file")
-    Term.(const query_db $ db $ subject_bit $ path_sem $ metrics_arg $ q)
+    Term.(const query_db $ db $ subject_bit $ path_sem $ no_run_index_arg
+          $ metrics_arg $ q)
 
 (* --- stats-db: database-file statistics --- *)
 
@@ -518,12 +529,32 @@ let stats_db db =
       Printf.printf "subjects: %s\n" (names subjects Subject.name Subject.count);
       Printf.printf "modes: %s\n" (names modes Mode.name Mode.count)
   | None -> print_endline "no embedded subject/mode registry");
-  match Store.quarantined store with
+  (match Store.quarantined store with
   | [] -> ()
   | qs ->
       Printf.printf "quarantined ranges (fail-secure): %s\n"
         (String.concat ", "
-           (List.map (fun (lo, hi) -> Printf.sprintf "[%d,%d]" lo hi) qs))
+           (List.map (fun (lo, hi) -> Printf.sprintf "[%d,%d]" lo hi) qs)));
+  (* run index: materialize every subject once so the report shows the
+     full per-subject picture (bounded by the index's LRU capacity) *)
+  let ri = Store.run_index store in
+  let module Runs = Dolx_core.Access_runs in
+  let n_subjects = Codebook.width (Dol.codebook dol) in
+  Printf.printf "run index: capacity %d subject(s)\n" (Runs.capacity ri);
+  for s = 0 to n_subjects - 1 do
+    let r = Runs.runs ri ~subject:s in
+    Printf.printf
+      "  subject %d: %d run(s), %d node(s) accessible (%.1f%%), %d bytes\n" s
+      (Runs.run_count r) (Runs.covered r)
+      (100. *. Runs.accessible_fraction r)
+      (Runs.bytes r)
+  done;
+  Printf.printf "  materialized: %d subject(s), %d bytes total\n"
+    (Runs.materialized ri) (Runs.total_bytes ri);
+  Printf.printf "  counters: builds=%d hits=%d evictions=%d\n"
+    (Metrics.counter_value "runs.builds")
+    (Metrics.counter_value "runs.hits")
+    (Metrics.counter_value "runs.evictions")
 
 let stats_db_cmd =
   let db = Arg.(required & opt (some file) None & info [ "db" ] ~docv:"FILE") in

@@ -1,0 +1,300 @@
+(** Per-subject access-run index — see the interface for the design.
+
+    Concurrency: the table of materialized subjects is an immutable
+    sorted array published through an [Atomic.t].  Lookups binary-search
+    the snapshot with no lock; builds and evictions serialize on a
+    mutex, re-check the snapshot, and publish a fresh array.  LRU
+    recency is a per-entry [int Atomic.t] stamped from a global tick, so
+    hits on the lock-free path still update recency without contending
+    on the mutex. *)
+
+module Binsearch = Dolx_util.Binsearch
+module Int_vec = Dolx_util.Int_vec
+module Metrics = Dolx_obs.Metrics
+
+let c_builds = Metrics.counter "runs.builds"
+
+let c_hits = Metrics.counter "runs.hits"
+
+let c_evictions = Metrics.counter "runs.evictions"
+
+let g_bytes = Metrics.gauge "runs.bytes"
+
+let g_subjects = Metrics.gauge "runs.subjects"
+
+type runs = {
+  r_subject : int;
+  r_generation : int;
+  r_n : int;  (* n_nodes at build time *)
+  starts : int array;  (* sorted run starts *)
+  stops : int array;   (* parallel inclusive run ends; disjoint, maximal *)
+  r_covered : int;     (* sum of run lengths *)
+}
+
+type entry = { e_runs : runs; e_used : int Atomic.t }
+
+type t = {
+  dol : Dol.t;
+  deny : (int * int) array;  (* sorted disjoint inaccessible intervals *)
+  cap : int;
+  lock : Mutex.t;
+  tick : int Atomic.t;
+  table : (int * entry) array Atomic.t;  (* sorted by subject *)
+}
+
+let default_capacity = 64
+
+let normalize_deny deny =
+  let ranges =
+    List.filter (fun (lo, hi) -> lo <= hi) deny
+    |> List.sort compare
+  in
+  (* coalesce overlapping / adjacent intervals *)
+  let rec merge = function
+    | (a, b) :: (c, d) :: rest when c <= b + 1 -> merge ((a, max b d) :: rest)
+    | r :: rest -> r :: merge rest
+    | [] -> []
+  in
+  Array.of_list (merge ranges)
+
+let create ?(capacity = default_capacity) ?(deny = []) dol =
+  if capacity < 1 then invalid_arg "Access_runs.create: capacity < 1";
+  {
+    dol;
+    deny = normalize_deny deny;
+    cap = capacity;
+    lock = Mutex.create ();
+    tick = Atomic.make 0;
+    table = Atomic.make [||];
+  }
+
+let capacity t = t.cap
+
+let materialized t = Array.length (Atomic.get t.table)
+
+(** {1 Building} *)
+
+(* Subtract the deny intervals from one candidate run [lo, hi], pushing
+   the surviving pieces.  [di] is a monotone index into [deny]. *)
+let push_minus_deny deny di starts stops lo hi =
+  let nd = Array.length deny in
+  let lo = ref lo in
+  (* skip deny intervals entirely before the run *)
+  while !di < nd && snd deny.(!di) < !lo do incr di done;
+  let j = ref !di in
+  while !lo <= hi do
+    if !j >= nd || fst deny.(!j) > hi then begin
+      Int_vec.push starts !lo;
+      Int_vec.push stops hi;
+      lo := hi + 1
+    end
+    else begin
+      let dlo, dhi = deny.(!j) in
+      if dlo > !lo then begin
+        Int_vec.push starts !lo;
+        Int_vec.push stops (dlo - 1)
+      end;
+      lo := dhi + 1;
+      incr j
+    end
+  done
+
+(* Materialize [subject]'s accessible runs at generation [gen].  One
+   pass over the transition list: consecutive transitions whose codes
+   grant the subject coalesce into a single run. *)
+let build t subject gen =
+  let dol = t.dol in
+  let cb = Dol.codebook dol in
+  let pres = dol.Dol.trans_pre and codes = dol.Dol.trans_code in
+  let k = Array.length pres in
+  let n = Dol.n_nodes dol in
+  let starts = Int_vec.create () and stops = Int_vec.create () in
+  let covered = ref 0 in
+  let di = ref 0 in
+  let i = ref 0 in
+  while !i < k do
+    if Codebook.grants cb codes.(!i) subject then begin
+      let lo = pres.(!i) in
+      incr i;
+      while !i < k && Codebook.grants cb codes.(!i) subject do incr i done;
+      let hi = if !i < k then pres.(!i) - 1 else n - 1 in
+      let before = Int_vec.length starts in
+      push_minus_deny t.deny di starts stops lo hi;
+      for j = before to Int_vec.length starts - 1 do
+        covered := !covered + Int_vec.get stops j - Int_vec.get starts j + 1
+      done
+    end
+    else incr i
+  done;
+  Metrics.incr c_builds;
+  {
+    r_subject = subject;
+    r_generation = gen;
+    r_n = n;
+    starts = Int_vec.to_array starts;
+    stops = Int_vec.to_array stops;
+    r_covered = !covered;
+  }
+
+(** {1 Table} *)
+
+let lookup table subject =
+  let lo = ref 0 and hi = ref (Array.length table - 1) in
+  let res = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let s, e = table.(mid) in
+    if s = subject then begin
+      res := Some e;
+      lo := !hi + 1
+    end
+    else if s < subject then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !res
+
+let touch t e = Atomic.set e.e_used (Atomic.fetch_and_add t.tick 1)
+
+let bytes r = (2 * 8 * Array.length r.starts) + 48
+
+let total_bytes t =
+  Array.fold_left (fun acc (_, e) -> acc + bytes e.e_runs) 0 (Atomic.get t.table)
+
+let iter_materialized f t =
+  Array.iter (fun (s, e) -> f s e.e_runs) (Atomic.get t.table)
+
+let publish_gauges t =
+  Metrics.gauge_set g_bytes (float_of_int (total_bytes t));
+  Metrics.gauge_set g_subjects (float_of_int (materialized t))
+
+(* Under [t.lock]: insert/replace [subject]'s entry, evicting the least
+   recently used other subject when over capacity. *)
+let install t subject e =
+  let old = Atomic.get t.table in
+  let others = Array.of_list (List.filter (fun (s, _) -> s <> subject) (Array.to_list old)) in
+  let others =
+    if Array.length others >= t.cap then begin
+      (* evict the least recently used until one slot is free *)
+      let victims = Array.length others - t.cap + 1 in
+      let by_use = Array.copy others in
+      Array.sort
+        (fun (_, a) (_, b) -> compare (Atomic.get a.e_used) (Atomic.get b.e_used))
+        by_use;
+      let evicted = Array.sub by_use 0 victims in
+      Metrics.add c_evictions victims;
+      Array.of_list
+        (List.filter
+           (fun (s, _) -> not (Array.exists (fun (v, _) -> v = s) evicted))
+           (Array.to_list others))
+    end
+    else others
+  in
+  let table = Array.append others [| (subject, e) |] in
+  Array.sort (fun (a, _) (b, _) -> compare a b) table;
+  Atomic.set t.table table;
+  publish_gauges t
+
+let runs t ~subject =
+  if subject < 0 then invalid_arg "Access_runs.runs: negative subject";
+  let gen = Dol.generation t.dol in
+  match lookup (Atomic.get t.table) subject with
+  | Some e when e.e_runs.r_generation = gen ->
+      Metrics.incr c_hits;
+      touch t e;
+      e.e_runs
+  | _ ->
+      Mutex.lock t.lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.lock)
+        (fun () ->
+          (* re-check: another domain may have built while we waited *)
+          match lookup (Atomic.get t.table) subject with
+          | Some e when e.e_runs.r_generation = gen ->
+              Metrics.incr c_hits;
+              touch t e;
+              e.e_runs
+          | _ ->
+              let r = build t subject gen in
+              let e = { e_runs = r; e_used = Atomic.make 0 } in
+              touch t e;
+              install t subject e;
+              r)
+
+(** {1 Queries} *)
+
+let run_count r = Array.length r.starts
+
+let covered r = r.r_covered
+
+let accessible_fraction r =
+  if r.r_n = 0 then 0.0 else float_of_int r.r_covered /. float_of_int r.r_n
+
+(* Least run index [i] with [stops.(i) >= v], or [length] when none.
+   [hint] makes monotone scans O(1) amortized: try a few linear steps
+   from the hint before binary-searching. *)
+let seek r hint v =
+  let stops = r.stops in
+  let len = Array.length stops in
+  let bin () = match Binsearch.successor stops v with Some j -> j | None -> len in
+  if len = 0 then 0
+  else if hint >= 0 && hint <= len
+          && (hint = len || stops.(hint) >= v)
+          && (hint = 0 || stops.(hint - 1) < v) then hint
+  else if hint >= 0 && hint < len && stops.(hint) < v then begin
+    let i = ref (hint + 1) in
+    let steps = ref 0 in
+    while !i < len && stops.(!i) < v && !steps < 8 do incr i; incr steps done;
+    if !i < len && stops.(!i) < v then bin () else !i
+  end
+  else bin ()
+
+let mem r v =
+  let i = seek r (-1) v in
+  i < Array.length r.starts && r.starts.(i) <= v
+
+let next_accessible r v =
+  let i = seek r (-1) v in
+  if i >= Array.length r.starts then None else Some (max v r.starts.(i))
+
+let span_inside r ~lo ~hi =
+  lo > hi
+  ||
+  let i = seek r (-1) lo in
+  i < Array.length r.starts && r.starts.(i) <= lo && r.stops.(i) >= hi
+
+let intersect r xs =
+  let len = Array.length r.starts in
+  if len = 0 then []
+  else begin
+    let i = ref 0 in
+    List.filter
+      (fun v ->
+        i := seek r !i v;
+        !i < len && r.starts.(!i) <= v)
+      xs
+  end
+
+(** {1 Cursors} *)
+
+type cursor = { mutable cr : runs option; mutable ci : int }
+
+let cursor () = { cr = None; ci = 0 }
+
+let accessible t cu ~subject v =
+  let gen = Dol.generation t.dol in
+  let r =
+    match cu.cr with
+    | Some r when r.r_subject = subject && r.r_generation = gen -> r
+    | _ ->
+        let r = runs t ~subject in
+        cu.cr <- Some r;
+        cu.ci <- 0;
+        r
+  in
+  let i = seek r cu.ci v in
+  cu.ci <- i;
+  i < Array.length r.starts && r.starts.(i) <= v
+
+let pp_runs ppf r =
+  Format.fprintf ppf "subject %d: %d runs covering %d/%d nodes (%d B, gen %d)"
+    r.r_subject (run_count r) r.r_covered r.r_n (bytes r) r.r_generation

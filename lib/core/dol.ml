@@ -23,9 +23,14 @@ type t = {
   mutable trans_pre : int array;  (* sorted transition-node preorders; [0] = 0 *)
   mutable trans_code : int array; (* parallel codes *)
   mutable n_nodes : int;
+  mutable generation : int;       (* bumped on every in-place mutation *)
 }
 
 let codebook t = t.codebook
+
+let generation t = t.generation
+
+let bump_generation t = t.generation <- t.generation + 1
 
 let n_nodes t = t.n_nodes
 
@@ -59,6 +64,7 @@ let of_labeling labeling =
     trans_pre = Int_vec.to_array pres;
     trans_code = Int_vec.to_array codes;
     n_nodes = n;
+    generation = 0;
   }
 
 (** Build a single-subject DOL from a boolean accessibility array. *)
@@ -108,6 +114,7 @@ module Streaming = struct
       trans_pre = Int_vec.to_array b.pres;
       trans_code = Int_vec.to_array b.codes;
       n_nodes = b.next_pre;
+      generation = 0;
     }
 end
 
@@ -135,6 +142,49 @@ let is_transition t v =
   let i = governing_index t v in
   t.trans_pre.(i) = v
 
+(** {1 Resumable lookup}
+
+    A cursor remembers the governing-transition index of the previous
+    lookup so a document-order scan pays O(1) amortized per node instead
+    of a full binary search each time.  Backward seeks and long forward
+    jumps fall back to binary search; a generation mismatch (the DOL was
+    mutated since the last lookup) forces a restart, so a stale cursor
+    can never return pre-update codes. *)
+
+type cursor = { mutable c_idx : int; mutable c_gen : int }
+
+let cursor t = { c_idx = 0; c_gen = t.generation }
+
+(* Linear steps to try before giving up and binary-searching; keeps a
+   sequential scan at O(1) per node without making random jumps O(k). *)
+let cursor_linear_budget = 8
+
+let governing_index_cur t cu v =
+  if v < 0 || v >= t.n_nodes then invalid_arg "Dol: node out of range";
+  let pres = t.trans_pre in
+  let k = Array.length pres in
+  if cu.c_gen <> t.generation || cu.c_idx >= k || pres.(cu.c_idx) > v then begin
+    (* stale or backward: restart from a fresh binary search *)
+    cu.c_gen <- t.generation;
+    cu.c_idx <- governing_index t v
+  end
+  else begin
+    let i = ref cu.c_idx in
+    let steps = ref 0 in
+    while !i + 1 < k && pres.(!i + 1) <= v && !steps < cursor_linear_budget do
+      incr i;
+      incr steps
+    done;
+    if !i + 1 < k && pres.(!i + 1) <= v then i := governing_index t v;
+    cu.c_idx <- !i
+  end;
+  cu.c_idx
+
+let code_at_cur t cu v = t.trans_code.(governing_index_cur t cu v)
+
+let accessible_cur t cu ~subject v =
+  Codebook.grants t.codebook (code_at_cur t cu v) subject
+
 (** {1 Space accounting (paper §5.1)} *)
 
 (** Bytes for the in-memory codebook. *)
@@ -156,9 +206,10 @@ let transition_density t =
     the defining property of a DOL.  Raises [Failure] on mismatch. *)
 let verify_against t labeling =
   if Labeling.size labeling <> t.n_nodes then failwith "Dol.verify: size mismatch";
+  let cu = cursor t in
   for v = 0 to t.n_nodes - 1 do
     let want = Labeling.acl labeling v in
-    let got = acl_at t v in
+    let got = Codebook.get t.codebook (code_at_cur t cu v) in
     if not (Bitset.equal want got) then
       failwith (Printf.sprintf "Dol.verify: ACL mismatch at node %d" v)
   done

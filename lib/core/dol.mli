@@ -16,9 +16,18 @@ type t = {
   mutable trans_pre : int array;   (** sorted transition preorders; [.(0) = 0] *)
   mutable trans_code : int array;  (** parallel codes *)
   mutable n_nodes : int;
+  mutable generation : int;        (** bumped on every in-place mutation *)
 }
 
 val codebook : t -> Codebook.t
+
+(** Mutation stamp.  {!Update} bumps it whenever the transition list or
+    the subject population changes; derived structures ({!Access_runs},
+    cursors) compare stamps to detect staleness. *)
+val generation : t -> int
+
+(** Invalidate every derived structure holding the current stamp. *)
+val bump_generation : t -> unit
 
 val n_nodes : t -> int
 
@@ -69,6 +78,25 @@ val accessible : t -> subject:int -> int -> bool
 
 (** Is [v] itself a transition node? *)
 val is_transition : t -> int -> bool
+
+(** {1 Resumable lookup}
+
+    Document-order scans ({!Secure_view}, {!Stream_filter}, the
+    {!Access_runs} builder) repeat [code_at] on ascending preorders; a
+    cursor resumes from the previous governing transition so such scans
+    cost O(1) amortized per node.  Any access pattern is still correct:
+    backward seeks restart with a binary search, and a generation
+    mismatch after an update forces a restart too. *)
+
+type cursor
+
+val cursor : t -> cursor
+
+(** [code_at] through a cursor. *)
+val code_at_cur : t -> cursor -> int -> Codebook.code
+
+(** [accessible] through a cursor. *)
+val accessible_cur : t -> cursor -> subject:int -> int -> bool
 
 (** {1 Space accounting (paper §5.1)} *)
 

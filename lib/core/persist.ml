@@ -152,7 +152,8 @@ let of_body buf ~limit =
     prev := pre
   done;
   if !pos <> limit then raise (Corrupt "trailing garbage");
-  { Dol.codebook = cb; trans_pre = pres; trans_code = codes; n_nodes }
+  { Dol.codebook = cb; trans_pre = pres; trans_code = codes; n_nodes;
+    generation = 0 }
 
 (** Deserialize.  @raise Corrupt on malformed input. *)
 let of_bytes buf =

@@ -19,6 +19,8 @@ let c_header_skips = Metrics.counter "store.header_skips"
 
 let c_codebook_lookups = Metrics.counter "store.codebook_lookups"
 
+let c_run_answers = Metrics.counter "store.run_answers"
+
 type t = {
   tree : Tree.t;
   mutable dol : Dol.t;
@@ -29,9 +31,15 @@ type t = {
   (* Scan-resume cursor for [Nok_layout.code_in_force_at]: per handle,
      so reader handles never share scan state. *)
   cursor : Nok_layout.cursor;
+  (* Per-subject access-run index (shared across reader handles; builds
+     are internally synchronized) and this handle's private run cursor. *)
+  runs : Access_runs.t;
+  mutable use_runs : bool;
+  run_cursor : Access_runs.cursor;
   mutable access_checks : int;
   mutable header_skips : int; (* page loads avoided via the header check *)
   mutable codebook_lookups : int; (* Codebook.grants evaluations *)
+  mutable run_answers : int; (* checks answered by the run index *)
   (* Fail-secure quarantine: sorted disjoint preorder ranges [lo, hi]
      whose label pages could not be recovered after corruption.  Access
      to a quarantined node is denied for every subject — recovery must
@@ -39,7 +47,8 @@ type t = {
   quarantine : (int * int) array;
 }
 
-let create ?(page_size = 4096) ?(pool_capacity = 64) ?(fill = 0.9) tree dol =
+let create ?(page_size = 4096) ?(pool_capacity = 64) ?(fill = 0.9)
+    ?(run_index = true) tree dol =
   if Dol.n_nodes dol <> Tree.size tree then
     invalid_arg "Secure_store.create: tree / DOL size mismatch";
   let disk = Disk.create ~page_size () in
@@ -49,14 +58,19 @@ let create ?(page_size = 4096) ?(pool_capacity = 64) ?(fill = 0.9) tree dol =
   let layout = Nok_layout.build ~fill disk tree ~transitions in
   let pool = Buffer_pool.create ~capacity:pool_capacity disk in
   { tree; dol; layout; pool; disk; pool_capacity;
-    cursor = Nok_layout.cursor layout; access_checks = 0;
-    header_skips = 0; codebook_lookups = 0; quarantine = [||] }
+    cursor = Nok_layout.cursor layout;
+    runs = Access_runs.create dol;
+    use_runs = run_index;
+    run_cursor = Access_runs.cursor ();
+    access_checks = 0;
+    header_skips = 0; codebook_lookups = 0; run_answers = 0;
+    quarantine = [||] }
 
 (** Assemble a store from pre-built parts (database-file loading): the
     layout must already live on [disk].  [quarantine] lists preorder
     ranges whose labels were lost to corruption and must be denied. *)
-let assemble ?(pool_capacity = 64) ?(quarantine = []) ~tree ~dol ~disk ~layout
-    () =
+let assemble ?(pool_capacity = 64) ?(quarantine = []) ?(run_index = true)
+    ~tree ~dol ~disk ~layout () =
   if Dol.n_nodes dol <> Tree.size tree then
     invalid_arg "Secure_store.assemble: tree / DOL size mismatch";
   List.iter
@@ -64,13 +78,20 @@ let assemble ?(pool_capacity = 64) ?(quarantine = []) ~tree ~dol ~disk ~layout
       if lo < 0 || hi < lo || hi >= Tree.size tree then
         invalid_arg "Secure_store.assemble: bad quarantine range")
     quarantine;
-  let quarantine =
+  let quarantine_a =
     Array.of_list (List.sort (fun (a, _) (b, _) -> compare a b) quarantine)
   in
   let pool = Buffer_pool.create ~capacity:pool_capacity disk in
   { tree; dol; layout; pool; disk; pool_capacity;
-    cursor = Nok_layout.cursor layout; access_checks = 0;
-    header_skips = 0; codebook_lookups = 0; quarantine }
+    cursor = Nok_layout.cursor layout;
+    (* quarantined ranges are subtracted at run-build time, so a run
+       verdict is already fail-secure *)
+    runs = Access_runs.create ~deny:quarantine dol;
+    use_runs = run_index;
+    run_cursor = Access_runs.cursor ();
+    access_checks = 0;
+    header_skips = 0; codebook_lookups = 0; run_answers = 0;
+    quarantine = quarantine_a }
 
 (** A read-only evaluation handle over the same store: shares the
     immutable parts (tree, DOL, layout, disk, quarantine) but owns a
@@ -87,10 +108,12 @@ let reader ?pool_capacity t =
     t with
     pool = Buffer_pool.create ~capacity:pool_capacity t.disk;
     cursor = Nok_layout.cursor t.layout;
+    run_cursor = Access_runs.cursor ();
     pool_capacity;
     access_checks = 0;
     header_skips = 0;
     codebook_lookups = 0;
+    run_answers = 0;
   }
 
 let quarantined t = Array.to_list t.quarantine
@@ -112,6 +135,9 @@ let layout t = t.layout
 let pool t = t.pool
 let disk t = t.disk
 let codebook t = Dol.codebook t.dol
+let run_index t = t.runs
+let run_index_enabled t = t.use_runs
+let set_run_index t b = t.use_runs <- b
 
 (** {1 Statistics} *)
 
@@ -124,6 +150,7 @@ type io_stats = {
   access_checks : int;
   header_skips : int;
   codebook_lookups : int;
+  run_answers : int;
 }
 
 let io_stats t =
@@ -138,6 +165,7 @@ let io_stats t =
     access_checks = t.access_checks;
     header_skips = t.header_skips;
     codebook_lookups = t.codebook_lookups;
+    run_answers = t.run_answers;
   }
 
 let reset_stats t =
@@ -145,14 +173,15 @@ let reset_stats t =
   Disk.reset_stats t.disk;
   t.access_checks <- 0;
   t.header_skips <- 0;
-  t.codebook_lookups <- 0
+  t.codebook_lookups <- 0;
+  t.run_answers <- 0
 
 let pp_io ppf s =
   Fmt.pf ppf
     "touches=%d hits=%d misses=%d disk_reads=%d disk_writes=%d checks=%d \
-     skips=%d lookups=%d"
+     skips=%d lookups=%d run_answers=%d"
     s.page_touches s.pool_hits s.pool_misses s.disk_reads s.disk_writes
-    s.access_checks s.header_skips s.codebook_lookups
+    s.access_checks s.header_skips s.codebook_lookups s.run_answers
 
 (** {1 Navigation (with I/O accounting)}
 
@@ -192,10 +221,17 @@ let grants (t : t) code subject =
   Metrics.incr c_codebook_lookups;
   Codebook.grants (Dol.codebook t.dol) code subject
 
+(* Answer one check from the run index through this handle's cursor. *)
+let run_verdict (t : t) ~subject v =
+  t.run_answers <- t.run_answers + 1;
+  Metrics.incr c_run_answers;
+  Access_runs.accessible t.runs t.run_cursor ~subject v
+
 let accessible (t : t) ~subject v =
   t.access_checks <- t.access_checks + 1;
   Metrics.incr c_access_checks;
   if in_quarantine t v then false
+  else if t.use_runs then run_verdict t ~subject v
   else
     let code = Nok_layout.code_in_force_at t.layout t.cursor t.pool v in
     grants t code subject
@@ -217,6 +253,15 @@ let accessible_with_skip (t : t) ~subject v =
   t.access_checks <- t.access_checks + 1;
   Metrics.incr c_access_checks;
   if in_quarantine t v then false
+  else if t.use_runs then begin
+    (* subsumes the header skip: a run verdict needs no page at all,
+       whereas the header can only prove whole-page denial.  A granted
+       node is still read by the evaluator, so its page is touched —
+       the run index only elides I/O for denied nodes. *)
+    let ok = run_verdict t ~subject v in
+    if ok then touch t v;
+    ok
+  end
   else if page_provably_inaccessible t ~subject v then begin
     t.header_skips <- t.header_skips + 1;
     Metrics.incr c_header_skips;
@@ -225,6 +270,40 @@ let accessible_with_skip (t : t) ~subject v =
   else
     let code = Nok_layout.code_in_force_at t.layout t.cursor t.pool v in
     grants t code subject
+
+(** {1 Run-index range queries}
+
+    Set-level accessibility, only available when the run index is on.
+    Each helper degrades to a conservative identity when the index is
+    off, so callers need no mode split; none of them touches a page. *)
+
+(** Least accessible preorder [>= v]; [v] itself when the index is off
+    (no skipping), [n_nodes] when no accessible node remains. *)
+let next_accessible t ~subject v =
+  if not t.use_runs then v
+  else
+    match Access_runs.next_accessible (Access_runs.runs t.runs ~subject) v with
+    | Some u -> u
+    | None -> Dol.n_nodes t.dol
+
+(** Drop inaccessible nodes from a sorted candidate list (galloping
+    intersection with the accessible runs); identity when off. *)
+let intersect_accessible t ~subject vs =
+  if not t.use_runs then vs
+  else Access_runs.intersect (Access_runs.runs t.runs ~subject) vs
+
+(** Is every node in [\[lo, hi\]] provably accessible (single-run
+    containment)?  [false] means "unknown" when the index is off. *)
+let span_provably_accessible t ~subject ~lo ~hi =
+  lo > hi
+  || (t.use_runs
+     && Access_runs.span_inside (Access_runs.runs t.runs ~subject) ~lo ~hi)
+
+(** Accessible fraction for [subject] (cost-model input); 1.0 when the
+    index is off, i.e. assume nothing can be pruned. *)
+let accessible_fraction t ~subject =
+  if not t.use_runs then 1.0
+  else Access_runs.accessible_fraction (Access_runs.runs t.runs ~subject)
 
 (** {1 Structural reorganization}
 
@@ -236,4 +315,5 @@ let accessible_with_skip (t : t) ~subject v =
     page-size/fill configuration of [t]. *)
 let rebuild t tree dol =
   let page_size = Dolx_storage.Disk.page_size t.disk in
-  create ~page_size ~pool_capacity:t.pool_capacity tree dol
+  create ~page_size ~pool_capacity:t.pool_capacity ~run_index:t.use_runs tree
+    dol

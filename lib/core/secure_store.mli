@@ -9,9 +9,15 @@ type t
 
 (** Lay [tree] and its DOL out on a fresh simulated disk.  [fill] bounds
     page occupancy at build time (slack absorbs update growth, §3.4).
+    [run_index] (default [true]) enables the per-subject access-run
+    index ({!Access_runs}): checks are answered from materialized
+    accessible intervals instead of page decodes, and the engine can
+    prune candidate sets by range intersection.  Disable it to measure
+    the paper's unaided §3.3 path.
     @raise Invalid_argument on tree/DOL size mismatch. *)
 val create :
-  ?page_size:int -> ?pool_capacity:int -> ?fill:float -> Tree.t -> Dol.t -> t
+  ?page_size:int -> ?pool_capacity:int -> ?fill:float -> ?run_index:bool ->
+  Tree.t -> Dol.t -> t
 
 (** Assemble from pre-built parts (used by {!Db_file}); the layout must
     already live on [disk].  [quarantine] lists inclusive preorder ranges
@@ -20,8 +26,8 @@ val create :
     subject (fail-secure — recovery must never fail open).
     @raise Invalid_argument on a malformed range. *)
 val assemble :
-  ?pool_capacity:int -> ?quarantine:(int * int) list -> tree:Tree.t ->
-  dol:Dol.t -> disk:Dolx_storage.Disk.t ->
+  ?pool_capacity:int -> ?quarantine:(int * int) list -> ?run_index:bool ->
+  tree:Tree.t -> dol:Dol.t -> disk:Dolx_storage.Disk.t ->
   layout:Dolx_storage.Nok_layout.t -> unit -> t
 
 (** A read-only evaluation handle over the same store: shares the tree,
@@ -49,6 +55,20 @@ val disk : t -> Dolx_storage.Disk.t
 
 val codebook : t -> Codebook.t
 
+(** {1 Run index}
+
+    The per-subject access-run index is shared by all reader handles
+    (builds are internally synchronized); each handle owns a private
+    run cursor, so concurrent readers never share scan state. *)
+
+val run_index : t -> Access_runs.t
+
+val run_index_enabled : t -> bool
+
+(** Toggle run-index use on this handle (e.g. for on/off benchmark
+    comparisons over the same physical store). *)
+val set_run_index : t -> bool -> unit
+
 (** {1 Statistics} *)
 
 type io_stats = {
@@ -60,6 +80,7 @@ type io_stats = {
   access_checks : int;  (** ACCESS evaluations (§3.3) *)
   header_skips : int;   (** page loads avoided via the header check *)
   codebook_lookups : int;  (** [Codebook.grants] evaluations *)
+  run_answers : int;  (** checks answered by the run index (no page decode) *)
 }
 
 val io_stats : t -> io_stats
@@ -104,8 +125,32 @@ val accessible : t -> subject:int -> Tree.node -> bool
 val page_provably_inaccessible : t -> subject:int -> Tree.node -> bool
 
 (** ACCESS with the header optimization: consult the in-memory header
-    first; fetch the page only when it cannot decide. *)
+    first; fetch the page only when it cannot decide.  With the run
+    index on, both this and {!accessible} answer from runs without any
+    page access — the run verdict subsumes the header skip. *)
 val accessible_with_skip : t -> subject:int -> Tree.node -> bool
+
+(** {1 Run-index range queries}
+
+    Set-level accessibility; no page I/O.  Each helper degrades to a
+    conservative identity when the run index is off, so callers need no
+    mode split. *)
+
+(** Least accessible preorder [>= v]; [v] itself when the index is off,
+    [Dol.n_nodes] when no accessible node remains. *)
+val next_accessible : t -> subject:int -> Tree.node -> Tree.node
+
+(** Drop inaccessible nodes from a sorted candidate list (galloping
+    intersection with the accessible runs); identity when off. *)
+val intersect_accessible : t -> subject:int -> Tree.node list -> Tree.node list
+
+(** Is every node of [\[lo, hi\]] provably accessible (contained in one
+    accessible run)?  [false] means "unknown" when the index is off. *)
+val span_provably_accessible : t -> subject:int -> lo:int -> hi:int -> bool
+
+(** Fraction of nodes accessible to [subject] (cost-model input); 1.0
+    when the index is off. *)
+val accessible_fraction : t -> subject:int -> float
 
 (** {1 Structural reorganization}
 

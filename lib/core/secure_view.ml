@@ -30,6 +30,9 @@ let view ?(semantics = Prune_subtree) tree dol ~subject =
   if Dol.n_nodes dol <> Tree.size tree then
     invalid_arg "Secure_view.view: tree / DOL mismatch";
   if not (Dol.accessible dol ~subject Tree.root) then raise Root_inaccessible;
+  (* the scan visits nodes in document order, so a resumable cursor
+     answers each accessibility check in O(1) amortized *)
+  let cur = Dol.cursor dol in
   (* share the tag table so view node tests and indexes keep the
      original document's tag ids *)
   let b = Tree.Builder.create ~table:(Tree.tag_table tree) () in
@@ -41,7 +44,7 @@ let view ?(semantics = Prune_subtree) tree dol ~subject =
     Tree.iter_children (fun c -> descend c) tree v;
     Tree.Builder.close_element b
   and descend v =
-    if Dol.accessible dol ~subject v then copy v
+    if Dol.accessible_cur dol cur ~subject v then copy v
     else
       match semantics with
       | Prune_subtree -> ()
@@ -54,8 +57,9 @@ let view ?(semantics = Prune_subtree) tree dol ~subject =
     order — useful for counting without materializing. *)
 let visible_nodes ?(semantics = Prune_subtree) tree dol ~subject =
   let acc = ref [] in
+  let cur = Dol.cursor dol in
   let rec go v ~path_ok =
-    let ok = Dol.accessible dol ~subject v in
+    let ok = Dol.accessible_cur dol cur ~subject v in
     let visible =
       match semantics with Prune_subtree -> ok && path_ok | Lift_children -> ok
     in

@@ -26,7 +26,7 @@ type t = {
   semantics : semantics;
   emit : Parser.event -> unit;
   mutable next_pre : int;      (* preorder of the next Start event *)
-  mutable trans_idx : int;     (* position in the transition list *)
+  cur : Dol.cursor;            (* position in the transition list *)
   mutable accessible_now : bool;
   (* per open element: was it emitted (true) or filtered (false)? *)
   mutable emitted_stack : bool list;
@@ -43,7 +43,7 @@ let create ?(semantics = Prune_subtree) dol ~subject ~emit =
     semantics;
     emit;
     next_pre = 0;
-    trans_idx = 0;
+    cur = Dol.cursor dol;
     accessible_now = false;
     emitted_stack = [];
     pruned_depth = 0;
@@ -58,15 +58,8 @@ let events_out t = t.events_out
 (* Advance the transition cursor to the element about to start; this is
    the stream consuming one embedded control character when present. *)
 let advance_access t =
-  let pres = t.dol.Dol.trans_pre in
-  if
-    t.trans_idx + 1 < Array.length pres
-    && pres.(t.trans_idx + 1) = t.next_pre
-  then t.trans_idx <- t.trans_idx + 1;
   t.accessible_now <-
-    Codebook.grants t.dol.Dol.codebook
-      t.dol.Dol.trans_code.(t.trans_idx)
-      t.subject
+    Dol.accessible_cur t.dol t.cur ~subject:t.subject t.next_pre
 
 let out t ev =
   t.events_out <- t.events_out + 1;

@@ -57,7 +57,10 @@ let splice (dol : Dol.t) ~lo ~hi repl =
     push pres.(i) codes.(i)
   done;
   dol.Dol.trans_pre <- Int_vec.to_array out_pre;
-  dol.Dol.trans_code <- Int_vec.to_array out_code
+  dol.Dol.trans_code <- Int_vec.to_array out_code;
+  (* every accessibility update funnels through here: invalidate cursors
+     and run indexes derived from the old transition list *)
+  Dol.bump_generation dol
 
 (** {1 Accessibility updates (logical)} *)
 
@@ -146,6 +149,7 @@ let extract_range (dol : Dol.t) ~lo ~hi =
     trans_pre = Int_vec.to_array pres;
     trans_code = Int_vec.to_array codes;
     n_nodes = hi - lo + 1;
+    generation = 0;
   }
 
 (** Insert a fragment of [m] nodes, carrying its own DOL [sub], so that
@@ -183,7 +187,7 @@ let dol_insert (dol : Dol.t) ~at (sub : Dol.t) =
     (fun i p -> if p >= at then push (p + m) dol.Dol.trans_code.(i))
     dol.Dol.trans_pre;
   { Dol.codebook = cb; trans_pre = Int_vec.to_array pres;
-    trans_code = Int_vec.to_array codes; n_nodes = n + m }
+    trans_code = Int_vec.to_array codes; n_nodes = n + m; generation = 0 }
 
 (** Delete the preorder range [lo, hi] (a subtree).  Returns a new DOL
     over n - (hi - lo + 1) nodes. *)
@@ -205,7 +209,7 @@ let dol_delete (dol : Dol.t) ~lo ~hi =
     (fun i p -> if p > hi then push (p - m) dol.Dol.trans_code.(i))
     dol.Dol.trans_pre;
   { Dol.codebook = dol.Dol.codebook; trans_pre = Int_vec.to_array pres;
-    trans_code = Int_vec.to_array codes; n_nodes = n - m }
+    trans_code = Int_vec.to_array codes; n_nodes = n - m; generation = 0 }
 
 (** Move the range [lo, hi] so that it starts at position [at] of the
     intermediate (post-delete) document.  Composition of {!dol_delete}
@@ -220,12 +224,17 @@ let dol_move (dol : Dol.t) ~lo ~hi ~at =
 (** Add a subject column; rights optionally copied from [like].  "No
     changes to the embedded transition nodes and the references are
     required." Returns the new subject's index. *)
-let add_subject (dol : Dol.t) ?like () = Codebook.add_subject dol.Dol.codebook ?like ()
+let add_subject (dol : Dol.t) ?like () =
+  let s = Codebook.add_subject dol.Dol.codebook ?like () in
+  (* subject indices shifted / new column: derived run indexes are stale *)
+  Dol.bump_generation dol;
+  s
 
 (** Remove a subject.  Only the codebook changes; the embedded codes may
     become redundant and are cleaned lazily by {!compact}. *)
 let remove_subject (dol : Dol.t) subject =
-  Codebook.remove_subject dol.Dol.codebook subject
+  Codebook.remove_subject dol.Dol.codebook subject;
+  Dol.bump_generation dol
 
 (** Lazy correction pass: drop transitions whose ACL (not merely code)
     equals the ACL in force before them. *)
@@ -246,7 +255,8 @@ let compact (dol : Dol.t) =
       end)
     dol.Dol.trans_pre;
   dol.Dol.trans_pre <- Int_vec.to_array pres;
-  dol.Dol.trans_code <- Int_vec.to_array codes
+  dol.Dol.trans_code <- Int_vec.to_array codes;
+  Dol.bump_generation dol
 
 (** {1 Physical write-through} *)
 

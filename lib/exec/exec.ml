@@ -258,8 +258,8 @@ let run t pattern semantics =
                 | [] -> invalid_arg "Exec: empty segment"
               in
               let dlist =
-                Engine.index_candidates ?value_index:t.value_index main t.index
-                  next_step.Decompose.pnode
+                Engine.join_candidates ?value_index:t.value_index main t.index
+                  ~semantics ~bindings next_step.Decompose.pnode
               in
               let pairs =
                 match semantics with
@@ -283,8 +283,9 @@ let run t pattern semantics =
         | Pattern.Descendant -> (
             match seg.Decompose.steps with
             | s :: _ ->
-                Engine.index_candidates ?value_index:t.value_index main t.index
-                  s.Decompose.pnode
+                Engine.prune_candidates main semantics
+                  (Engine.index_candidates ?value_index:t.value_index main
+                     t.index s.Decompose.pnode)
             | [] -> []))
   in
   let answers = go plan.Decompose.segments first_roots in
@@ -319,6 +320,7 @@ let aggregate_io t =
       access_checks = 0;
       header_skips = 0;
       codebook_lookups = 0;
+      run_answers = 0;
     }
   in
   let tot =
@@ -334,6 +336,7 @@ let aggregate_io t =
           header_skips = acc.Store.header_skips + s.Store.header_skips;
           codebook_lookups =
             acc.Store.codebook_lookups + s.Store.codebook_lookups;
+          run_answers = acc.Store.run_answers + s.Store.run_answers;
         })
       zero t.readers
   in

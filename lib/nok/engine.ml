@@ -32,6 +32,12 @@ let c_candidates = Metrics.counter "engine.candidates_scanned"
 
 let c_answers = Metrics.counter "engine.answers"
 
+let c_plan_index = Metrics.counter "engine.plan_index_join"
+
+let c_plan_subtree = Metrics.counter "engine.plan_subtree_scan"
+
+let c_pruned = Metrics.counter "engine.candidates_pruned"
+
 type semantics =
   | Insecure              (** plain NoK evaluation, no access control *)
   | Secure of int         (** ε-NoK for the given subject (Cho et al.) *)
@@ -71,6 +77,89 @@ let index_candidates ?value_index store index (p : Pattern.pnode) =
           | _ -> Tag_index.postings index id)
       | None -> [])
   | Pattern.Wildcard -> List.init (Tree.size (Store.tree store)) Fun.id
+
+let subject_of = function Insecure -> None | Secure s | Secure_path s -> Some s
+
+(* Drop candidates the subject provably cannot access (run-index
+   intersection).  Safe under both secure semantics: a pruned candidate
+   would fail its own [visit] when qualified or when re-seeding the next
+   segment, so the surviving answers are unchanged. *)
+let prune_candidates store semantics cands =
+  match subject_of semantics with
+  | None -> cands
+  | Some s ->
+      if not (Store.run_index_enabled store) then cands
+      else begin
+        let kept = Store.intersect_accessible store ~subject:s cands in
+        Metrics.add c_pruned (List.length cands - List.length kept);
+        kept
+      end
+
+let ceil_log2 n =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) ((v + 1) / 2) in
+  go 0 n
+
+(* Candidates for the next segment's entry step at a structural join.
+   Two access paths produce the same final answers — the join keeps only
+   descendants of the current bindings, so probing each binding's
+   subtree range ([postings_in]) instead of materializing the global
+   postings list is purely a cost decision.  The model compares
+
+     global:   card x (materialize + feed the join)
+     subtree:  one B+ descent per binding
+               + card x coverage x (materialize + feed the join)
+
+   where coverage is the fraction of the document inside binding
+   subtrees, and the join-feed terms are discounted by the subject's
+   accessible fraction (denied candidates are run-pruned before the
+   join sees them).  The run count enters both sides symmetrically as
+   the intersection cost, so it never flips a decision between secure
+   and insecure evaluation of the same query. *)
+let join_candidates ?value_index store index ~semantics ~bindings
+    (p : Pattern.pnode) =
+  let prune cands = prune_candidates store semantics cands in
+  match p.Pattern.test with
+  | Pattern.Wildcard -> prune (index_candidates ?value_index store index p)
+  | Pattern.Tag _ when p.Pattern.value <> None && value_index <> None ->
+      (* value postings are already maximally selective *)
+      prune (index_candidates ?value_index store index p)
+  | Pattern.Tag name -> (
+      let tree = Store.tree store in
+      match Tag.find_opt (Tree.tag_table tree) name with
+      | None -> []
+      | Some id ->
+          let card = float_of_int (Tag_index.count index id) in
+          let n = max 1 (Tree.size tree) in
+          let spans =
+            List.fold_left
+              (fun acc b -> acc + (Tree.subtree_end tree b - b + 1))
+              0 bindings
+          in
+          let coverage = Float.min 1.0 (float_of_int spans /. float_of_int n) in
+          let af =
+            match subject_of semantics with
+            | Some s -> Store.accessible_fraction store ~subject:s
+            | None -> 1.0
+          in
+          let probes =
+            float_of_int (List.length bindings * ceil_log2 n)
+          in
+          let cost_global = card *. (1.0 +. af) in
+          let cost_subtree = probes +. (card *. coverage *. (1.0 +. af)) in
+          if cost_subtree < cost_global then begin
+            Metrics.incr c_plan_subtree;
+            prune
+              (List.sort_uniq compare
+                 (List.concat_map
+                    (fun b ->
+                      Tag_index.postings_in index id ~lo:b
+                        ~hi:(Tree.subtree_end tree b))
+                    bindings))
+          end
+          else begin
+            Metrics.incr c_plan_index;
+            prune (Tag_index.postings index id)
+          end)
 
 (* Evaluate one NoK segment from the given candidate roots (sorted).
    Returns the bindings of the segment's last trunk step, sorted and
@@ -142,7 +231,8 @@ let run ?(options = default_options) ?value_index store index pattern semantics 
                 | [] -> invalid_arg "Engine: empty segment"
               in
               let dlist =
-                index_candidates ?value_index store index next_step.Decompose.pnode
+                join_candidates ?value_index store index ~semantics ~bindings
+                  next_step.Decompose.pnode
               in
               let pairs =
                 match semantics with
@@ -167,7 +257,9 @@ let run ?(options = default_options) ?value_index store index pattern semantics 
             invalid_arg "Engine: query cannot start with following-sibling::"
         | Pattern.Descendant -> (
             match seg.Decompose.steps with
-            | s :: _ -> index_candidates ?value_index store index s.Decompose.pnode
+            | s :: _ ->
+                prune_candidates store semantics
+                  (index_candidates ?value_index store index s.Decompose.pnode)
             | [] -> []))
   in
   let answers = go plan.Decompose.segments first_roots in

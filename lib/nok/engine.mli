@@ -75,6 +75,23 @@ val index_candidates :
   ?value_index:Dolx_index.Value_index.t -> Store.t -> Dolx_index.Tag_index.t ->
   Pattern.pnode -> int list
 
+(** Drop candidates the subject provably cannot access (run-index
+    intersection); identity under [Insecure] or with the run index off.
+    Answer-preserving: a pruned candidate would fail its own access
+    check at qualification time. *)
+val prune_candidates : Store.t -> semantics -> int list -> int list
+
+(** Cost-based candidate selection for the next segment's entry step at
+    a structural join: chooses between the global index postings and
+    per-binding subtree probes using tag cardinality, binding subtree
+    coverage and run statistics (accessible fraction), then run-prunes
+    the result.  Both access paths yield identical final answers.
+    [Dolx_exec] must use this same function so parallel plans match
+    sequential ones exactly. *)
+val join_candidates :
+  ?value_index:Dolx_index.Value_index.t -> Store.t -> Dolx_index.Tag_index.t ->
+  semantics:semantics -> bindings:int list -> Pattern.pnode -> int list
+
 (** Evaluate one NoK segment from the given (sorted) candidate roots;
     returns the bindings of the segment's last trunk step, sorted and
     deduplicated.  [scanned] is incremented per candidate examined. *)

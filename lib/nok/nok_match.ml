@@ -54,7 +54,12 @@ let path_clear store mode ~ctx u =
   ||
   match mode.subject with
   | None -> true
-  | Some _ ->
+  | Some s ->
+      (* run containment: every node strictly between [ctx] and [u] has
+         preorder in (ctx, u), so one accessible run covering that span
+         proves the path clear without walking (or touching) it *)
+      Store.span_provably_accessible store ~subject:s ~lo:(ctx + 1) ~hi:(u - 1)
+      ||
       let tree = Store.tree store in
       let rec up v = v = ctx || (visit store mode v && up (Tree.parent tree v)) in
       up (Tree.parent tree u)
@@ -101,15 +106,32 @@ let rec exists_match store index mode (p : Pattern.pnode) ctx =
           match Tag.find_opt table name with
           | None -> false
           | Some id ->
+              let cands = Tag_index.postings_in index id ~lo:(ctx + 1) ~hi:last in
+              (* inaccessible candidates would fail [visit] one by one;
+                 drop them wholesale by run intersection *)
+              let cands =
+                match mode.subject with
+                | Some s -> Store.intersect_accessible store ~subject:s cands
+                | None -> cands
+              in
               List.exists
                 (fun u ->
                   visit store mode u
                   && value_ok store p.Pattern.value u
                   && path_clear store mode ~ctx u
                   && children_match store index mode p u)
-                (Tag_index.postings_in index id ~lo:(ctx + 1) ~hi:last))
+                cands)
       | Pattern.Wildcard ->
+          (* skip whole denied runs: the next candidate worth visiting
+             is the next accessible preorder (identity when insecure or
+             the run index is off) *)
+          let forward u =
+            match mode.subject with
+            | Some s -> Store.next_accessible store ~subject:s u
+            | None -> u
+          in
           let rec scan u =
+            let u = if u <= last then forward u else u in
             u <= last
             && ((visit store mode u
                 && value_ok store p.Pattern.value u

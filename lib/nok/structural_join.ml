@@ -77,13 +77,23 @@ let make_checker store ~subject =
     fragments matched.) *)
 let path_accessible store ~subject ~memo ~a ~d =
   let tree = Store.tree store in
-  let check =
-    match memo with
-    | Some f -> f
-    | None -> make_checker store ~subject
-  in
-  let rec up v = v = a || v = Tree.nil || (check v && up (Tree.parent tree v)) in
-  up (Tree.parent tree d)
+  (* run containment: when [a] is an ancestor of [d], every node on the
+     connecting path has preorder in (a, d); a single accessible run
+     covering [a+1, d-1] proves the path clear with no page access.
+     (The guard matters: for non-ancestor pairs the walk climbs past [a]
+     through nodes outside that span.) *)
+  if
+    Tree.is_ancestor tree a d
+    && Store.span_provably_accessible store ~subject ~lo:(a + 1) ~hi:(d - 1)
+  then true
+  else
+    let check =
+      match memo with
+      | Some f -> f
+      | None -> make_checker store ~subject
+    in
+    let rec up v = v = a || v = Tree.nil || (check v && up (Tree.parent tree v)) in
+    up (Tree.parent tree d)
 
 (** ε-STD, unmemoized: the straw-man the paper warns about — every pair
     re-walks its connecting path against the store, so a node shared by
@@ -130,8 +140,12 @@ let secure_stack_tree_desc store ~subject ~alist ~dlist =
     in
     stack := go !stack
   in
-  (* all nodes strictly between [stop] and [v] (both exclusive) ok? *)
+  (* all nodes strictly between [stop] and [v] (both exclusive) ok?
+     [stop] is an ancestor of [v] at every call site, so single-run
+     containment of (stop, v) decides without walking. *)
   let clear_between ~stop v =
+    Store.span_provably_accessible store ~subject ~lo:(stop + 1) ~hi:(v - 1)
+    ||
     let rec up u = u = stop || u = Tree.nil || (check u && up (Tree.parent tree u)) in
     up (Tree.parent tree v)
   in
@@ -141,11 +155,20 @@ let secure_stack_tree_desc store ~subject ~alist ~dlist =
       pop_finished av;
       (* The segment verdict is lazy: it is paid for only if some
          descendant actually joins below this entry, so an ancestor that
-         never participates in a pair costs nothing. *)
+         never participates in a pair costs nothing.  A single run
+         covering the segment — the entry's own node included — decides
+         it with no page access, mirroring [path_accessible]. *)
       let seg =
         match !stack with
-        | (below, _) :: _ -> lazy (check av && clear_between ~stop:below av)
-        | [] -> lazy (check av)
+        | (below, _) :: _ ->
+            lazy
+              (Store.span_provably_accessible store ~subject ~lo:(below + 1)
+                 ~hi:av
+              || (check av && clear_between ~stop:below av))
+        | [] ->
+            lazy
+              (Store.span_provably_accessible store ~subject ~lo:av ~hi:av
+              || check av)
       in
       stack := (av, seg) :: !stack;
       incr ai

@@ -11,6 +11,7 @@ let () =
       ("index", Test_index.suite);
       ("nok", Test_nok.suite);
       ("secure", Test_secure.suite);
+      ("runs", Test_runs.suite);
       ("workload", Test_workload.suite);
       ("view", Test_view.suite);
       ("ext", Test_ext.suite);

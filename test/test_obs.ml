@@ -313,6 +313,8 @@ let test_counter_parity_on_table1_run () =
     (v "store.header_skips");
   check Alcotest.int "codebook_lookups" io.Store.codebook_lookups
     (v "store.codebook_lookups");
+  check Alcotest.int "run_answers" io.Store.run_answers
+    (v "store.run_answers");
   check Alcotest.int "queries counted" (2 * List.length Xmark.queries)
     (v "engine.queries");
   Alcotest.(check bool) "work happened" true (io.Store.page_touches > 0)

@@ -1,0 +1,275 @@
+(** Access-run index: equivalence with the DOL oracle, lifecycle under
+    updates (generation staleness), LRU bounds, range-query helpers, and
+    end-to-end answer preservation — sequential, quarantined, and on the
+    multicore executor. *)
+
+module Tree = Dolx_xml.Tree
+module Prng = Dolx_util.Prng
+module Dol = Dolx_core.Dol
+module Access_runs = Dolx_core.Access_runs
+module Update = Dolx_core.Update
+module Store = Dolx_core.Secure_store
+module Disk = Dolx_storage.Disk
+module Nok_layout = Dolx_storage.Nok_layout
+module Tag_index = Dolx_index.Tag_index
+module Engine = Dolx_nok.Engine
+module Exec = Dolx_exec.Exec
+module Metrics = Dolx_obs.Metrics
+module Xmark = Dolx_workload.Xmark
+module Synth_acl = Dolx_workload.Synth_acl
+
+let check = Alcotest.check
+
+(* Multi-subject DOL over a random XMark document. *)
+let make_dol ?(nodes = 1200) ?(subjects = 4) seed =
+  let tree = Xmark.generate_nodes ~seed nodes in
+  let labeling =
+    Synth_acl.generate_multi tree ~seed:(seed + 1) ~n_subjects:subjects ()
+  in
+  (tree, Dol.of_labeling labeling)
+
+(* --- run-index verdicts = DOL oracle --- *)
+
+let prop_runs_match_dol =
+  Fixtures.qtest ~count:40 "runs = Dol.accessible (random policies)"
+    QCheck2.Gen.(pair (int_range 0 10_000) (int_range 1 5))
+    (fun (seed, subjects) ->
+      let _, dol = make_dol ~nodes:600 ~subjects seed in
+      let n = Dol.n_nodes dol in
+      let ri = Access_runs.create dol in
+      let cu = Access_runs.cursor () in
+      for s = 0 to subjects - 1 do
+        let r = Access_runs.runs ri ~subject:s in
+        for v = 0 to n - 1 do
+          let want = Dol.accessible dol ~subject:s v in
+          if Access_runs.mem r v <> want then
+            QCheck2.Test.fail_reportf "mem: subject %d node %d" s v;
+          if Access_runs.accessible ri cu ~subject:s v <> want then
+            QCheck2.Test.fail_reportf "cursor: subject %d node %d" s v
+        done
+      done;
+      true)
+
+let prop_dol_cursor_matches_code_at =
+  Fixtures.qtest ~count:50 "Dol cursor = code_at (any access pattern)"
+    QCheck2.Gen.(pair (int_range 0 10_000) (list_size (return 200) (int_range 0 599)))
+    (fun (seed, probes) ->
+      let _, dol = make_dol ~nodes:600 ~subjects:3 seed in
+      let n = Dol.n_nodes dol in
+      let cu = Dol.cursor dol in
+      List.for_all
+        (fun v ->
+          let v = v mod n in
+          Dol.code_at_cur dol cu v = Dol.code_at dol v)
+        probes)
+
+(* --- range-query helpers vs brute force --- *)
+
+let test_range_helpers () =
+  let _, dol = make_dol ~nodes:900 ~subjects:3 3 in
+  let n = Dol.n_nodes dol in
+  let ri = Access_runs.create dol in
+  let rng = Prng.create 99 in
+  for s = 0 to 2 do
+    let r = Access_runs.runs ri ~subject:s in
+    let acc v = Dol.accessible dol ~subject:s v in
+    (* next_accessible *)
+    for _ = 1 to 200 do
+      let v = Prng.int rng n in
+      let brute =
+        let rec go u = if u >= n then None else if acc u then Some u else go (u + 1) in
+        go v
+      in
+      if Access_runs.next_accessible r v <> brute then
+        Alcotest.failf "next_accessible s=%d v=%d" s v
+    done;
+    (* span_inside = all nodes accessible *)
+    for _ = 1 to 200 do
+      let a = Prng.int rng n and b = Prng.int rng n in
+      let lo = min a b and hi = max a b in
+      let brute = ref true in
+      for v = lo to hi do
+        if not (acc v) then brute := false
+      done;
+      if Access_runs.span_inside r ~lo ~hi <> !brute then
+        Alcotest.failf "span_inside s=%d [%d,%d]" s lo hi
+    done;
+    check Alcotest.bool "empty span" true (Access_runs.span_inside r ~lo:5 ~hi:4);
+    (* intersect = filter *)
+    let cands =
+      List.sort_uniq compare (List.init 300 (fun _ -> Prng.int rng n))
+    in
+    check Fixtures.int_list "intersect"
+      (List.filter acc cands)
+      (Access_runs.intersect r cands)
+  done
+
+(* --- coverage statistics --- *)
+
+let test_run_stats () =
+  let _, dol = make_dol ~nodes:800 ~subjects:2 11 in
+  let n = Dol.n_nodes dol in
+  let ri = Access_runs.create dol in
+  let r = Access_runs.runs ri ~subject:0 in
+  let truth = ref 0 in
+  for v = 0 to n - 1 do
+    if Dol.accessible dol ~subject:0 v then incr truth
+  done;
+  check Alcotest.int "covered = accessible population" !truth
+    (Access_runs.covered r);
+  check (Alcotest.float 1e-9) "fraction"
+    (float_of_int !truth /. float_of_int n)
+    (Access_runs.accessible_fraction r);
+  check Alcotest.bool "bytes positive" true (Access_runs.bytes r > 0)
+
+(* --- staleness: updates bump the generation, runs rebuild --- *)
+
+let prop_rebuild_after_updates =
+  Fixtures.qtest ~count:30 "runs track randomized update sequences"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let tree, dol = make_dol ~nodes:500 ~subjects:3 seed in
+      let n = Dol.n_nodes dol in
+      let ri = Access_runs.create dol in
+      let rng = Prng.create (seed + 17) in
+      for round = 1 to 8 do
+        (* random accessibility update: node- or subtree-granularity *)
+        let s = Prng.int rng 3 and v = Prng.int rng n in
+        let grant = Prng.bool rng ~p:0.5 in
+        if Prng.bool rng ~p:0.5 then
+          ignore (Update.dol_set_node dol ~subject:s ~grant v)
+        else Update.dol_set_subtree dol tree ~subject:s ~grant v;
+        (* stale generation must force a rebuild that matches the oracle *)
+        let r = Access_runs.runs ri ~subject:s in
+        for u = 0 to n - 1 do
+          if Access_runs.mem r u <> Dol.accessible dol ~subject:s u then
+            QCheck2.Test.fail_reportf "round %d subject %d node %d" round s u
+        done
+      done;
+      true)
+
+(* --- LRU bound --- *)
+
+let test_lru_bound () =
+  let _, dol = make_dol ~nodes:400 ~subjects:12 21 in
+  let ri = Access_runs.create ~capacity:4 dol in
+  let ev0 = Metrics.counter_value "runs.evictions" in
+  for s = 0 to 11 do
+    ignore (Access_runs.runs ri ~subject:s)
+  done;
+  check Alcotest.bool "capacity respected" true (Access_runs.materialized ri <= 4);
+  check Alcotest.bool "evictions counted" true
+    (Metrics.counter_value "runs.evictions" > ev0);
+  (* the LRU never breaks correctness: evicted subjects rebuild *)
+  let r = Access_runs.runs ri ~subject:0 in
+  let ok = ref true in
+  for v = 0 to Dol.n_nodes dol - 1 do
+    if Access_runs.mem r v <> Dol.accessible dol ~subject:0 v then ok := false
+  done;
+  check Alcotest.bool "rebuilt subject correct" true !ok;
+  let bytes = ref 0 in
+  Access_runs.iter_materialized (fun _ r -> bytes := !bytes + Access_runs.bytes r) ri;
+  check Alcotest.int "total_bytes = sum of materialized" !bytes
+    (Access_runs.total_bytes ri)
+
+(* --- end-to-end: answers identical with the index on and off --- *)
+
+let queries = [ "//item//name"; "//person[name]//city"; "/site//keyword" ]
+
+let all_semantics subjects =
+  Engine.Insecure
+  :: List.concat_map
+       (fun s -> [ Engine.Secure s; Engine.Secure_path s ])
+       (List.init subjects Fun.id)
+
+let answers_on_off store index sem q =
+  Store.set_run_index store true;
+  let on = (Engine.query store index q sem).Engine.answers in
+  Store.set_run_index store false;
+  let off = (Engine.query store index q sem).Engine.answers in
+  Store.set_run_index store true;
+  (on, off)
+
+let test_engine_equivalence () =
+  let tree, dol = make_dol ~nodes:2000 ~subjects:4 31 in
+  let store = Store.create ~page_size:512 ~pool_capacity:16 tree dol in
+  let index = Tag_index.build tree in
+  List.iter
+    (fun q ->
+      List.iter
+        (fun sem ->
+          let on, off = answers_on_off store index sem q in
+          check Fixtures.int_list "runs on = runs off" off on)
+        (all_semantics 4))
+    queries
+
+let test_quarantined_equivalence () =
+  let tree, dol = make_dol ~nodes:1500 ~subjects:4 41 in
+  let n = Tree.size tree in
+  let page_size = 512 in
+  let disk = Disk.create ~page_size () in
+  let layout =
+    Nok_layout.build disk tree ~transitions:(Array.of_list (Dol.transitions dol))
+  in
+  let quarantine = [ (n / 6, n / 5); (n / 2, n / 2 + 40) ] in
+  let store = Store.assemble ~pool_capacity:16 ~quarantine ~tree ~dol ~disk ~layout () in
+  let index = Tag_index.build tree in
+  List.iter
+    (fun q ->
+      List.iter
+        (fun sem ->
+          let on, off = answers_on_off store index sem q in
+          check Fixtures.int_list "quarantined: on = off" off on;
+          (* and a quarantined node never answers accessible *)
+          List.iter
+            (fun (lo, hi) ->
+              for v = lo to hi do
+                (match sem with
+                | Engine.Secure s | Engine.Secure_path s ->
+                    if Store.accessible store ~subject:s v then
+                      Alcotest.failf "quarantined node %d granted" v
+                | Engine.Insecure -> ());
+                ignore v
+              done)
+            quarantine)
+        (all_semantics 4))
+    queries
+
+let test_parallel_determinism () =
+  let tree, dol = make_dol ~nodes:2000 ~subjects:4 51 in
+  let store = Store.create ~page_size:512 ~pool_capacity:16 tree dol in
+  let index = Tag_index.build tree in
+  let batch =
+    List.concat_map (fun q -> List.map (fun s -> (q, s)) (all_semantics 4)) queries
+  in
+  (* sequential, runs off = the pre-index baseline *)
+  Store.set_run_index store false;
+  let baseline =
+    List.map (fun (q, s) -> (Engine.query store index q s).Engine.answers) batch
+  in
+  Store.set_run_index store true;
+  let exec = Exec.create ~jobs:4 store index in
+  let results = Exec.query_batch exec batch in
+  Exec.shutdown exec;
+  List.iteri
+    (fun i r ->
+      check Fixtures.int_list
+        (Printf.sprintf "jobs=4 query %d" i)
+        (List.nth baseline i) r.Engine.answers)
+    results
+
+let suite =
+  [
+    prop_runs_match_dol;
+    prop_dol_cursor_matches_code_at;
+    Alcotest.test_case "range helpers vs brute force" `Quick test_range_helpers;
+    Alcotest.test_case "run statistics" `Quick test_run_stats;
+    prop_rebuild_after_updates;
+    Alcotest.test_case "LRU bound and rebuild" `Quick test_lru_bound;
+    Alcotest.test_case "engine: answers on = off (all semantics)" `Quick
+      test_engine_equivalence;
+    Alcotest.test_case "quarantined store: answers on = off" `Quick
+      test_quarantined_equivalence;
+    Alcotest.test_case "executor jobs=4 = sequential baseline" `Quick
+      test_parallel_determinism;
+  ]

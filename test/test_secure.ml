@@ -47,7 +47,8 @@ let test_header_skip_no_io_on_cold_pool () =
   let rng = Prng.create 2 in
   let tree = Fixtures.random_tree rng 400 in
   let dol = Dol.of_bool_array (Array.make 400 false) in
-  let store = Store.create ~page_size:128 tree dol in
+  (* run index off: this test exercises the §3.3 header fallback *)
+  let store = Store.create ~run_index:false ~page_size:128 tree dol in
   Store.reset_stats store;
   for v = 0 to 399 do
     Alcotest.(check bool) "denied" false (Store.accessible_with_skip store ~subject:0 v)
@@ -184,7 +185,10 @@ let test_skip_saves_io_when_mostly_inaccessible () =
   bools.(0) <- true;
   (* make the categories area accessible only *)
   let dol = Dol.of_bool_array bools in
-  let store = Store.create ~page_size:1024 ~pool_capacity:16 tree dol in
+  (* run index off: this test measures the §3.3 header skip in isolation *)
+  let store =
+    Store.create ~run_index:false ~page_size:1024 ~pool_capacity:16 tree dol
+  in
   let index = Tag_index.build tree in
   Buffer_pool.clear (Store.pool store);
   Store.reset_stats store;
