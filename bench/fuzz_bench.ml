@@ -1,0 +1,78 @@
+(** Differential-fuzzing throughput bench: runs a fixed budget of
+    generated cases through {!Dolx_fuzz.Diff} across the configuration
+    lattice and reports coverage and cases/second.  The gate is
+    correctness, not speed: any oracle mismatch fails the bench (and the
+    failing repro line is printed, ready to paste into test/corpus/).
+
+    Results land in BENCH_fuzz.json at the repo root.
+
+    Overrides: DOLX_BENCH_FUZZ_CASES (case budget, default 150),
+    DOLX_BENCH_FUZZ_SEED (first seed, default 1). *)
+
+module Gen = Dolx_fuzz.Gen
+module Diff = Dolx_fuzz.Diff
+module Json = Dolx_obs.Json
+
+let cases_budget =
+  match Sys.getenv_opt "DOLX_BENCH_FUZZ_CASES" with
+  | Some s -> ( try max 1 (int_of_string s) with _ -> 150)
+  | None -> 150
+
+let seed0 =
+  match Sys.getenv_opt "DOLX_BENCH_FUZZ_SEED" with
+  | Some s -> ( try int_of_string s with _ -> 1)
+  | None -> 1
+
+let run () =
+  Bench_common.header
+    (Printf.sprintf "differential fuzzing: %d cases across the lattice" cases_budget);
+  let t0 = Unix.gettimeofday () in
+  let by_config = Hashtbl.create 8 in
+  let nodes_total = ref 0 in
+  let mismatches = ref [] in
+  for i = 0 to cases_budget - 1 do
+    let p = Gen.params_of_seed (seed0 + i) in
+    let cfg = Diff.config_for_case i in
+    nodes_total := !nodes_total + p.Gen.nodes;
+    let key = Diff.config_name cfg in
+    Hashtbl.replace by_config key (1 + Option.value (Hashtbl.find_opt by_config key) ~default:0);
+    match Diff.check_params cfg p with
+    | None -> ()
+    | Some m ->
+        Printf.printf "MISMATCH:\n%s\n%!" (Diff.describe m);
+        mismatches := m :: !mismatches
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  let n_mismatch = List.length !mismatches in
+  Printf.printf "%d cases (%.0f avg nodes) in %.2fs = %.0f cases/s, %d mismatches\n%!"
+    cases_budget
+    (float_of_int !nodes_total /. float_of_int cases_budget)
+    wall
+    (float_of_int cases_budget /. Float.max wall 1e-9)
+    n_mismatch;
+  let doc =
+    Json.Obj
+      [
+        ("bench", Json.Str "fuzz");
+        ("cases", Json.num_of_int cases_budget);
+        ("seed0", Json.num_of_int seed0);
+        ("avg_nodes", Json.Num (float_of_int !nodes_total /. float_of_int cases_budget));
+        ("wall_s", Json.Num wall);
+        ("cases_per_s", Json.Num (float_of_int cases_budget /. Float.max wall 1e-9));
+        ("mismatches", Json.num_of_int n_mismatch);
+        ( "lattice",
+          Json.Obj
+            (Hashtbl.fold (fun k v acc -> (k, Json.num_of_int v) :: acc) by_config []) );
+        ( "failures",
+          Json.Arr
+            (List.rev_map (fun m -> Json.Str (Diff.repro_line m.Diff.params)) !mismatches)
+        );
+      ]
+  in
+  let path = "BENCH_fuzz.json" in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Json.to_string doc));
+  Printf.printf "wrote %s\n%!" path;
+  if n_mismatch > 0 then exit 1

@@ -4,7 +4,7 @@
     Usage:
       dune exec bench/main.exe            # all experiments
       dune exec bench/main.exe -- fig4a   # one experiment
-    Experiments: fig4a fig4b fig5 fig6 storage queries fig7 joins updates micro robustness obs parallel runs
+    Experiments: fig4a fig4b fig5 fig6 storage queries fig7 joins updates micro robustness obs parallel runs fuzz
     Set DOLX_BENCH_SCALE=k to scale dataset sizes by k. *)
 
 let queries_table () =
@@ -30,6 +30,7 @@ let experiments =
     ("obs", Obs_bench.run);
     ("parallel", Parallel_bench.run);
     ("runs", Runs_bench.run);
+    ("fuzz", Fuzz_bench.run);
   ]
 
 let run_all () =
@@ -45,7 +46,8 @@ let run_all () =
   Robustness.run ();
   Obs_bench.run ();
   Parallel_bench.run ();
-  Runs_bench.run ()
+  Runs_bench.run ();
+  Fuzz_bench.run ()
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Shape and gate checks for the bench harness's BENCH_*.json artifacts.
+
+Usage:
+    python3 ci/check_bench.py BENCH_parallel.json [BENCH_runs.json ...]
+    python3 ci/check_bench.py           # checks every BENCH_*.json in cwd
+    python3 ci/check_bench.py --metrics /tmp/metrics.json
+
+Each document carries a "bench" discriminator; the matching validator
+checks both shape (fields present, numeric where expected) and the CI
+gate the bench is supposed to enforce (determinism, no regression, zero
+mismatches).  Exits non-zero on the first failing file.
+"""
+
+import glob
+import json
+import statistics
+import sys
+
+
+def is_num(x):
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def require(cond, msg):
+    if not cond:
+        raise AssertionError(msg)
+
+
+def check_parallel(doc):
+    require(doc["deterministic"] is True, "parallel run diverged from sequential")
+    points = {p["jobs"]: p for p in doc["points"]}
+    require(points, "no sweep points")
+    for p in points.values():
+        for key in ("wall_s", "sim_io_s", "modeled_s", "wall_qps", "modeled_qps"):
+            require(is_num(p[key]), f"jobs={p['jobs']}: bad {key}")
+    jobs = sorted(points)
+    if len(jobs) > 1:
+        lo, hi = jobs[0], jobs[-1]
+        require(
+            points[hi]["modeled_qps"] >= points[lo]["modeled_qps"],
+            f"jobs={hi} modeled throughput regressed: "
+            f"{points[hi]['modeled_qps']:.1f} < {points[lo]['modeled_qps']:.1f} q/s",
+        )
+    return {j: round(points[j]["modeled_qps"], 1) for j in jobs}
+
+
+def check_runs(doc):
+    require(doc["identical"] is True, "answers diverged with the run index on")
+    require(doc["batch_identical"] is True, "4-domain batch diverged from baseline")
+    require(doc["checks_elided"] > 0, "run index elided no page touches")
+    points = doc["points"]
+    require(points, "no measurement points")
+    for p in points:
+        for key in ("wall_off_s", "wall_on_s", "modeled_off_s", "modeled_on_s", "speedup"):
+            require(is_num(p[key]), f"bad {key} in {p}")
+        require(p["identical"] is True, f"point diverged: {p}")
+    dense = [p["speedup"] for p in points if p["density"] == "dense"]
+    require(dense, "no dense-policy points")
+    med = statistics.median(dense)
+    require(med >= 1.0, f"dense-policy median regressed vs runs-off: {med:.2f}x")
+    return {
+        "points": len(points),
+        "elided": doc["checks_elided"],
+        "dense_median": round(med, 2),
+    }
+
+
+def check_obs(doc):
+    require(is_num(doc["nodes"]) and doc["nodes"] > 0, "bad node count")
+    require(doc["queries"], "no per-query points")
+    for q in doc["queries"]:
+        for key in ("answers", "wall_ms", "page_touches", "access_checks"):
+            require(is_num(q[key]), f"{q.get('id')}: bad {key}")
+    require(is_num(doc["overhead"]["overhead_pct"]), "bad overhead_pct")
+    return {"queries": len(doc["queries"]),
+            "overhead_pct": round(doc["overhead"]["overhead_pct"], 2)}
+
+
+def check_fuzz(doc):
+    require(doc["mismatches"] == 0,
+            f"differential fuzzing found {doc['mismatches']} mismatches: "
+            f"{doc.get('failures')}")
+    require(is_num(doc["cases"]) and doc["cases"] > 0, "no cases ran")
+    require(is_num(doc["cases_per_s"]), "bad cases_per_s")
+    lattice = doc["lattice"]
+    require(isinstance(lattice, dict) and lattice, "no lattice coverage recorded")
+    require(sum(lattice.values()) == doc["cases"], "lattice counts do not sum to cases")
+    return {"cases": doc["cases"], "configs": len(lattice),
+            "cases_per_s": round(doc["cases_per_s"], 1)}
+
+
+CHECKS = {
+    "parallel": check_parallel,
+    "runs": check_runs,
+    "obs": check_obs,
+    "fuzz": check_fuzz,
+}
+
+
+def check_metrics(path):
+    doc = json.load(open(path))
+    counters = doc["counters"]
+    for key in ("pool.touches", "disk.reads", "store.access_checks", "engine.queries"):
+        require(key in counters, f"missing counter {key}")
+        require(isinstance(counters[key], int), f"{key} not an int")
+    require(counters["engine.queries"] == 1, "expected exactly one query")
+    require(counters["pool.touches"] > 0, "no page touches recorded")
+    return {k: counters[k] for k in ("pool.touches", "disk.reads", "engine.queries")}
+
+
+def main(argv):
+    if argv and argv[0] == "--metrics":
+        require(len(argv) == 2, "--metrics takes exactly one file")
+        print(f"{argv[1]}: metrics JSON OK: {check_metrics(argv[1])}")
+        return 0
+    paths = argv or sorted(glob.glob("BENCH_*.json"))
+    require(paths, "no BENCH_*.json files found")
+    for path in paths:
+        doc = json.load(open(path))
+        kind = doc.get("bench")
+        require(kind in CHECKS, f"{path}: unknown bench kind {kind!r}")
+        summary = CHECKS[kind](doc)
+        print(f"{path}: {kind} bench OK: {summary}")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv[1:]))
+    except (AssertionError, KeyError, OSError, json.JSONDecodeError) as e:
+        print(f"check_bench: FAIL: {e}", file=sys.stderr)
+        sys.exit(1)

@@ -69,6 +69,25 @@ let intern t bits =
       t.count <- c + 1;
       c
 
+(** Append an entry verbatim, preserving its index even when an equal
+    entry already exists.  Persistence uses this to reconstruct a
+    codebook that legally holds duplicates after subject removals
+    (§3.4 keeps them until {!Update.compact}); the intern table still
+    maps each ACL to its lowest code, so interning converges lazily. *)
+let append_exact t bits =
+  if Bitset.width bits <> t.width then
+    invalid_arg "Codebook.append_exact: width mismatch";
+  if t.count >= Array.length t.entries then begin
+    let entries = Array.make (2 * Array.length t.entries) bits in
+    Array.blit t.entries 0 entries 0 t.count;
+    t.entries <- entries
+  end;
+  let c = t.count in
+  t.entries.(c) <- bits;
+  if not (Tbl.mem t.codes bits) then Tbl.replace t.codes bits c;
+  t.count <- c + 1;
+  c
+
 let get t c =
   if c < 0 || c >= t.count then invalid_arg "Codebook.get: unknown code";
   t.entries.(c)

@@ -21,6 +21,14 @@ val count : t -> int
 (** Intern an ACL, returning its code. *)
 val intern : t -> Bitset.t -> code
 
+(** Append an entry verbatim, preserving its index even when an equal
+    entry already exists — a codebook legally holds duplicates after
+    subject removals until {!Update.compact} runs, and persistence must
+    reconstruct such a book exactly (embedded codes reference entry
+    indices).  Future {!intern}s still return the lowest code per ACL.
+    @raise Invalid_argument on a width mismatch. *)
+val append_exact : t -> Bitset.t -> code
+
 (** @raise Invalid_argument on an unknown code. *)
 val get : t -> code -> Bitset.t
 

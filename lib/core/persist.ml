@@ -130,10 +130,11 @@ let of_body buf ~limit =
     need entry_bytes;
     let bits = bitset_of_bytes ~width buf !pos in
     pos := !pos + entry_bytes;
-    ignore (Codebook.intern cb bits)
+    (* verbatim, not interned: duplicate entries are a legal state after
+       subject removals (cleaned lazily by Update.compact), and embedded
+       codes reference entry indices *)
+    ignore (Codebook.append_exact cb bits)
   done;
-  if Codebook.count cb <> n_codes then
-    raise (Corrupt "duplicate codebook entries");
   let n_trans = read_varint () in
   if n_trans <= 0 then raise (Corrupt "no transitions");
   if n_trans > (limit - !pos) / 2 then raise (Corrupt "truncated input");

@@ -21,6 +21,17 @@ let c_codebook_lookups = Metrics.counter "store.codebook_lookups"
 
 let c_run_answers = Metrics.counter "store.run_answers"
 
+(* Deliberate fault site for the differential fuzzer's self-test (see
+   docs/ARCHITECTURE.md): when armed, node 3 is reported inaccessible
+   regardless of its label, so the fuzzer must catch and shrink the
+   divergence.  Armed only via DOLX_FUZZ_PLANT_BUG; tests may also
+   toggle the ref in-process. *)
+let planted_bug =
+  ref
+    (match Sys.getenv_opt "DOLX_FUZZ_PLANT_BUG" with
+    | Some ("access" | "1") -> true
+    | _ -> false)
+
 type t = {
   tree : Tree.t;
   mutable dol : Dol.t;
@@ -230,7 +241,8 @@ let run_verdict (t : t) ~subject v =
 let accessible (t : t) ~subject v =
   t.access_checks <- t.access_checks + 1;
   Metrics.incr c_access_checks;
-  if in_quarantine t v then false
+  if !planted_bug && v = 3 then false
+  else if in_quarantine t v then false
   else if t.use_runs then run_verdict t ~subject v
   else
     let code = Nok_layout.code_in_force_at t.layout t.cursor t.pool v in
@@ -252,7 +264,8 @@ let page_provably_inaccessible t ~subject v =
 let accessible_with_skip (t : t) ~subject v =
   t.access_checks <- t.access_checks + 1;
   Metrics.incr c_access_checks;
-  if in_quarantine t v then false
+  if !planted_bug && v = 3 then false
+  else if in_quarantine t v then false
   else if t.use_runs then begin
     (* subsumes the header skip: a run verdict needs no page at all,
        whereas the header can only prove whole-page denial.  A granted

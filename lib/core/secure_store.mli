@@ -69,6 +69,15 @@ val run_index_enabled : t -> bool
     comparisons over the same physical store). *)
 val set_run_index : t -> bool -> unit
 
+(** {1 Fuzzer fault site}
+
+    Deliberately wrong behavior used by the differential fuzzer to prove
+    it catches and shrinks a planted bug: when armed, {!accessible} and
+    {!accessible_with_skip} report node 3 inaccessible regardless of its
+    label.  Armed at startup by [DOLX_FUZZ_PLANT_BUG=access] (or [=1]);
+    tests may toggle the ref directly.  Never set on production paths. *)
+val planted_bug : bool ref
+
 (** {1 Statistics} *)
 
 type io_stats = {

@@ -165,6 +165,10 @@ let readers t = Array.to_list t.readers
 
 let shutdown t = shutdown_pool t.pool
 
+let with_executor ?options ?value_index ?pool_capacity ?jobs store index f =
+  let t = create ?options ?value_index ?pool_capacity ?jobs store index in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
 (** {1 Inter-query parallelism} *)
 
 let run_batch t queries =

@@ -38,6 +38,13 @@ val readers : t -> Store.t list
     Safe to call twice; a no-op when [jobs = 1]. *)
 val shutdown : t -> unit
 
+(** Bracket {!create} / {!shutdown} around [f]; the worker domains are
+    joined even when [f] raises. *)
+val with_executor :
+  ?options:Engine.options -> ?value_index:Dolx_index.Value_index.t ->
+  ?pool_capacity:int -> ?jobs:int -> Store.t -> Dolx_index.Tag_index.t ->
+  (t -> 'a) -> 'a
+
 (** {1 Inter-query parallelism} *)
 
 (** Evaluate independent queries across the pool.  Results are in

@@ -1,0 +1,368 @@
+(** Seeded generators for differential fuzzing — see gen.mli for the
+    determinism and prefix-stability contract. *)
+
+module Tree = Dolx_xml.Tree
+module Prng = Dolx_util.Prng
+module Subject = Dolx_policy.Subject
+module Mode = Dolx_policy.Mode
+module Rule = Dolx_policy.Rule
+module Pattern = Dolx_nok.Pattern
+module Xpath = Dolx_nok.Xpath
+
+type params = {
+  seed : int;
+  nodes : int;
+  n_users : int;
+  n_groups : int;
+  n_rules : int;
+  n_queries : int;
+  trace_len : int;
+  rule_mask : int;
+}
+
+let effective_rules (p : params) =
+  if p.rule_mask = -1 then max 0 p.n_rules
+  else begin
+    let n = ref 0 in
+    for i = 0 to p.n_rules - 1 do
+      if p.rule_mask land (1 lsl i) <> 0 then incr n
+    done;
+    !n
+  end
+
+type query = { pat : Pattern.t; src : string option }
+
+type op =
+  | Set_node of { subject : int; grant : bool; node : int }
+  | Set_subtree of { subject : int; grant : bool; node : int }
+  | Delete_subtree of { node : int }
+  | Insert_subtree of { parent : int; sibling : int; frag_seed : int; frag_nodes : int }
+  | Add_subject of { like : int option }
+  | Remove_subject of { subject : int }
+  | Compact
+  | Query of query
+
+type case = {
+  params : params;
+  tree : Tree.t;
+  subjects : Subject.registry;
+  modes : Mode.registry;
+  mode : Mode.id;
+  rules : Rule.t list;
+  queries : query list;
+  trace : op list;
+  page_size : int;
+}
+
+(* Independent sub-stream per (seed, salt): splitmix64 scrambles any
+   distinct seed, so a cheap injective-enough mix suffices. *)
+let sub_rng seed salt =
+  Prng.create ((((seed + 0x51ED27) * 0x2545F49) lxor (salt * 0x9E3779B)) land max_int)
+
+let tag_pool = [| "a"; "b"; "c"; "d"; "e"; "item"; "name"; "key" |]
+let vocab = [| "x"; "y"; "z"; "v0"; "v1" |]
+
+let tree ~seed ~nodes =
+  let rng = sub_rng seed 0x7E3 in
+  let nodes = max 1 nodes in
+  let alpha = 2 + Prng.int rng (Array.length tag_pool - 1) in
+  let tags = Array.sub tag_pool 0 alpha in
+  (* skew knobs: probability a child swallows the whole remaining budget
+     (deep chains) and probability a leaf carries text *)
+  let deep_bias = 0.6 *. Prng.float rng in
+  let text_p = 0.5 *. Prng.float rng in
+  let b = Tree.Builder.create () in
+  let rec go budget depth =
+    ignore (Tree.Builder.open_element b (Prng.choose rng tags));
+    if budget > 1 then begin
+      let remaining = ref (budget - 1) in
+      while !remaining > 0 do
+        let child_budget =
+          if depth > 60 then 1
+          else if Prng.bool rng ~p:deep_bias then !remaining
+          else 1 + Prng.int rng !remaining
+        in
+        go child_budget (depth + 1);
+        remaining := !remaining - child_budget
+      done
+    end
+    else if Prng.bool rng ~p:text_p then
+      Tree.Builder.add_text b (Prng.choose rng vocab);
+    Tree.Builder.close_element b
+  in
+  go nodes 0;
+  Tree.Builder.finish b
+
+let fragment_matrix ~seed ~width tree =
+  let rng = sub_rng seed 0xF7A6 in
+  let n = Tree.size tree in
+  Array.init width (fun _ ->
+      let density = Prng.float rng in
+      Array.init n (fun _ -> Prng.bool rng ~p:density))
+
+(* --- subjects: users, groups, adversarially overlapping memberships --- *)
+
+let subjects ~seed ~n_users ~n_groups =
+  let rng = sub_rng seed 0x5AB in
+  let reg = Subject.create () in
+  let groups =
+    List.init n_groups (fun i -> Subject.add_group reg (Printf.sprintf "g%d" i))
+  in
+  let users =
+    List.init n_users (fun i -> Subject.add_user reg (Printf.sprintf "u%d" i))
+  in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun g -> if Prng.bool rng ~p:0.4 then Subject.add_membership reg ~child:u ~group:g)
+        groups)
+    users;
+  (* occasionally nest groups (cycles are tolerated by closure) *)
+  List.iter
+    (fun g ->
+      if groups <> [] && Prng.bool rng ~p:0.3 then begin
+        let g' = Prng.choose_list rng groups in
+        if g' <> g then Subject.add_membership reg ~child:g ~group:g'
+      end)
+    groups;
+  reg
+
+(* --- rules: grant/deny x self/subtree, anchors biased to overlap --- *)
+
+let rule ~seed ~i ~n_subjects ~tree_size ~mode =
+  let rng = sub_rng seed (0x300 + i) in
+  let subject = Prng.int rng n_subjects in
+  let sign = if Prng.bool rng ~p:0.55 then Rule.Grant else Rule.Deny in
+  let scope = if Prng.bool rng ~p:0.7 then Rule.Subtree else Rule.Self in
+  let node =
+    let r = Prng.float rng in
+    if r < 0.25 then 0 (* root: maximal cascade overlap *)
+    else if r < 0.55 then Prng.int rng (min 8 tree_size)
+    else Prng.int rng tree_size
+  in
+  Rule.make ~subject ~mode ~node ~sign ~scope
+
+(* --- queries: random twigs and random XPath-subset strings --- *)
+
+type shape = {
+  ax : Pattern.axis;
+  tst : Pattern.test;
+  vl : string option;
+  kids : shape list;
+}
+
+let gen_test rng tags =
+  if Prng.bool rng ~p:0.15 then Pattern.Wildcard
+  else Pattern.Tag (Prng.choose rng tags)
+
+let gen_value rng = if Prng.bool rng ~p:0.12 then Some (Prng.choose rng vocab) else None
+
+let rec gen_shape rng tags ~budget ~root =
+  let ax =
+    if root then if Prng.bool rng ~p:0.7 then Pattern.Descendant else Pattern.Child
+    else
+      match Prng.int rng 10 with
+      | 0 -> Pattern.Following_sibling
+      | 1 | 2 | 3 | 4 -> Pattern.Descendant
+      | _ -> Pattern.Child
+  in
+  let n_kids = if budget <= 1 then 0 else Prng.int rng (min 3 budget) in
+  let kids = ref [] in
+  let left = ref (budget - 1) in
+  for _ = 1 to n_kids do
+    if !left > 0 then begin
+      let kb = 1 + Prng.int rng !left in
+      kids := gen_shape rng tags ~budget:kb ~root:false :: !kids;
+      left := !left - kb
+    end
+  done;
+  { ax; tst = gen_test rng tags; vl = gen_value rng; kids = List.rev !kids }
+
+let shape_count s =
+  let rec go s = List.fold_left (fun a k -> a + go k) 1 s.kids in
+  go s
+
+let pattern_of_shape shape ~returning_at =
+  let counter = ref (-1) in
+  let rec conv s =
+    incr counter;
+    let me = !counter in
+    let kids = List.map conv s.kids in
+    Pattern.make ~axis:s.ax ~value:s.vl ~returning:(me = returning_at) s.tst kids
+  in
+  Pattern.of_root (conv shape)
+
+let gen_twig rng tags =
+  let budget = 1 + Prng.int rng 5 in
+  let shape = gen_shape rng tags ~budget ~root:true in
+  let k = shape_count shape in
+  { pat = pattern_of_shape shape ~returning_at:(Prng.int rng k); src = None }
+
+let gen_path rng tags =
+  let buf = Buffer.create 32 in
+  let steps = 1 + Prng.int rng 3 in
+  for i = 0 to steps - 1 do
+    let axis =
+      if i = 0 then if Prng.bool rng ~p:0.6 then "//" else "/"
+      else
+        match Prng.int rng 8 with
+        | 0 -> "/following-sibling::"
+        | 1 | 2 | 3 -> "//"
+        | _ -> "/"
+    in
+    Buffer.add_string buf axis;
+    Buffer.add_string buf
+      (if Prng.bool rng ~p:0.1 then "*" else Prng.choose rng tags);
+    if Prng.bool rng ~p:0.25 then begin
+      Buffer.add_char buf '[';
+      Buffer.add_string buf (Prng.choose rng tags);
+      if Prng.bool rng ~p:0.4 then
+        Buffer.add_string buf (Printf.sprintf "=%S" (Prng.choose rng vocab));
+      Buffer.add_char buf ']'
+    end
+  done;
+  let src = Buffer.contents buf in
+  { pat = Xpath.parse src; src = Some src }
+
+let gen_query rng tags =
+  if Prng.bool rng ~p:0.5 then gen_twig rng tags else gen_path rng tags
+
+(* Tag names occurring in the document, so queries can actually hit. *)
+let tree_tags tree =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  Tree.iter
+    (fun v ->
+      let t = Tree.tag_name tree v in
+      if not (Hashtbl.mem seen t) then begin
+        Hashtbl.add seen t ();
+        out := t :: !out
+      end)
+    tree;
+  Array.of_list (List.rev !out)
+
+(* --- trace --- *)
+
+let gen_op ~seed ~i ~tags =
+  let rng = sub_rng seed (0x7A0 + i) in
+  let r = Prng.float rng in
+  if r < 0.20 then
+    Set_node { subject = Prng.bits rng; grant = Prng.bool rng ~p:0.5; node = Prng.bits rng }
+  else if r < 0.35 then
+    Set_subtree { subject = Prng.bits rng; grant = Prng.bool rng ~p:0.5; node = Prng.bits rng }
+  else if r < 0.60 then Query (gen_query rng tags)
+  else if r < 0.68 then Delete_subtree { node = Prng.bits rng }
+  else if r < 0.76 then
+    Insert_subtree
+      {
+        parent = Prng.bits rng;
+        sibling = Prng.bits rng;
+        frag_seed = Prng.bits rng;
+        frag_nodes = 1 + Prng.geometric rng ~p:0.6 ~max:9;
+      }
+  else if r < 0.84 then
+    Add_subject { like = (if Prng.bool rng ~p:0.5 then Some (Prng.bits rng) else None) }
+  else if r < 0.90 then Remove_subject { subject = Prng.bits rng }
+  else Compact
+
+let params_of_seed seed =
+  let rng = sub_rng seed 0xBEEF in
+  let nodes =
+    let r = Prng.float rng in
+    if r < 0.5 then 4 + Prng.int rng 37
+    else if r < 0.85 then 40 + Prng.int rng 121
+    else 160 + Prng.int rng 241
+  in
+  {
+    seed;
+    nodes;
+    n_users = 1 + Prng.int rng 4;
+    n_groups = Prng.int rng 3;
+    n_rules = Prng.int rng 13;
+    n_queries = 1 + Prng.int rng 3;
+    trace_len = Prng.int rng 9;
+    rule_mask = -1;
+  }
+
+let case (p : params) =
+  let tree = tree ~seed:p.seed ~nodes:p.nodes in
+  let subjects = subjects ~seed:p.seed ~n_users:(max 1 p.n_users) ~n_groups:p.n_groups in
+  let modes = Mode.create () in
+  let mode = Mode.add modes "read" in
+  let n_subjects = Subject.count subjects in
+  let tree_size = Tree.size tree in
+  let rules =
+    List.init (max 0 p.n_rules) (fun i ->
+        rule ~seed:p.seed ~i ~n_subjects ~tree_size ~mode)
+  in
+  (* the shrinker clears individual mask bits to drop single rules while
+     keeping every other component (same per-index sub-seeds) identical *)
+  let rules =
+    if p.rule_mask = -1 then rules
+    else List.filteri (fun i _ -> p.rule_mask land (1 lsl i) <> 0) rules
+  in
+  let tags = tree_tags tree in
+  let queries =
+    List.init (max 0 p.n_queries) (fun i -> gen_query (sub_rng p.seed (0x900 + i)) tags)
+  in
+  let trace = List.init (max 0 p.trace_len) (fun i -> gen_op ~seed:p.seed ~i ~tags) in
+  let page_size = [| 128; 256; 512 |].(Prng.int (sub_rng p.seed 0xA9E) 3) in
+  { params = p; tree; subjects; modes; mode; rules; queries; trace; page_size }
+
+(* --- canonical fingerprint (pattern ids excluded) --- *)
+
+let rec pnode_str (p : Pattern.pnode) =
+  Printf.sprintf "%c%s%s%s(%s)"
+    (match p.Pattern.axis with
+    | Pattern.Child -> '/'
+    | Pattern.Descendant -> 'D'
+    | Pattern.Following_sibling -> 'F')
+    (match p.Pattern.test with Pattern.Wildcard -> "*" | Pattern.Tag t -> t)
+    (match p.Pattern.value with None -> "" | Some v -> "=" ^ v)
+    (if p.Pattern.returning then "!" else "")
+    (String.concat "," (List.map pnode_str p.Pattern.children))
+
+let query_str q = pnode_str q.pat.Pattern.root
+
+let query_to_string q = match q.src with Some s -> s | None -> query_str q
+
+let op_str = function
+  | Set_node { subject; grant; node } -> Printf.sprintf "N%d:%b:%d" subject grant node
+  | Set_subtree { subject; grant; node } -> Printf.sprintf "S%d:%b:%d" subject grant node
+  | Delete_subtree { node } -> Printf.sprintf "X%d" node
+  | Insert_subtree { parent; sibling; frag_seed; frag_nodes } ->
+      Printf.sprintf "I%d:%d:%d:%d" parent sibling frag_seed frag_nodes
+  | Add_subject { like } ->
+      Printf.sprintf "A%s" (match like with None -> "-" | Some s -> string_of_int s)
+  | Remove_subject { subject } -> Printf.sprintf "R%d" subject
+  | Compact -> "C"
+  | Query q -> "Q" ^ query_str q
+
+let fingerprint (c : case) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Tree.structure_string c.tree);
+  Tree.iter
+    (fun v ->
+      let t = Tree.text c.tree v in
+      if t <> "" then Buffer.add_string b (Printf.sprintf "|%d=%s" v t))
+    c.tree;
+  Buffer.add_string b
+    (Printf.sprintf ";subj=%d" (Subject.count c.subjects));
+  List.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf ";m%d:%s" s
+           (String.concat "," (List.map string_of_int (Subject.direct_groups c.subjects s)))))
+    (List.init (Subject.count c.subjects) Fun.id);
+  List.iter
+    (fun (r : Rule.t) ->
+      Buffer.add_string b
+        (Printf.sprintf ";r%d%c%c@%d" r.Rule.subject
+           (match r.Rule.sign with Rule.Grant -> '+' | Rule.Deny -> '-')
+           (match r.Rule.scope with Rule.Self -> 's' | Rule.Subtree -> 't')
+           r.Rule.node))
+    c.rules;
+  List.iter (fun q -> Buffer.add_string b (";q" ^ query_str q)) c.queries;
+  List.iter (fun o -> Buffer.add_string b (";o" ^ op_str o)) c.trace;
+  Buffer.add_string b (Printf.sprintf ";pg=%d" c.page_size);
+  Buffer.contents b

@@ -1,0 +1,91 @@
+(** Seeded generators for differential fuzzing.
+
+    Everything is derived deterministically from a {!params} record: the
+    same parameters always produce the same document, policy, queries and
+    update trace (see {!fingerprint}).  Each component draws from its own
+    splitmix64 sub-stream, and list-shaped components (rules, queries,
+    trace) sub-seed every element independently, so shrinking one
+    parameter (fewer rules, shorter trace) leaves the other components —
+    and the surviving prefix — bit-identical.  That prefix stability is
+    what lets the shrinker of {!Diff} reduce a failing case by simply
+    regenerating it with smaller parameters. *)
+
+module Tree = Dolx_xml.Tree
+module Pattern = Dolx_nok.Pattern
+
+(** The self-contained description of one fuzz case.  [seed] picks the
+    random streams; the size fields bound each component. *)
+type params = {
+  seed : int;
+  nodes : int;      (** document node budget *)
+  n_users : int;
+  n_groups : int;
+  n_rules : int;
+  n_queries : int;
+  trace_len : int;
+  rule_mask : int;  (** [-1] keeps all [n_rules] rules; otherwise bit [i]
+                        keeps rule [i] — lets the shrinker drop a single
+                        rule from the middle of the set *)
+}
+
+(** Number of rules surviving [rule_mask]. *)
+val effective_rules : params -> int
+
+(** Sizes drawn from [seed] itself: mostly small documents with a heavy
+    tail, 1–4 users, 0–2 groups, up to ~12 rules, 1–3 queries and up to
+    8 trace operations. *)
+val params_of_seed : int -> params
+
+(** A generated query: the pattern the engines evaluate, plus the XPath
+    source when the query was generated as a path string. *)
+type query = { pat : Pattern.t; src : string option }
+
+(** One raw trace operation.  Node/subject operands are unresolved
+    random draws — {!Diff} reduces them modulo the document size and
+    subject width at application time, so a trace stays applicable as
+    structural operations grow and shrink the document. *)
+type op =
+  | Set_node of { subject : int; grant : bool; node : int }
+  | Set_subtree of { subject : int; grant : bool; node : int }
+  | Delete_subtree of { node : int }
+  | Insert_subtree of { parent : int; sibling : int; frag_seed : int; frag_nodes : int }
+  | Add_subject of { like : int option }
+  | Remove_subject of { subject : int }
+  | Compact
+  | Query of query
+
+type case = {
+  params : params;
+  tree : Tree.t;
+  subjects : Dolx_policy.Subject.registry;
+  modes : Dolx_policy.Mode.registry;
+  mode : Dolx_policy.Mode.id;
+  rules : Dolx_policy.Rule.t list;
+  queries : query list;
+  trace : op list;
+  page_size : int;  (** store page size, drawn from the seed *)
+}
+
+(** Generate the case described by [params].  Total over all components;
+    never raises for [params] with positive sizes. *)
+val case : params -> case
+
+(** Random document with skewed depth/fanout and a tag alphabet drawn
+    from a fixed pool; leaves occasionally carry text from a small
+    vocabulary.  Used both for the main document and for inserted
+    fragments. *)
+val tree : seed:int -> nodes:int -> Tree.t
+
+(** A standalone random accessibility matrix [subject -> node -> bool]
+    for an inserted fragment ([width] rows, [Tree.size] columns). *)
+val fragment_matrix : seed:int -> width:int -> Tree.t -> bool array array
+
+(** One-line description for reports: the XPath source when the query
+    came from a path string, otherwise a canonical shape string. *)
+val query_to_string : query -> string
+
+(** Canonical digest of every generated component (structure string,
+    rules, query shapes, trace shapes) — equal iff the generated case is
+    semantically identical.  Pattern ids are excluded, so two
+    generations of the same seed fingerprint equally. *)
+val fingerprint : case -> string

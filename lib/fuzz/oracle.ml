@@ -1,0 +1,175 @@
+module Tree = Dolx_xml.Tree
+module Subject = Dolx_policy.Subject
+module Rule = Dolx_policy.Rule
+module Pattern = Dolx_nok.Pattern
+
+(* --- Most-Specific-Override, one independent walk per subject --- *)
+
+(* Verdict of the rules anchored at one node for one subject: grants are
+   applied first, denies second, so any deny wins at equal specificity. *)
+let verdict rules = not (List.exists (fun (r : Rule.t) -> r.Rule.sign = Rule.Deny) rules)
+
+let mso_subject tree ~mode ~default ~subject rules =
+  let n = Tree.size tree in
+  let self_rules = Array.make n [] in
+  let subtree_rules = Array.make n [] in
+  List.iter
+    (fun (r : Rule.t) ->
+      if r.Rule.mode = mode && r.Rule.subject = subject then
+        match r.Rule.scope with
+        | Rule.Self -> self_rules.(r.Rule.node) <- r :: self_rules.(r.Rule.node)
+        | Rule.Subtree -> subtree_rules.(r.Rule.node) <- r :: subtree_rules.(r.Rule.node))
+    rules;
+  let acc = Array.make n default in
+  let rec go v inherited =
+    let ctx = if subtree_rules.(v) <> [] then verdict subtree_rules.(v) else inherited in
+    acc.(v) <- (if self_rules.(v) <> [] then verdict self_rules.(v) else ctx);
+    Tree.iter_children (fun c -> go c ctx) tree v
+  in
+  go Tree.root default;
+  acc
+
+(* Own transitive group closure (self + memberships), cycle-tolerant. *)
+let closure registry id =
+  let seen = Hashtbl.create 8 in
+  let rec go id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.add seen id ();
+      List.iter go (Subject.direct_groups registry id)
+    end
+  in
+  go id;
+  Hashtbl.fold (fun s () acc -> s :: acc) seen []
+
+let mso_users tree ~subjects ~mode ~default rules =
+  let per_subject =
+    Array.init (Subject.count subjects) (fun s ->
+        mso_subject tree ~mode ~default ~subject:s rules)
+  in
+  let users = Array.of_list (Subject.users subjects) in
+  Array.map
+    (fun u ->
+      let cls = closure subjects u in
+      Array.init (Tree.size tree) (fun v ->
+          List.exists (fun s -> per_subject.(s).(v)) cls))
+    users
+
+(* --- brute-force twig evaluation (mirrors test/reference.ml) --- *)
+
+type sem = Any | Bound of (int -> bool) | Path of (int -> bool)
+
+let access = function Any -> fun _ -> true | Bound f | Path f -> f
+
+let test_ok tree (p : Pattern.pnode) v =
+  (match p.Pattern.test with
+  | Pattern.Wildcard -> true
+  | Pattern.Tag name -> Tree.tag_name tree v = name)
+  && match p.Pattern.value with None -> true | Some s -> Tree.text tree v = s
+
+let axis_candidates tree sem (p : Pattern.pnode) ctx =
+  match p.Pattern.axis with
+  | Pattern.Child -> Tree.children tree ctx
+  | Pattern.Following_sibling ->
+      let rec later u acc =
+        if u = Tree.nil then List.rev acc else later (Tree.next_sibling tree u) (u :: acc)
+      in
+      later (Tree.next_sibling tree ctx) []
+  | Pattern.Descendant ->
+      let last = Tree.subtree_end tree ctx in
+      let ok_path u =
+        match sem with
+        | Path f ->
+            let rec up v = v = ctx || (f v && up (Tree.parent tree v)) in
+            up (Tree.parent tree u)
+        | Any | Bound _ -> true
+      in
+      List.filter ok_path (List.init (last - ctx) (fun i -> ctx + 1 + i))
+
+let rec sat tree sem (p : Pattern.pnode) v =
+  test_ok tree p v
+  && access sem v
+  && List.for_all
+       (fun c -> List.exists (fun u -> sat tree sem c u) (axis_candidates tree sem c v))
+       p.Pattern.children
+
+let eval tree sem (pattern : Pattern.t) =
+  let trunk = Pattern.trunk pattern in
+  let trunk_ids = List.map (fun (p : Pattern.pnode) -> p.Pattern.id) trunk in
+  let preds (p : Pattern.pnode) =
+    List.filter
+      (fun (c : Pattern.pnode) -> not (List.mem c.Pattern.id trunk_ids))
+      p.Pattern.children
+  in
+  let node_ok (p : Pattern.pnode) v =
+    test_ok tree p v
+    && access sem v
+    && List.for_all
+         (fun c -> List.exists (fun u -> sat tree sem c u) (axis_candidates tree sem c v))
+         (preds p)
+  in
+  match trunk with
+  | [] -> []
+  | first :: rest ->
+      let all_nodes = List.init (Tree.size tree) Fun.id in
+      let start =
+        match first.Pattern.axis with
+        | Pattern.Child -> List.filter (node_ok first) [ Tree.root ]
+        | Pattern.Following_sibling -> invalid_arg "Oracle: leading following-sibling"
+        | Pattern.Descendant -> List.filter (node_ok first) all_nodes
+      in
+      let step bindings (p : Pattern.pnode) =
+        List.sort_uniq compare
+          (List.concat_map
+             (fun v -> List.filter (node_ok p) (axis_candidates tree sem p v))
+             bindings)
+      in
+      List.sort_uniq compare (List.fold_left step start rest)
+
+(* --- mutable matrix mirroring update traces --- *)
+
+type t = { mutable acc : bool array array }
+
+let create acc = { acc = Array.map Array.copy acc }
+
+let width t = Array.length t.acc
+
+let accessible t ~subject v = t.acc.(subject).(v)
+
+let snapshot t = Array.map Array.copy t.acc
+
+let set_node t ~subject ~grant v = t.acc.(subject).(v) <- grant
+
+let set_range t ~subject ~grant ~lo ~hi =
+  for v = lo to hi do
+    t.acc.(subject).(v) <- grant
+  done
+
+let delete_range t ~lo ~hi =
+  t.acc <-
+    Array.map
+      (fun row ->
+        Array.append (Array.sub row 0 lo)
+          (Array.sub row (hi + 1) (Array.length row - hi - 1)))
+      t.acc
+
+let insert_at t ~at frag =
+  if Array.length frag <> Array.length t.acc then
+    invalid_arg "Oracle.insert_at: width mismatch";
+  t.acc <-
+    Array.mapi
+      (fun s row ->
+        Array.concat
+          [ Array.sub row 0 at; frag.(s); Array.sub row at (Array.length row - at) ])
+      t.acc
+
+let add_subject t ~like =
+  let n = if Array.length t.acc = 0 then 0 else Array.length t.acc.(0) in
+  let row =
+    match like with
+    | Some s -> Array.copy t.acc.(s)
+    | None -> Array.make n false
+  in
+  t.acc <- Array.append t.acc [| row |]
+
+let remove_subject t s =
+  t.acc <- Array.append (Array.sub t.acc 0 s) (Array.sub t.acc (s + 1) (width t - s - 1))

@@ -1,0 +1,75 @@
+(** The differential oracle: obviously-correct reference semantics for
+    the whole stack, computed directly on the in-memory tree — no DOL,
+    no codebook, no pages, no index, no runs.
+
+    Three layers:
+    - {!mso_users}: rule compilation by direct Most-Specific-Override
+      recursion (per subject, independent walks) plus an internal
+      group-closure union, materializing effective user rights — the
+      reference for [Propagate.compile] + [Labeling.materialize_users].
+    - {!eval}: brute-force twig evaluation over an accessibility
+      predicate, enumerating candidates exhaustively — the reference for
+      the NoK engine under all three semantics.
+    - {!t}: a mutable user-by-node boolean matrix mirroring update
+      traces (accessibility, structural and subject-set operations) —
+      the reference for [Update] + store rebuilds.
+
+    The query evaluator intentionally duplicates [test/reference.ml];
+    the test-suite cross-checks the two on fixed fixtures so the copies
+    cannot drift apart silently. *)
+
+module Tree = Dolx_xml.Tree
+module Pattern = Dolx_nok.Pattern
+
+(** {1 Rule compilation} *)
+
+(** Effective user accessibility [user_pos -> node -> bool], rows in
+    [Subject.users] order: per-subject Most-Specific-Override (closest
+    labeled ancestor wins; [Self] beats [Subtree] at a node; [Deny]
+    beats [Grant] at equal specificity), then each user's row is the
+    union over its transitive group closure (paper footnote 4).
+    [default] is the verdict with no applicable rule. *)
+val mso_users :
+  Tree.t -> subjects:Dolx_policy.Subject.registry -> mode:Dolx_policy.Mode.id ->
+  default:bool -> Dolx_policy.Rule.t list -> bool array array
+
+(** {1 Brute-force query evaluation} *)
+
+type sem =
+  | Any                      (** no access control *)
+  | Bound of (int -> bool)   (** Cho et al.: every bound node accessible *)
+  | Path of (int -> bool)    (** Gabillon–Bruno: + connecting paths *)
+
+(** All bindings of the returning node, in document order, distinct. *)
+val eval : Tree.t -> sem -> Pattern.t -> int list
+
+(** {1 Mutable accessibility matrix (update-trace mirror)} *)
+
+type t
+
+val create : bool array array -> t
+
+(** Number of subjects (matrix rows). *)
+val width : t -> int
+
+val accessible : t -> subject:int -> int -> bool
+
+(** Deep copy of the matrix (for pre/post crash-image comparison). *)
+val snapshot : t -> bool array array
+
+val set_node : t -> subject:int -> grant:bool -> int -> unit
+
+val set_range : t -> subject:int -> grant:bool -> lo:int -> hi:int -> unit
+
+(** Remove columns [lo, hi] (a deleted subtree's preorder range). *)
+val delete_range : t -> lo:int -> hi:int -> unit
+
+(** Insert a fragment's columns so its root lands at preorder [at].
+    @raise Invalid_argument on a width mismatch. *)
+val insert_at : t -> at:int -> bool array array -> unit
+
+(** Append a subject row: a copy of [like]'s row, or all-deny. *)
+val add_subject : t -> like:int option -> unit
+
+(** Remove a subject row; higher rows shift down (codebook semantics). *)
+val remove_subject : t -> int -> unit

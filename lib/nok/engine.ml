@@ -80,6 +80,12 @@ let index_candidates ?value_index store index (p : Pattern.pnode) =
 
 let subject_of = function Insecure -> None | Secure s | Secure_path s -> Some s
 
+(* Deliberate fault site for the differential fuzzer's self-test: when
+   armed, run-index pruning silently drops node 2 from every candidate
+   set, so secure answers lose it while the runs-off path keeps it.
+   Armed only via DOLX_FUZZ_PLANT_BUG=prune; tests may toggle the ref. *)
+let planted_bug = ref (Sys.getenv_opt "DOLX_FUZZ_PLANT_BUG" = Some "prune")
+
 (* Drop candidates the subject provably cannot access (run-index
    intersection).  Safe under both secure semantics: a pruned candidate
    would fail its own [visit] when qualified or when re-seeding the next
@@ -92,7 +98,7 @@ let prune_candidates store semantics cands =
       else begin
         let kept = Store.intersect_accessible store ~subject:s cands in
         Metrics.add c_pruned (List.length cands - List.length kept);
-        kept
+        if !planted_bug then List.filter (fun v -> v <> 2) kept else kept
       end
 
 let ceil_log2 n =

@@ -81,6 +81,13 @@ val index_candidates :
     check at qualification time. *)
 val prune_candidates : Store.t -> semantics -> int list -> int list
 
+(** Deliberate fault site for the differential fuzzer's self-test: when
+    armed, {!prune_candidates} silently drops node 2 from every pruned
+    candidate set (run index on, secure semantics only).  Armed at
+    startup by [DOLX_FUZZ_PLANT_BUG=prune]; tests may toggle the ref
+    directly.  Never set on production paths. *)
+val planted_bug : bool ref
+
 (** Cost-based candidate selection for the next segment's entry step at
     a structural join: chooses between the global index postings and
     per-binding subtree probes using tag cardinality, binding subtree

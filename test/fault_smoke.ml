@@ -109,7 +109,13 @@ let () =
   let seed = ref 0 in
   while Unix.gettimeofday () < deadline do
     incr seed;
-    crash_recovery !seed;
-    quarantine !seed
+    (* any escaping exception must still name the seed, or the failing
+       iteration is unreproducible *)
+    try
+      crash_recovery !seed;
+      quarantine !seed
+    with e ->
+      Printf.eprintf "fault_smoke: seed %d raised %s\n" !seed (Printexc.to_string e);
+      exit 1
   done;
   Printf.printf "fault_smoke: %d iterations, no violations\n" !seed

@@ -1,0 +1,110 @@
+(* Differential fuzzing driver: generated cases cross-checked against
+   the naive oracle across the configuration lattice.
+
+   Usage: fuzz_diff.exe [SECONDS] [options]
+     SECONDS        time budget (default 30; >= 60 also enforces a
+                    500-case floor, matching the CI acceptance gate)
+     --cases N      run exactly N cases instead of a time budget
+     --seed S       first seed (default 1; consecutive cases use S+i)
+     --corpus DIR   where to write the shrunk repro (default test/corpus
+                    when run from the repo root, else ./corpus)
+     --expect-bug   self-test mode: a planted bug (DOLX_FUZZ_PLANT_BUG)
+                    must be caught and shrink to <= 20 nodes and
+                    <= 4 rules; exits 0 on success, writes no corpus
+
+   On a mismatch the driver shrinks it, prints a self-contained repro
+   line, writes a corpus file and fuzz_repro.txt, and exits 1. *)
+
+module Gen = Dolx_fuzz.Gen
+module Diff = Dolx_fuzz.Diff
+
+let seconds = ref 30.0
+let cases = ref 0
+let seed0 = ref 1
+let corpus = ref ""
+let expect_bug = ref false
+
+let parse_args () =
+  let rec go = function
+    | [] -> ()
+    | "--cases" :: n :: rest ->
+        cases := int_of_string n;
+        go rest
+    | "--seed" :: s :: rest ->
+        seed0 := int_of_string s;
+        go rest
+    | "--corpus" :: d :: rest ->
+        corpus := d;
+        go rest
+    | "--expect-bug" :: rest ->
+        expect_bug := true;
+        go rest
+    | s :: rest ->
+        seconds := float_of_string s;
+        go rest
+  in
+  go (List.tl (Array.to_list Sys.argv))
+
+let corpus_dir () =
+  if !corpus <> "" then !corpus
+  else if Sys.file_exists "test" && Sys.is_directory "test" then
+    Filename.concat "test" "corpus"
+  else "corpus"
+
+let report ~ran m =
+  let shrunk, checks = Diff.shrink m.Diff.config m.Diff.params in
+  let m' = Option.value (Diff.check_params m.Diff.config shrunk) ~default:m in
+  Printf.printf "MISMATCH after %d cases (shrunk with %d re-checks):\n%s\n" ran checks
+    (Diff.describe m');
+  if !expect_bug then begin
+    let p = m'.Diff.params in
+    let rules = Gen.effective_rules p in
+    if p.Gen.nodes <= 20 && rules <= 4 then begin
+      Printf.printf "planted bug caught and shrunk to nodes=%d rules=%d: OK\n" p.Gen.nodes
+        rules;
+      exit 0
+    end
+    else begin
+      Printf.printf "planted bug caught but shrink stalled at nodes=%d rules=%d\n"
+        p.Gen.nodes rules;
+      exit 1
+    end
+  end
+  else begin
+    let path = Diff.write_corpus ~dir:(corpus_dir ()) m' in
+    Printf.printf "wrote %s\n" path;
+    let oc = open_out "fuzz_repro.txt" in
+    output_string oc (Diff.describe m' ^ "\n");
+    close_out oc;
+    exit 1
+  end
+
+let () =
+  parse_args ();
+  let t0 = Unix.gettimeofday () in
+  let floor = if !cases > 0 then !cases else if !seconds >= 60.0 then 500 else 0 in
+  let ran = ref 0 in
+  let keep_going () =
+    if !cases > 0 then !ran < !cases
+    else !ran < floor || Unix.gettimeofday () -. t0 < !seconds
+  in
+  (try
+     while keep_going () do
+       let i = !ran in
+       let p = Gen.params_of_seed (!seed0 + i) in
+       let cfg = Diff.config_for_case i in
+       (match Diff.check_params cfg p with
+       | Some m -> report ~ran:!ran m
+       | None -> ());
+       incr ran;
+       if !ran mod 200 = 0 then
+         Printf.printf "%d cases, %.0f cases/s\n%!" !ran
+           (float_of_int !ran /. (Unix.gettimeofday () -. t0 +. 1e-9))
+     done
+   with Sys.Break -> ());
+  let dt = Unix.gettimeofday () -. t0 in
+  if !expect_bug then begin
+    Printf.printf "planted bug NOT caught in %d cases\n" !ran;
+    exit 1
+  end;
+  Printf.printf "ok: %d cases across the lattice in %.1fs, 0 mismatches\n" !ran dt

@@ -21,4 +21,5 @@ let () =
       ("coverage", Test_coverage.suite);
       ("faults", Test_faults.suite);
       ("parallel", Test_parallel.suite);
+      ("fuzz", Test_fuzz.suite);
     ]
