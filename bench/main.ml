@@ -4,7 +4,7 @@
     Usage:
       dune exec bench/main.exe            # all experiments
       dune exec bench/main.exe -- fig4a   # one experiment
-    Experiments: fig4a fig4b fig5 fig6 storage queries fig7 joins updates micro robustness obs parallel runs fuzz
+    Experiments: fig4a fig4b fig5 fig6 storage queries fig7 joins updates micro robustness obs parallel mvcc runs fuzz
     Set DOLX_BENCH_SCALE=k to scale dataset sizes by k. *)
 
 let queries_table () =
@@ -29,6 +29,7 @@ let experiments =
     ("robustness", Robustness.run);
     ("obs", Obs_bench.run);
     ("parallel", Parallel_bench.run);
+    ("mvcc", Mvcc_bench.run);
     ("runs", Runs_bench.run);
     ("fuzz", Fuzz_bench.run);
   ]
@@ -46,6 +47,7 @@ let run_all () =
   Robustness.run ();
   Obs_bench.run ();
   Parallel_bench.run ();
+  Mvcc_bench.run ();
   Runs_bench.run ();
   Fuzz_bench.run ()
 

@@ -41,6 +41,12 @@ module Xmark = Dolx_workload.Xmark
 module Query_mix = Dolx_workload.Query_mix
 module Metrics = Dolx_obs.Metrics
 module Trace = Dolx_obs.Trace
+
+(* reference the module so its commit.* counters register even in
+   binaries that only read them by name (stats-db, --metrics) *)
+let _link_group_commit : Dolx_core.Group_commit.t -> int =
+  Dolx_core.Group_commit.max_batch
+
 open Cmdliner
 
 let read_file path =
@@ -293,20 +299,21 @@ let query_batch doc policy mode jobs path_semantics no_run_index metrics
                (e.Query_mix.xpath, engine_semantics e.Query_mix.semantics))
     | None, None -> failwith "query-batch: provide --queries FILE or --mix N"
   in
-  let exec = Exec.create ~jobs store index in
-  metrics_begin metrics store;
-  let t0 = Unix.gettimeofday () in
-  let results = Exec.query_batch exec batch in
-  let dt = Unix.gettimeofday () -. t0 in
-  List.iter2
-    (fun (q, sem) r ->
-      Printf.printf "%s\t%s\t%d answers\n" (semantics_name sem) q
-        (List.length r.Engine.answers))
-    batch results;
-  Printf.eprintf "%d queries on %d worker(s): %.3fs wall (%.1f queries/s)\n"
-    (List.length batch) (Exec.jobs exec) dt
-    (float_of_int (List.length batch) /. Float.max dt 1e-9);
-  Exec.shutdown exec;
+  (* with_executor joins the worker domains and releases the readers'
+     epoch pins even when a query raises mid-batch *)
+  Exec.with_executor ~jobs store index (fun exec ->
+      metrics_begin metrics store;
+      let t0 = Unix.gettimeofday () in
+      let results = Exec.query_batch exec batch in
+      let dt = Unix.gettimeofday () -. t0 in
+      List.iter2
+        (fun (q, sem) r ->
+          Printf.printf "%s\t%s\t%d answers\n" (semantics_name sem) q
+            (List.length r.Engine.answers))
+        batch results;
+      Printf.eprintf "%d queries on %d worker(s): %.3fs wall (%.1f queries/s)\n"
+        (List.length batch) (Exec.jobs exec) dt
+        (float_of_int (List.length batch) /. Float.max dt 1e-9));
   metrics_end metrics
 
 let query_batch_cmd =
@@ -554,7 +561,23 @@ let stats_db db =
   Printf.printf "  counters: builds=%d hits=%d evictions=%d\n"
     (Metrics.counter_value "runs.builds")
     (Metrics.counter_value "runs.hits")
-    (Metrics.counter_value "runs.evictions")
+    (Metrics.counter_value "runs.evictions");
+  (* MVCC snapshot state: the epoch clock, pinned readers, and page
+     versions retained for them; plus the group-commit counters *)
+  let disk = Store.disk store in
+  let ep = Dolx_storage.Disk.epoch disk in
+  Printf.printf "mvcc: epoch %d, %d pinned reader(s), %d retained page version(s)\n"
+    (Dolx_storage.Epoch.current ep)
+    (Dolx_storage.Epoch.pin_count ep)
+    (Dolx_storage.Disk.live_versions disk);
+  Printf.printf "  counters: epoch.advances=%d versions_saved=%d versions_retired=%d\n"
+    (Metrics.counter_value "epoch.advances")
+    (Metrics.counter_value "disk.versions_saved")
+    (Metrics.counter_value "disk.versions_retired");
+  Printf.printf "group commit: batches=%d records=%d flushes=%d\n"
+    (Metrics.counter_value "commit.batches")
+    (Metrics.counter_value "commit.records")
+    (Metrics.counter_value "commit.flushes")
 
 let stats_db_cmd =
   let db = Arg.(required & opt (some file) None & info [ "db" ] ~docv:"FILE") in

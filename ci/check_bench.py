@@ -90,11 +90,39 @@ def check_fuzz(doc):
             "cases_per_s": round(doc["cases_per_s"], 1)}
 
 
+def check_mvcc(doc):
+    r = doc["readers"]
+    require(r["answers_identical"] is True,
+            "pinned readers observed in-flight updates (snapshot leak)")
+    for key in ("idle_qps", "contended_qps", "ratio"):
+        require(is_num(r[key]), f"readers: bad {key}")
+    require(r["updates_during_run"] > 0, "writer applied no updates during the run")
+    require(r["ratio"] >= 0.8,
+            f"contended readers at {100 * r['ratio']:.1f}% of idle throughput "
+            "(gate: 80%)")
+    g = doc["group_commit"]
+    require(g["images_identical"] is True,
+            "group-commit image diverged from per-record flushing")
+    for key in ("modeled_per_record_s", "modeled_batched_s", "speedup"):
+        require(is_num(g[key]), f"group_commit: bad {key}")
+    require(g["flushes_batched"] < g["flushes_per_record"],
+            "batching did not reduce flushes")
+    require(g["speedup"] >= 2.0,
+            f"group commit speedup {g['speedup']:.2f}x (gate: 2x)")
+    return {
+        "reader_ratio": round(r["ratio"], 3),
+        "updates": r["updates_during_run"],
+        "commit_speedup": round(g["speedup"], 2),
+        "flushes": f"{g['flushes_per_record']}->{g['flushes_batched']}",
+    }
+
+
 CHECKS = {
     "parallel": check_parallel,
     "runs": check_runs,
     "obs": check_obs,
     "fuzz": check_fuzz,
+    "mvcc": check_mvcc,
 }
 
 

@@ -34,12 +34,16 @@ type runs = {
 type entry = { e_runs : runs; e_used : int Atomic.t }
 
 type t = {
-  dol : Dol.t;
+  dol : Dol.t; (* the live DOL; snapshot readers pass their own *)
   deny : (int * int) array;  (* sorted disjoint inaccessible intervals *)
   cap : int;
   lock : Mutex.t;
   tick : int Atomic.t;
-  table : (int * entry) array Atomic.t;  (* sorted by subject *)
+  (* Sorted by (subject, generation): entries for distinct generations
+     coexist, so an epoch-pinned reader keeps hitting the runs built
+     from its DOL snapshot while the live store fills in fresh ones;
+     stale generations age out through the LRU. *)
+  table : ((int * int) * entry) array Atomic.t;
 }
 
 let default_capacity = 64
@@ -99,11 +103,10 @@ let push_minus_deny deny di starts stops lo hi =
     end
   done
 
-(* Materialize [subject]'s accessible runs at generation [gen].  One
-   pass over the transition list: consecutive transitions whose codes
-   grant the subject coalesce into a single run. *)
-let build t subject gen =
-  let dol = t.dol in
+(* Materialize [subject]'s accessible runs from [dol] at generation
+   [gen].  One pass over the transition list: consecutive transitions
+   whose codes grant the subject coalesce into a single run. *)
+let build t dol subject gen =
   let cb = Dol.codebook dol in
   let pres = dol.Dol.trans_pre and codes = dol.Dol.trans_code in
   let k = Array.length pres in
@@ -138,17 +141,18 @@ let build t subject gen =
 
 (** {1 Table} *)
 
-let lookup table subject =
+let lookup table key =
   let lo = ref 0 and hi = ref (Array.length table - 1) in
   let res = ref None in
   while !lo <= !hi do
     let mid = (!lo + !hi) / 2 in
-    let s, e = table.(mid) in
-    if s = subject then begin
+    let k, e = table.(mid) in
+    let c = compare (k : int * int) key in
+    if c = 0 then begin
       res := Some e;
       lo := !hi + 1
     end
-    else if s < subject then lo := mid + 1
+    else if c < 0 then lo := mid + 1
     else hi := mid - 1
   done;
   !res
@@ -161,17 +165,17 @@ let total_bytes t =
   Array.fold_left (fun acc (_, e) -> acc + bytes e.e_runs) 0 (Atomic.get t.table)
 
 let iter_materialized f t =
-  Array.iter (fun (s, e) -> f s e.e_runs) (Atomic.get t.table)
+  Array.iter (fun ((s, _), e) -> f s e.e_runs) (Atomic.get t.table)
 
 let publish_gauges t =
   Metrics.gauge_set g_bytes (float_of_int (total_bytes t));
   Metrics.gauge_set g_subjects (float_of_int (materialized t))
 
-(* Under [t.lock]: insert/replace [subject]'s entry, evicting the least
-   recently used other subject when over capacity. *)
-let install t subject e =
+(* Under [t.lock]: insert/replace [key]'s entry, evicting the least
+   recently used other entries when over capacity. *)
+let install t key e =
   let old = Atomic.get t.table in
-  let others = Array.of_list (List.filter (fun (s, _) -> s <> subject) (Array.to_list old)) in
+  let others = Array.of_list (List.filter (fun (k, _) -> k <> key) (Array.to_list old)) in
   let others =
     if Array.length others >= t.cap then begin
       (* evict the least recently used until one slot is free *)
@@ -184,41 +188,48 @@ let install t subject e =
       Metrics.add c_evictions victims;
       Array.of_list
         (List.filter
-           (fun (s, _) -> not (Array.exists (fun (v, _) -> v = s) evicted))
+           (fun (k, _) -> not (Array.exists (fun (v, _) -> v = k) evicted))
            (Array.to_list others))
     end
     else others
   in
-  let table = Array.append others [| (subject, e) |] in
+  let table = Array.append others [| (key, e) |] in
   Array.sort (fun (a, _) (b, _) -> compare a b) table;
   Atomic.set t.table table;
   publish_gauges t
 
-let runs t ~subject =
+(** Materialized runs for [subject] as seen by [dol] — the live DOL for
+    the writer, a pinned snapshot for an epoch reader.  [dol] must share
+    the store's subject population history (its generation identifies
+    the policy state the runs were built from). *)
+let runs_for t ~dol ~subject =
   if subject < 0 then invalid_arg "Access_runs.runs: negative subject";
-  let gen = Dol.generation t.dol in
-  match lookup (Atomic.get t.table) subject with
-  | Some e when e.e_runs.r_generation = gen ->
+  let gen = Dol.generation dol in
+  let key = (subject, gen) in
+  match lookup (Atomic.get t.table) key with
+  | Some e ->
       Metrics.incr c_hits;
       touch t e;
       e.e_runs
-  | _ ->
+  | None ->
       Mutex.lock t.lock;
       Fun.protect
         ~finally:(fun () -> Mutex.unlock t.lock)
         (fun () ->
           (* re-check: another domain may have built while we waited *)
-          match lookup (Atomic.get t.table) subject with
-          | Some e when e.e_runs.r_generation = gen ->
+          match lookup (Atomic.get t.table) key with
+          | Some e ->
               Metrics.incr c_hits;
               touch t e;
               e.e_runs
-          | _ ->
-              let r = build t subject gen in
+          | None ->
+              let r = build t dol subject gen in
               let e = { e_runs = r; e_used = Atomic.make 0 } in
               touch t e;
-              install t subject e;
+              install t key e;
               r)
+
+let runs t ~subject = runs_for t ~dol:t.dol ~subject
 
 (** {1 Queries} *)
 
@@ -280,13 +291,13 @@ type cursor = { mutable cr : runs option; mutable ci : int }
 
 let cursor () = { cr = None; ci = 0 }
 
-let accessible t cu ~subject v =
-  let gen = Dol.generation t.dol in
+let accessible t cu ~dol ~subject v =
+  let gen = Dol.generation dol in
   let r =
     match cu.cr with
     | Some r when r.r_subject = subject && r.r_generation = gen -> r
     | _ ->
-        let r = runs t ~subject in
+        let r = runs_for t ~dol ~subject in
         cu.cr <- Some r;
         cu.ci <- 0;
         r

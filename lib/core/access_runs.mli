@@ -47,11 +47,17 @@ val total_bytes : t -> int
 (** Iterate over materialized subjects (snapshot; no locking). *)
 val iter_materialized : (int -> runs -> unit) -> t -> unit
 
-(** Materialized runs for [subject] at the current generation: served
-    from the snapshot when fresh (lock-free), built under a mutex when
-    absent or stale.  Counted by metrics [runs.hits] / [runs.builds];
-    LRU evictions by [runs.evictions]. *)
+(** Materialized runs for [subject] at the current generation of the
+    live DOL: served from the snapshot when fresh (lock-free), built
+    under a mutex when absent or stale.  Counted by metrics [runs.hits]
+    / [runs.builds]; LRU evictions by [runs.evictions]. *)
 val runs : t -> subject:int -> runs
+
+(** {!runs} as seen by [dol] — the live DOL for the writer, a pinned
+    snapshot for an epoch reader.  Entries are keyed by
+    (subject, generation), so runs from distinct policy states coexist
+    and a snapshot reader never mixes runs from two generations. *)
+val runs_for : t -> dol:Dol.t -> subject:int -> runs
 
 (** {1 Queries on materialized runs} *)
 
@@ -92,9 +98,10 @@ type cursor
 
 val cursor : unit -> cursor
 
-(** [accessible t cu ~subject v] — membership through the cursor,
-    revalidating subject and generation as needed. *)
-val accessible : t -> cursor -> subject:int -> int -> bool
+(** [accessible t cu ~dol ~subject v] — membership through the cursor,
+    revalidating subject and generation (of [dol], the caller's DOL —
+    live or pinned snapshot) as needed. *)
+val accessible : t -> cursor -> dol:Dol.t -> subject:int -> int -> bool
 
 (** {1 Introspection} *)
 

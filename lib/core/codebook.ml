@@ -49,6 +49,22 @@ let create ~width =
 
 let width t = t.width
 
+(** An independent copy sharing the (immutable) ACL bit-vectors.  This is
+    the copy-on-write step for subject addition/removal under snapshot
+    isolation: width changes rewrite every entry in place (and removal
+    shifts subject indices), so a store mutates a copy and swaps it into
+    the live DOL, leaving snapshot holders on the old book.  Plain
+    interning needs no copy — it is append-only and never disturbs
+    existing entries. *)
+let copy t =
+  {
+    entries = Array.copy t.entries;
+    codes = Tbl.copy t.codes;
+    count = t.count;
+    width = t.width;
+    slices = make_slices t.width;
+  }
+
 (** Number of codebook entries (the paper's Fig. 5 metric). *)
 let count t = t.count
 

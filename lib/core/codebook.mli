@@ -15,6 +15,13 @@ val create : width:int -> t
 (** Number of subjects (bits per entry). *)
 val width : t -> int
 
+(** An independent copy (sharing the immutable ACL bit-vectors) — the
+    copy-on-write step for subject addition/removal under snapshot
+    isolation: mutate the copy, swap it into the live DOL, and snapshot
+    holders keep the old book.  Plain {!intern} needs no copy (it is
+    append-only). *)
+val copy : t -> t
+
 (** Number of entries — the paper's Fig. 5 metric. *)
 val count : t -> int
 

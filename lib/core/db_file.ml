@@ -27,8 +27,9 @@
               section(registry): u8 has_registry
                                  if 1: subjects + modes (see docs/FORMAT.md)
               journal:           u8 flag (0 = none)
-                                 if 1: varint payload_len, payload,
-                                       u32 CRC32C(payload), u8 0xC3
+                                 if 1: record+
+              record :=          varint payload_len, payload,
+                                 u32 CRC32C(payload), u8 0xC3
 
       section(x) := varint body_len, body, u32 CRC32C(body)
 
@@ -40,13 +41,17 @@
 
     {b Journal protocol} (write-ahead redo): an update that touches
     several label pages is made durable by appending the new page images
-    and the new DOL as a journal, sealed by the CRC and the 0xC3 commit
-    mark, to an otherwise {e unmodified} base file.  On load, a journal
-    with a valid CRC and commit mark is rolled forward (the base pages
-    are patched); anything less — flag byte with no payload, a torn
-    payload prefix, a missing commit mark — is an expected crash
-    artifact and is ignored, yielding exactly the pre-update state.
-    Recovery therefore never observes a hybrid of old and new labels.
+    and the new DOL as a journal record, sealed by the CRC and the 0xC3
+    commit mark, to an otherwise {e unmodified} base file.  The journal
+    region holds a {e sequence} of such records — group commit
+    ({!append_update}, [Dolx_core.Group_commit]) batches several updates
+    into one file write by appending one record per update.  On load,
+    records are rolled forward in order; the first record that is not
+    sealed (flag byte with no payload, a torn payload prefix, a bad CRC,
+    a missing commit mark) ends the scan and the tail is ignored — every
+    batch prefix is an expected crash artifact, yielding exactly the
+    state as of the last committed record.  Recovery therefore never
+    observes a hybrid of two updates' labels.
 
     {b Fail-secure recovery}: a page image whose checksum does not
     verify is unrecoverable label data.  By default loading fails
@@ -318,57 +323,67 @@ let parse_registry r =
   | _ -> corrupt "registry: bad flag"
 
 (* Defensive phase-1 scan of the journal region starting at the flag
-   byte.  [`Absent] covers both "flag 0" and every torn crash artifact;
-   only a CRC-valid payload sealed by the commit mark is applied. *)
+   byte.  The region holds a sequence of records (group commit appends
+   one per update); committed records — CRC-valid payloads sealed by the
+   commit mark — are returned in order.  The first record that fails to
+   seal ends the scan and the tail is ignored: every prefix of a record
+   batch is an expected crash artifact, never [Corrupt].  Interior
+   inconsistencies of a {e sealed} record still raise. *)
 let parse_journal r ~page_size =
-  if R.at_end r then `Absent (* file truncated right before the flag *)
+  if R.at_end r then [] (* file truncated right before the flag *)
   else
     match R.u8 r with
     | 0 ->
         if not (R.at_end r) then corrupt "journal: trailing garbage";
-        `Absent
-    | 1 -> (
-        let torn = `Absent in
-        match
-          (* any structural shortfall below = torn journal, not Corrupt *)
-          let payload_len =
-            match Varint.read_opt r.R.buf ~pos:r.R.pos ~limit:r.R.limit with
-            | None -> raise Exit
-            | Some (x, p) ->
-                r.R.pos <- p;
-                x
+        []
+    | 1 ->
+        (* Sealed by CRC + commit mark: interior inconsistencies are no
+           longer crash artifacts and must raise. *)
+        let parse_payload payload =
+          let j = R.make ~what:"journal" payload in
+          let new_n_pages = R.varint j in
+          let n_entries = R.varint j in
+          if new_n_pages <= 0 || n_entries < 0 then corrupt "journal: bad counts";
+          let entries =
+            List.init n_entries (fun _ ->
+                let lp = R.varint j in
+                let img = R.bytes j page_size in
+                (lp, img))
           in
-          if payload_len < 0 || r.R.pos + payload_len + 5 > r.R.limit then
-            raise Exit;
-          let payload = R.bytes r payload_len in
-          let crc = R.u32 r in
-          if Crc.digest payload <> crc then raise Exit;
-          if R.u8 r <> commit_mark then raise Exit;
-          payload
-        with
-        | exception Exit -> torn
-        | payload ->
-            if not (R.at_end r) then corrupt "journal: trailing garbage";
-            (* Sealed by CRC + commit mark: interior inconsistencies are
-               no longer crash artifacts and must raise. *)
-            let j = R.make ~what:"journal" payload in
-            let new_n_pages = R.varint j in
-            let n_entries = R.varint j in
-            if new_n_pages <= 0 || n_entries < 0 then corrupt "journal: bad counts";
-            let entries =
-              List.init n_entries (fun _ ->
-                  let lp = R.varint j in
-                  let img = R.bytes j page_size in
-                  (lp, img))
-            in
-            let dol_len = R.varint j in
-            let dol_body = R.bytes j dol_len in
-            if not (R.at_end j) then corrupt "journal: trailing garbage";
-            let dol =
-              try Persist.of_body dol_body ~limit:(Bytes.length dol_body)
-              with Persist.Corrupt m -> corrupt "journal dol: %s" m
-            in
-            `Committed (new_n_pages, entries, dol))
+          let dol_len = R.varint j in
+          let dol_body = R.bytes j dol_len in
+          if not (R.at_end j) then corrupt "journal: trailing garbage";
+          let dol =
+            try Persist.of_body dol_body ~limit:(Bytes.length dol_body)
+            with Persist.Corrupt m -> corrupt "journal dol: %s" m
+          in
+          (new_n_pages, entries, dol)
+        in
+        let rec records acc =
+          if R.at_end r then List.rev acc
+          else
+            match
+              (* any structural shortfall below = torn record, not
+                 Corrupt: stop and ignore the tail *)
+              let payload_len =
+                match Varint.read_opt r.R.buf ~pos:r.R.pos ~limit:r.R.limit with
+                | None -> raise Exit
+                | Some (x, p) ->
+                    r.R.pos <- p;
+                    x
+              in
+              if payload_len < 0 || r.R.pos + payload_len + 5 > r.R.limit then
+                raise Exit;
+              let payload = R.bytes r payload_len in
+              let crc = R.u32 r in
+              if Crc.digest payload <> crc then raise Exit;
+              if R.u8 r <> commit_mark then raise Exit;
+              payload
+            with
+            | exception Exit -> List.rev acc
+            | payload -> records (parse_payload payload :: acc)
+        in
+        records []
     | _ -> corrupt "journal: bad flag"
 
 (* Roll a committed journal forward over the base page images.  Returns
@@ -537,12 +552,15 @@ let of_bytes ?pool_capacity ?(on_bad_page = `Fail) buf =
   done;
   let texts = parse_texts (R.section r ~what:"texts") ~n_nodes:(Dol.n_nodes dol) in
   let registry = parse_registry (R.section r ~what:"registry") in
-  (* Journal before damage assessment: a committed journal may rewrite
-     the very pages whose base images are corrupt. *)
+  (* Journal before damage assessment: a committed record may rewrite
+     the very pages whose base images are corrupt.  Records are rolled
+     forward in order; replay is idempotent because each record carries
+     whole page images and the full DOL (pure redo). *)
   let images, bad, dol =
-    match parse_journal r ~page_size with
-    | `Absent -> (images, bad, dol)
-    | `Committed j -> apply_journal ~images ~bad j
+    List.fold_left
+      (fun (images, bad, _dol) j -> apply_journal ~images ~bad j)
+      (images, bad, dol)
+      (parse_journal r ~page_size)
   in
   let images, quarantine =
     if Array.exists Fun.id bad then
@@ -613,16 +631,15 @@ let of_bytes ?pool_capacity ?(on_bad_page = `Fail) buf =
     points.  The committed image is last, so
     [List.nth images (List.length images - 1)] is the update's durable
     result (see {!apply_update}). *)
-let update_images ?pool_capacity ?torn ~base f =
-  let base_len = Bytes.length base in
-  if base_len = 0 || Bytes.get_uint8 base (base_len - 1) <> 0 then
-    invalid_arg "Db_file.update_images: base image is not clean (has a journal)";
-  let store, _registry = of_bytes ?pool_capacity base in
-  f store;
+(* Flush buffered pages and drain the layout's dirty tracking into one
+   journal-record payload; [None] when no page changed (the [`Clean]
+   drain — dol-only changes are not journaled, matching the historical
+   single-record behavior). *)
+let update_payload store =
   Dolx_storage.Buffer_pool.flush_all (Secure_store.pool store);
   let layout = Secure_store.layout store in
   match Nok_layout.drain_dirty layout with
-  | `Clean -> [ base ]
+  | `Clean -> None
   | (`Pages _ | `Renumbered) as dirty ->
       let entries =
         match dirty with
@@ -641,7 +658,17 @@ let update_images ?pool_capacity ?torn ~base f =
       Persist.write_body dol_body (Secure_store.dol store);
       add_varint payload (Buffer.length dol_body);
       Buffer.add_buffer payload dol_body;
-      let payload = Buffer.to_bytes payload in
+      Some (Buffer.to_bytes payload)
+
+let update_images ?pool_capacity ?torn ~base f =
+  let base_len = Bytes.length base in
+  if base_len = 0 || Bytes.get_uint8 base (base_len - 1) <> 0 then
+    invalid_arg "Db_file.update_images: base image is not clean (has a journal)";
+  let store, _registry = of_bytes ?pool_capacity base in
+  f store;
+  match update_payload store with
+  | None -> [ base ]
+  | Some payload ->
       Metrics.incr c_journal_writes;
       Metrics.add c_journal_bytes (Bytes.length payload);
       (* stem = base minus its trailing journal flag byte *)
@@ -677,6 +704,43 @@ let apply_update ?pool_capacity ~base f =
   match registry with
   | None -> to_bytes store
   | Some (subjects, modes) -> to_bytes ~subjects ~modes store
+
+(** Append one update to [image] as a journal record, without
+    compacting: the group-commit building block.  [image] may be clean
+    (its trailing flag byte is flipped to 1 and the record appended) or
+    already journaled (the record is purely appended), so successive
+    appends chain — each result is a byte prefix of the next, and a
+    crash that tears the file anywhere inside the appended region loads
+    as the state after some {e prefix} of the batch.  Replay is
+    idempotent: records are pure redo (whole page images + full DOL).
+    Compact with {!apply_update} / {!to_bytes} when the batch is done.
+    @raise Invalid_argument when [image] is neither clean nor
+    journaled. *)
+let append_update ?pool_capacity ~image f =
+  let len = Bytes.length image in
+  if len = 0 then invalid_arg "Db_file.append_update: empty image";
+  let last = Bytes.get_uint8 image (len - 1) in
+  if last <> 0 && last <> commit_mark then
+    invalid_arg "Db_file.append_update: image is neither clean nor journaled";
+  let store, _registry = of_bytes ?pool_capacity image in
+  f store;
+  match update_payload store with
+  | None -> image
+  | Some payload ->
+      Metrics.incr c_journal_writes;
+      Metrics.add c_journal_bytes (Bytes.length payload);
+      let buf = Buffer.create (len + Bytes.length payload + 16) in
+      if last = 0 then begin
+        (* clean image: flip the journal flag, then the first record *)
+        Buffer.add_subbytes buf image 0 (len - 1);
+        Buffer.add_uint8 buf 1
+      end
+      else Buffer.add_bytes buf image;
+      add_varint buf (Bytes.length payload);
+      Buffer.add_bytes buf payload;
+      add_u32 buf (Crc.digest payload);
+      Buffer.add_uint8 buf commit_mark;
+      Buffer.to_bytes buf
 
 (** Byte extent [(offset, length)] of logical page [lp]'s image + CRC
     inside a database image — for corruption-injection tests.

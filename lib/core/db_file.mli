@@ -32,9 +32,11 @@ val to_bytes :
     [`Deny_subtree] replaces each lost run with structural filler
     carrying a deny-all code and reports the preorder ranges via
     {!Secure_store.quarantined} — data may be lost, access is never
-    gained.  A journal sealed by its CRC and commit mark is rolled
-    forward; a torn journal (crash artifact) is ignored, yielding the
-    pre-update state.
+    gained.  The journal region holds a sequence of records (group
+    commit appends one per update); records sealed by their CRC and
+    commit mark are rolled forward in order, and the first torn record
+    (crash artifact) ends the scan — the load yields the state as of the
+    last committed record.
     @raise Corrupt on malformed input — never [Invalid_argument] or an
     out-of-bounds error. *)
 val of_bytes :
@@ -60,6 +62,19 @@ val update_images :
     Registries embedded in [base] are re-embedded. *)
 val apply_update :
   ?pool_capacity:int -> base:Bytes.t -> (Secure_store.t -> unit) -> Bytes.t
+
+(** Append one update to [image] as a journal record without compacting
+    — the group-commit building block ([Dolx_core.Group_commit] batches
+    several appends into one flush).  [image] may be clean or already
+    journaled; each result is a byte prefix of the next append's result,
+    so a crash tearing the file anywhere in the appended region loads
+    (via {!of_bytes}) as the state after some prefix of the batch, and
+    replaying a record batch is idempotent (records are pure redo).
+    When [f] changed no page, returns [image] unchanged.
+    @raise Invalid_argument when [image] is neither clean nor
+    journaled. *)
+val append_update :
+  ?pool_capacity:int -> image:Bytes.t -> (Secure_store.t -> unit) -> Bytes.t
 
 (** Byte extent [(offset, length)] of logical page [lp]'s image + CRC
     inside a database image — for corruption-injection tests.

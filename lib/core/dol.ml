@@ -19,7 +19,9 @@ module Labeling = Dolx_policy.Labeling
 module Acl = Dolx_policy.Acl
 
 type t = {
-  codebook : Codebook.t;
+  mutable codebook : Codebook.t;
+  (* replaced wholesale (copy-on-write) by subject add/remove so
+     snapshot holders keep the old book *)
   mutable trans_pre : int array;  (* sorted transition-node preorders; [0] = 0 *)
   mutable trans_code : int array; (* parallel codes *)
   mutable n_nodes : int;
@@ -27,6 +29,19 @@ type t = {
 }
 
 let codebook t = t.codebook
+
+(* A shallow copy pinning the current arrays and codebook: in-place
+   updates splice fresh arrays into the live record (and subject ops
+   swap in a fresh codebook), so the copy keeps answering from the
+   captured state.  Writer-side only — reads the mutable fields. *)
+let snapshot t =
+  {
+    codebook = t.codebook;
+    trans_pre = t.trans_pre;
+    trans_code = t.trans_code;
+    n_nodes = t.n_nodes;
+    generation = t.generation;
+  }
 
 let generation t = t.generation
 

@@ -12,7 +12,9 @@
     surgery on it; treat the fields as read-only elsewhere. *)
 
 type t = {
-  codebook : Codebook.t;
+  mutable codebook : Codebook.t;
+      (** replaced wholesale (copy-on-write) by subject add/remove so
+          snapshot holders keep the old book; see {!snapshot} *)
   mutable trans_pre : int array;   (** sorted transition preorders; [.(0) = 0] *)
   mutable trans_code : int array;  (** parallel codes *)
   mutable n_nodes : int;
@@ -20,6 +22,14 @@ type t = {
 }
 
 val codebook : t -> Codebook.t
+
+(** A shallow copy pinning the current arrays and codebook.  In-place
+    updates replace the live record's arrays wholesale (and subject
+    add/remove swaps in a fresh codebook), so the snapshot keeps
+    answering from the state it captured — this is what a
+    [Secure_store] publishes to reader handles at each epoch.  Only the
+    updating thread may take one (it reads the mutable fields). *)
+val snapshot : t -> t
 
 (** Mutation stamp.  {!Update} bumps it whenever the transition list or
     the subject population changes; derived structures ({!Access_runs},

@@ -1,0 +1,250 @@
+(** Group commit: batch concurrent durable updates into shared flushes.
+
+    Per-update durability ({!Db_file.apply_update}) pays one journal
+    write {e and} one flush (the fsync equivalent of the simulated
+    storage) per update.  This module keeps the current database image
+    in memory and lets any number of domains submit update closures;
+    a leader drains the queue, applies up to [max_batch] updates as
+    journal records appended to the image ({!Db_file.append_update}),
+    and makes the whole batch durable with a {e single} flush before
+    waking the submitters.  Crash safety is inherited from the record
+    format: a torn batch loads as the state after some prefix of the
+    committed records, and replay is idempotent (records are pure redo).
+
+    The wait is bounded: a leader never drains more than [max_batch]
+    requests, so a submitter waits for at most one in-flight batch plus
+    its own; with the queue saturated, each flush amortizes over
+    [max_batch] updates.
+
+    The flush itself is modeled, as all storage costs in this repository
+    are: it is counted (metrics [commit.flushes], {!stats}) and priced
+    at [flush_cost_us] microseconds, so benchmarks can report modeled
+    durable throughput without depending on host fsync behavior. *)
+
+module Metrics = Dolx_obs.Metrics
+
+let c_batches = Metrics.counter "commit.batches"
+
+let c_records = Metrics.counter "commit.records"
+
+let c_flushes = Metrics.counter "commit.flushes"
+
+type stats = {
+  batches : int;  (** leader drains (one flush each) *)
+  records : int;  (** updates committed through batches *)
+  flushes : int;  (** modeled flushes (= batches + checkpoints) *)
+  modeled_flush_us : int;  (** flushes × flush_cost_us *)
+}
+
+type t = {
+  m : Mutex.t;
+  cond : Condition.t;
+  pool_capacity : int option;
+  max_batch : int;
+  flush_cost_us : int;
+  mutable image : Bytes.t; (* current durable image (journaled or clean) *)
+  mutable next_ticket : int;
+  mutable durable : int; (* tickets < durable are flushed *)
+  mutable leader : bool; (* a leader is applying a batch / checkpoint *)
+  mutable queue : (int * (Secure_store.t -> unit)) list; (* oldest first *)
+  failed : (int, exn) Hashtbl.t; (* accessed under [m] only *)
+  mutable batches : int;
+  mutable records : int;
+  mutable flushes : int;
+}
+
+let create ?pool_capacity ?(max_batch = 8) ?(flush_cost_us = 5_000) image =
+  if max_batch < 1 then invalid_arg "Group_commit.create: max_batch < 1";
+  if Bytes.length image = 0 then
+    invalid_arg "Group_commit.create: empty image";
+  {
+    m = Mutex.create ();
+    cond = Condition.create ();
+    pool_capacity;
+    max_batch;
+    flush_cost_us;
+    image;
+    next_ticket = 0;
+    durable = 0;
+    leader = false;
+    queue = [];
+    failed = Hashtbl.create 8;
+    batches = 0;
+    records = 0;
+    flushes = 0;
+  }
+
+let max_batch t = t.max_batch
+
+let split_at k xs =
+  let rec go k acc = function
+    | x :: rest when k > 0 -> go (k - 1) (x :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  go k [] xs
+
+(* Leader work, outside the lock: append each update of [batch] to
+   [img] as a journal record.  An update that raises commits nothing
+   (its record is never appended) and is reported to its submitter; the
+   rest of the batch proceeds on the unchanged image. *)
+let apply_batch t img batch =
+  List.fold_left
+    (fun (img, failures) (ticket, f) ->
+      match Db_file.append_update ?pool_capacity:t.pool_capacity ~image:img f with
+      | img' -> (img', failures)
+      | exception e -> (img, (ticket, e) :: failures))
+    (img, []) batch
+
+(* Under [t.m]: record one finished batch and wake everyone. *)
+let finish_batch t img n failures =
+  t.image <- img;
+  List.iter (fun (ticket, e) -> Hashtbl.replace t.failed ticket e) failures;
+  t.batches <- t.batches + 1;
+  t.records <- t.records + n;
+  t.flushes <- t.flushes + 1;
+  Metrics.incr c_batches;
+  Metrics.add c_records n;
+  Metrics.incr c_flushes;
+  t.leader <- false;
+  Condition.broadcast t.cond
+
+(** Submit one durable update and wait until it (and every update
+    batched with it) is flushed.  The first waiter becomes the batch
+    leader; later waiters piggyback on its flush.  Re-raises [f]'s
+    exception in the submitting domain; the image then excludes [f]'s
+    record but keeps the rest of its batch. *)
+let submit t f =
+  Mutex.lock t.m;
+  let ticket = t.next_ticket in
+  t.next_ticket <- ticket + 1;
+  t.queue <- t.queue @ [ (ticket, f) ];
+  let rec wait () =
+    if t.durable > ticket then begin
+      let r = Hashtbl.find_opt t.failed ticket in
+      Hashtbl.remove t.failed ticket;
+      Mutex.unlock t.m;
+      match r with Some e -> raise e | None -> ()
+    end
+    else if t.leader then begin
+      Condition.wait t.cond t.m;
+      wait ()
+    end
+    else begin
+      t.leader <- true;
+      let batch, rest = split_at t.max_batch t.queue in
+      t.queue <- rest;
+      let img = t.image in
+      Mutex.unlock t.m;
+      let img, failures =
+        match apply_batch t img batch with
+        | r -> r
+        | exception e ->
+            (* append_update only raises through [f]; anything else is a
+               bug, but never leave the leader flag stuck. *)
+            Mutex.lock t.m;
+            t.leader <- false;
+            Condition.broadcast t.cond;
+            Mutex.unlock t.m;
+            raise e
+      in
+      Mutex.lock t.m;
+      (match List.rev batch with
+      | (last, _) :: _ -> t.durable <- last + 1
+      | [] -> ());
+      finish_batch t img (List.length batch) failures;
+      wait ()
+    end
+  in
+  wait ()
+
+(** Deterministic batching for a single caller: apply [fs] in order,
+    flushing once per [max_batch] chunk — exactly
+    [ceil (length fs / max_batch)] flushes.  Must not race with other
+    submitters of the same [t] (it serializes on the leader flag, but
+    interleaving would make the chunking nondeterministic).  Re-raises
+    the first failing update's exception after its chunk is flushed. *)
+let submit_batch t fs =
+  let rec chunks acc = function
+    | [] -> List.rev acc
+    | fs ->
+        let b, rest = split_at t.max_batch fs in
+        chunks (b :: acc) rest
+  in
+  let first_failure = ref None in
+  List.iter
+    (fun batch ->
+      Mutex.lock t.m;
+      while t.leader do
+        Condition.wait t.cond t.m
+      done;
+      t.leader <- true;
+      let img = t.image in
+      Mutex.unlock t.m;
+      let tagged = List.map (fun f -> (-1, f)) batch in
+      let img, failures = apply_batch t img tagged in
+      Mutex.lock t.m;
+      finish_batch t img (List.length batch) [];
+      Mutex.unlock t.m;
+      match (!first_failure, List.rev failures) with
+      | None, (_, e) :: _ -> first_failure := Some e
+      | _ -> ())
+    (chunks [] fs);
+  match !first_failure with Some e -> raise e | None -> ()
+
+(** The current durable image (journaled between checkpoints). *)
+let image t =
+  Mutex.lock t.m;
+  let img = t.image in
+  Mutex.unlock t.m;
+  img
+
+(** Compact the journaled image to a clean one (journal rolled forward,
+    registries re-embedded), install it and return it.  Costs one
+    modeled flush.  Serializes with in-flight batches. *)
+let checkpoint t =
+  Mutex.lock t.m;
+  while t.leader do
+    Condition.wait t.cond t.m
+  done;
+  t.leader <- true;
+  let img = t.image in
+  Mutex.unlock t.m;
+  let clean =
+    match
+      (match Db_file.of_bytes ?pool_capacity:t.pool_capacity img with
+      | store, None -> Db_file.to_bytes store
+      | store, Some (subjects, modes) -> Db_file.to_bytes ~subjects ~modes store)
+    with
+    | clean -> clean
+    | exception e ->
+        Mutex.lock t.m;
+        t.leader <- false;
+        Condition.broadcast t.cond;
+        Mutex.unlock t.m;
+        raise e
+  in
+  Mutex.lock t.m;
+  t.image <- clean;
+  t.flushes <- t.flushes + 1;
+  Metrics.incr c_flushes;
+  t.leader <- false;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.m;
+  clean
+
+let stats t =
+  Mutex.lock t.m;
+  let s =
+    {
+      batches = t.batches;
+      records = t.records;
+      flushes = t.flushes;
+      modeled_flush_us = t.flushes * t.flush_cost_us;
+    }
+  in
+  Mutex.unlock t.m;
+  s
+
+let pp_stats ppf (s : stats) =
+  Fmt.pf ppf "batches=%d records=%d flushes=%d modeled_flush_us=%d" s.batches
+    s.records s.flushes s.modeled_flush_us

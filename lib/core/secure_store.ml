@@ -11,6 +11,7 @@ module Tree = Dolx_xml.Tree
 module Nok_layout = Dolx_storage.Nok_layout
 module Buffer_pool = Dolx_storage.Buffer_pool
 module Disk = Dolx_storage.Disk
+module Epoch = Dolx_storage.Epoch
 module Metrics = Dolx_obs.Metrics
 
 let c_access_checks = Metrics.counter "store.access_checks"
@@ -31,6 +32,27 @@ let planted_bug =
     (match Sys.getenv_opt "DOLX_FUZZ_PLANT_BUG" with
     | Some ("access" | "1") -> true
     | _ -> false)
+
+(* Second planted fault site, for the MVCC linearizability checks: when
+   armed, {!reader} skips epoch pinning and hands out the LIVE dol /
+   layout / un-pinned pool, so a reader overlapping an update observes a
+   half-applied splice.  Armed by DOLX_FUZZ_PLANT_BUG=stale(-snapshot). *)
+let planted_stale =
+  ref
+    (match Sys.getenv_opt "DOLX_FUZZ_PLANT_BUG" with
+    | Some ("stale" | "stale-snapshot") -> true
+    | _ -> false)
+
+(* What a writer publishes at the end of each update window: the epoch
+   the state became current at, plus immutable snapshots of the DOL and
+   the page-table view.  Readers pair this with an epoch-pinned buffer
+   pool (page images from the disk's version chains) for a fully
+   consistent image. *)
+type pub = {
+  p_epoch : int;
+  p_dol : Dol.t; (* shallow snapshot: arrays never mutated in place *)
+  p_layout : Nok_layout.t; (* frozen *)
+}
 
 type t = {
   tree : Tree.t;
@@ -56,6 +78,13 @@ type t = {
      to a quarantined node is denied for every subject — recovery must
      never fail open. *)
   quarantine : (int * int) array;
+  (* MVCC shared state (one per store family, shared by all handles):
+     the snapshot the writer last published, and the writer lock
+     serializing update windows.  [epoch_pin] is per-handle: [Some e]
+     marks an epoch-pinned reader handle. *)
+  published : pub Atomic.t;
+  write_m : Mutex.t;
+  mutable epoch_pin : int option;
 }
 
 let create ?(page_size = 4096) ?(pool_capacity = 64) ?(fill = 0.9)
@@ -75,7 +104,16 @@ let create ?(page_size = 4096) ?(pool_capacity = 64) ?(fill = 0.9)
     run_cursor = Access_runs.cursor ();
     access_checks = 0;
     header_skips = 0; codebook_lookups = 0; run_answers = 0;
-    quarantine = [||] }
+    quarantine = [||];
+    published =
+      Atomic.make
+        {
+          p_epoch = Epoch.current (Disk.epoch disk);
+          p_dol = Dol.snapshot dol;
+          p_layout = Nok_layout.freeze layout;
+        };
+    write_m = Mutex.create ();
+    epoch_pin = None }
 
 (** Assemble a store from pre-built parts (database-file loading): the
     layout must already live on [disk].  [quarantine] lists preorder
@@ -102,7 +140,16 @@ let assemble ?(pool_capacity = 64) ?(quarantine = []) ?(run_index = true)
     run_cursor = Access_runs.cursor ();
     access_checks = 0;
     header_skips = 0; codebook_lookups = 0; run_answers = 0;
-    quarantine = quarantine_a }
+    quarantine = quarantine_a;
+    published =
+      Atomic.make
+        {
+          p_epoch = Epoch.current (Disk.epoch disk);
+          p_dol = Dol.snapshot dol;
+          p_layout = Nok_layout.freeze layout;
+        };
+    write_m = Mutex.create ();
+    epoch_pin = None }
 
 (** A read-only evaluation handle over the same store: shares the
     immutable parts (tree, DOL, layout, disk, quarantine) but owns a
@@ -115,17 +162,112 @@ let reader ?pool_capacity t =
   let pool_capacity =
     match pool_capacity with Some c -> c | None -> t.pool_capacity
   in
-  {
-    t with
-    pool = Buffer_pool.create ~capacity:pool_capacity t.disk;
-    cursor = Nok_layout.cursor t.layout;
-    run_cursor = Access_runs.cursor ();
-    pool_capacity;
-    access_checks = 0;
-    header_skips = 0;
-    codebook_lookups = 0;
-    run_answers = 0;
-  }
+  if !planted_stale then
+    (* Planted MVCC bug: hand out the LIVE dol / layout and an un-pinned
+       pool, so this "reader" observes in-flight updates — the
+       linearizability fuzz must catch it. *)
+    {
+      t with
+      pool = Buffer_pool.create ~capacity:pool_capacity t.disk;
+      cursor = Nok_layout.cursor t.layout;
+      run_cursor = Access_runs.cursor ();
+      pool_capacity;
+      access_checks = 0;
+      header_skips = 0;
+      codebook_lookups = 0;
+      run_answers = 0;
+      epoch_pin = None;
+    }
+  else begin
+    (* Pin-then-validate: pin the current epoch, then check that the
+       published snapshot is the one current at that epoch.  The writer
+       publishes the new snapshot BEFORE advancing the epoch, so a
+       mismatch only happens in that short window — retry. *)
+    let ep = Disk.epoch t.disk in
+    let rec pin () =
+      let e = Epoch.pin ep in
+      let s = Atomic.get t.published in
+      if s.p_epoch = e then (e, s)
+      else begin
+        Epoch.unpin ep e;
+        Domain.cpu_relax ();
+        pin ()
+      end
+    in
+    let e, s = pin () in
+    {
+      t with
+      dol = s.p_dol;
+      layout = s.p_layout;
+      pool = Buffer_pool.create ~capacity:pool_capacity ~epoch:e t.disk;
+      cursor = Nok_layout.cursor s.p_layout;
+      run_cursor = Access_runs.cursor ();
+      pool_capacity;
+      access_checks = 0;
+      header_skips = 0;
+      codebook_lookups = 0;
+      run_answers = 0;
+      epoch_pin = Some e;
+    }
+  end
+
+(** Release a reader's epoch pin (idempotent; no-op on non-pinned
+    handles).  Retirement of page versions nobody can see anymore
+    piggybacks on release, so long-running stores do not accumulate
+    superseded images. *)
+let release t =
+  match t.epoch_pin with
+  | None -> ()
+  | Some e ->
+      t.epoch_pin <- None;
+      Epoch.unpin (Disk.epoch t.disk) e;
+      ignore (Disk.retire t.disk)
+
+(** Epoch this handle reads at: the pinned epoch for a reader, the
+    current epoch for the live store. *)
+let snapshot_epoch t =
+  match t.epoch_pin with
+  | Some e -> e
+  | None -> Epoch.current (Disk.epoch t.disk)
+
+let with_reader ?pool_capacity t f =
+  let r = reader ?pool_capacity t in
+  Fun.protect ~finally:(fun () -> release r) (fun () -> f r)
+
+(* Publish the live state as the next epoch's snapshot.  Order matters:
+   set the new [pub] (stamped current+1) first, THEN advance the clock —
+   readers pin-then-validate, so they only ever pair epoch [e] with the
+   snapshot published for [e]. *)
+let publish t =
+  let ep = Disk.epoch t.disk in
+  Atomic.set t.published
+    {
+      p_epoch = Epoch.current ep + 1;
+      p_dol = Dol.snapshot t.dol;
+      p_layout = Nok_layout.freeze t.layout;
+    };
+  ignore (Epoch.advance ep);
+  ignore (Disk.retire t.disk)
+
+(** Run [f] as one update window: takes the writer lock, runs [f] on the
+    live store, and on success publishes the result as a new epoch so
+    subsequent readers see it (readers pinned before the window keep
+    their snapshot).  On exception the epoch is NOT advanced — pages
+    already written have their pre-images saved in the disk's version
+    chains, so pinned readers are still consistent, and the next
+    successful window supersedes the partial state.
+    @raise Invalid_argument when called on a reader handle. *)
+let with_write t f =
+  (match t.epoch_pin with
+  | Some _ -> invalid_arg "Secure_store.with_write: reader handle"
+  | None -> ());
+  Mutex.lock t.write_m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.write_m)
+    (fun () ->
+      let r = f t in
+      publish t;
+      r)
 
 let quarantined t = Array.to_list t.quarantine
 
@@ -236,7 +378,7 @@ let grants (t : t) code subject =
 let run_verdict (t : t) ~subject v =
   t.run_answers <- t.run_answers + 1;
   Metrics.incr c_run_answers;
-  Access_runs.accessible t.runs t.run_cursor ~subject v
+  Access_runs.accessible t.runs t.run_cursor ~dol:t.dol ~subject v
 
 let accessible (t : t) ~subject v =
   t.access_checks <- t.access_checks + 1;
@@ -295,7 +437,11 @@ let accessible_with_skip (t : t) ~subject v =
 let next_accessible t ~subject v =
   if not t.use_runs then v
   else
-    match Access_runs.next_accessible (Access_runs.runs t.runs ~subject) v with
+    match
+      Access_runs.next_accessible
+        (Access_runs.runs_for t.runs ~dol:t.dol ~subject)
+        v
+    with
     | Some u -> u
     | None -> Dol.n_nodes t.dol
 
@@ -303,20 +449,24 @@ let next_accessible t ~subject v =
     intersection with the accessible runs); identity when off. *)
 let intersect_accessible t ~subject vs =
   if not t.use_runs then vs
-  else Access_runs.intersect (Access_runs.runs t.runs ~subject) vs
+  else Access_runs.intersect (Access_runs.runs_for t.runs ~dol:t.dol ~subject) vs
 
 (** Is every node in [\[lo, hi\]] provably accessible (single-run
     containment)?  [false] means "unknown" when the index is off. *)
 let span_provably_accessible t ~subject ~lo ~hi =
   lo > hi
   || (t.use_runs
-     && Access_runs.span_inside (Access_runs.runs t.runs ~subject) ~lo ~hi)
+     && Access_runs.span_inside
+          (Access_runs.runs_for t.runs ~dol:t.dol ~subject)
+          ~lo ~hi)
 
 (** Accessible fraction for [subject] (cost-model input); 1.0 when the
     index is off, i.e. assume nothing can be pruned. *)
 let accessible_fraction t ~subject =
   if not t.use_runs then 1.0
-  else Access_runs.accessible_fraction (Access_runs.runs t.runs ~subject)
+  else
+    Access_runs.accessible_fraction
+      (Access_runs.runs_for t.runs ~dol:t.dol ~subject)
 
 (** {1 Structural reorganization}
 

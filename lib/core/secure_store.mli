@@ -30,14 +30,36 @@ val assemble :
   tree:Tree.t -> dol:Dol.t -> disk:Dolx_storage.Disk.t ->
   layout:Dolx_storage.Nok_layout.t -> unit -> t
 
-(** A read-only evaluation handle over the same store: shares the tree,
-    DOL, layout, disk and quarantine with [t] but owns a private buffer
-    pool, scan cursor and statistics.  Handles may evaluate queries
-    concurrently from separate domains while no mutation ({!Update},
-    {!rebuild}, DB-file rewrites) is running — the disk serializes
-    physical page I/O internally.  [pool_capacity] defaults to the
-    parent's. *)
+(** A read-only evaluation handle pinned to the store's current epoch:
+    it captures the last-published DOL / layout snapshot and an
+    epoch-pinned buffer pool, so it sees an immutable image of the store
+    even while {!with_write} windows (splices, subject changes,
+    quarantine transitions) run concurrently.  Handles may evaluate
+    queries from separate domains — the disk serializes physical page
+    I/O internally.  [pool_capacity] defaults to the parent's.
+    Call {!release} (or use {!with_reader}) when done so superseded page
+    versions can be retired. *)
 val reader : ?pool_capacity:int -> t -> t
+
+(** Release a reader's epoch pin.  Idempotent; no-op on the live store
+    handle.  The reader must not be used afterwards. *)
+val release : t -> unit
+
+(** [with_reader t f] = [f (reader t)] with a guaranteed {!release}. *)
+val with_reader : ?pool_capacity:int -> t -> (t -> 'a) -> 'a
+
+(** Epoch this handle reads at: the pinned epoch for a reader, the
+    current epoch of the store's clock otherwise. *)
+val snapshot_epoch : t -> int
+
+(** [with_write t f] runs [f t] as one serialized update window and, on
+    success, publishes the resulting state as a new epoch: readers
+    created afterwards see all of [f]'s effects, readers pinned before
+    keep their snapshot.  On exception nothing is published (the next
+    successful window supersedes the partial state; pinned readers stay
+    consistent via the disk's page-version chains).
+    @raise Invalid_argument on a reader handle. *)
+val with_write : t -> (t -> 'a) -> 'a
 
 (** The quarantined preorder ranges (sorted, inclusive); empty for stores
     built or rebuilt from source. *)
@@ -77,6 +99,13 @@ val set_run_index : t -> bool -> unit
     label.  Armed at startup by [DOLX_FUZZ_PLANT_BUG=access] (or [=1]);
     tests may toggle the ref directly.  Never set on production paths. *)
 val planted_bug : bool ref
+
+(** Second planted fault site, for the MVCC linearizability checks: when
+    armed, {!reader} skips epoch pinning and hands out the live store
+    structures, so a reader overlapping an update can observe a
+    half-applied splice.  Armed by [DOLX_FUZZ_PLANT_BUG=stale] (or
+    [=stale-snapshot]); tests may toggle the ref directly. *)
+val planted_stale : bool ref
 
 (** {1 Statistics} *)
 

@@ -298,21 +298,60 @@ let refresh_pages (store : Secure_store.t) ~lo ~hi =
 
 (** Single-node accessibility update on a secured store: logical DOL
     change + page write-back ("the cost for update a specific node is a
-    page read followed by a page write", §3.4). *)
+    page read followed by a page write", §3.4).  Runs as one
+    {!Secure_store.with_write} window: readers pinned before it keep the
+    pre-image, readers created after it see the whole update. *)
 let set_node_accessibility store ~subject ~grant v =
-  Metrics.incr c_node_updates;
-  let changed = dol_set_node (Secure_store.dol store) ~subject ~grant v in
-  if changed then refresh_pages store ~lo:v ~hi:(v + 1);
-  changed
+  Secure_store.with_write store (fun store ->
+      Metrics.incr c_node_updates;
+      let changed = dol_set_node (Secure_store.dol store) ~subject ~grant v in
+      if changed then refresh_pages store ~lo:v ~hi:(v + 1);
+      changed)
 
-(** Subtree accessibility update on a secured store (~N/B page I/Os). *)
+(** Subtree accessibility update on a secured store (~N/B page I/Os);
+    one update window like {!set_node_accessibility}. *)
 let set_subtree_accessibility store ~subject ~grant v =
-  Metrics.incr c_subtree_updates;
-  let tree = Secure_store.tree store in
-  let dol = Secure_store.dol store in
-  let hi = Tree.subtree_end tree v in
-  dol_set_range dol ~subject ~grant ~lo:v ~hi;
-  refresh_pages store ~lo:v ~hi
+  Secure_store.with_write store (fun store ->
+      Metrics.incr c_subtree_updates;
+      let tree = Secure_store.tree store in
+      let dol = Secure_store.dol store in
+      let hi = Tree.subtree_end tree v in
+      dol_set_range dol ~subject ~grant ~lo:v ~hi;
+      refresh_pages store ~lo:v ~hi)
+
+(** {1 Store-level subject updates}
+
+    The dol-level {!add_subject} / {!remove_subject} mutate the codebook
+    in place, which is unsafe once snapshot readers share it.  The
+    store-level variants copy-on-write the codebook (entries are shared;
+    the column surgery happens on the copy), swap it into the live DOL
+    and publish a new epoch — pinned readers keep the old book. *)
+
+let store_add_subject store ?like () =
+  Secure_store.with_write store (fun store ->
+      let dol = Secure_store.dol store in
+      let cb = Codebook.copy (Dol.codebook dol) in
+      let s = Codebook.add_subject cb ?like () in
+      dol.Dol.codebook <- cb;
+      Dol.bump_generation dol;
+      s)
+
+let store_remove_subject store subject =
+  Secure_store.with_write store (fun store ->
+      let dol = Secure_store.dol store in
+      let cb = Codebook.copy (Dol.codebook dol) in
+      Codebook.remove_subject cb subject;
+      dol.Dol.codebook <- cb;
+      Dol.bump_generation dol)
+
+(** Store-level {!compact}: the lazy correction pass as one update
+    window, with the affected pages re-emitted. *)
+let store_compact store =
+  Secure_store.with_write store (fun store ->
+      let dol = Secure_store.dol store in
+      compact dol;
+      let n = Dol.n_nodes dol in
+      if n > 0 then refresh_pages store ~lo:0 ~hi:(n - 1))
 
 (** Patch a DOL in place so that it matches [labeling] over the given
     preorder [runs] — the DOL side of incremental accessibility-map

@@ -66,13 +66,35 @@ val compact : Dol.t -> unit
 val refresh_pages : Secure_store.t -> lo:int -> hi:int -> unit
 
 (** Single-node accessibility update on a secured store: logical change
-    plus page write-back ("a page read followed by a page write"). *)
+    plus page write-back ("a page read followed by a page write").  Runs
+    as one {!Secure_store.with_write} window — readers pinned before it
+    keep the pre-image, readers created after see the whole update. *)
 val set_node_accessibility :
   Secure_store.t -> subject:int -> grant:bool -> Tree.node -> bool
 
-(** Subtree accessibility update on a secured store (~N/B page I/Os). *)
+(** Subtree accessibility update on a secured store (~N/B page I/Os);
+    one update window like {!set_node_accessibility}. *)
 val set_subtree_accessibility :
   Secure_store.t -> subject:int -> grant:bool -> Tree.node -> unit
+
+(** {1 Store-level subject updates}
+
+    The dol-level {!add_subject} / {!remove_subject} mutate the codebook
+    in place — unsafe once snapshot readers share it.  These variants
+    copy-on-write the codebook and publish a new epoch, so pinned
+    readers keep the old book. *)
+
+(** {!add_subject} on a store, as one update window with a codebook
+    copy-on-write.  Returns the new subject's index. *)
+val store_add_subject : Secure_store.t -> ?like:int -> unit -> int
+
+(** {!remove_subject} on a store, as one update window with a codebook
+    copy-on-write. *)
+val store_remove_subject : Secure_store.t -> int -> unit
+
+(** {!compact} on a store, as one update window with the affected pages
+    re-emitted. *)
+val store_compact : Secure_store.t -> unit
 
 (** Patch a DOL so it matches [labeling] over the given preorder runs —
     the DOL side of incremental accessibility-map maintenance (see

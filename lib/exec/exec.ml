@@ -20,8 +20,12 @@
     Both are byte-identical to sequential {!Engine.run} on the same
     inputs: chunks are merged with the same sort-and-dedup the engine
     applies, and results are collected by index, never by completion
-    order.  Mutation (updates, rebuilds) must be quiescent while a pool
-    evaluates — the same contract as {!Secure_store.reader}. *)
+    order.  Reader handles are epoch-pinned snapshots taken when the
+    executor is created, so concurrent {!Secure_store.with_write}
+    windows (updates) may overlap evaluation — the executor keeps
+    answering from the state it was created at.  {!shutdown} (or
+    {!with_executor}) releases the pins so superseded page versions can
+    be retired. *)
 
 module Store = Dolx_core.Secure_store
 module Disk = Dolx_storage.Disk
@@ -163,7 +167,26 @@ let jobs t = t.pool.jobs
 
 let readers t = Array.to_list t.readers
 
-let shutdown t = shutdown_pool t.pool
+(* Idempotent: joins the worker domains, then releases every reader's
+   epoch pin (itself idempotent) so page versions can be retired.  Safe
+   to call from a [Fun.protect] finalizer after a mid-query exception —
+   workers drain to the stop flag and join rather than leak. *)
+let shutdown t =
+  shutdown_pool t.pool;
+  Mutex.lock t.pool.m;
+  t.pool.stop <- true;
+  Mutex.unlock t.pool.m;
+  Array.iter Store.release t.readers
+
+let is_shutdown t =
+  Mutex.lock t.pool.m;
+  let s = t.pool.stop in
+  Mutex.unlock t.pool.m;
+  s
+
+(** Worker domains still alive (0 after {!shutdown} — teardown
+    regression tests assert on this). *)
+let live_domains t = Array.length t.pool.domains
 
 let with_executor ?options ?value_index ?pool_capacity ?jobs store index f =
   let t = create ?options ?value_index ?pool_capacity ?jobs store index in

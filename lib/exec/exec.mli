@@ -11,8 +11,10 @@
     Results are byte-identical to sequential {!Engine.run} on the same
     inputs: batch results are collected in submission order, and
     intra-query candidate chunks are merged with the engine's own
-    sort-and-dedup.  Store mutation (updates, rebuilds, DB-file
-    rewrites) must be quiescent while the pool evaluates. *)
+    sort-and-dedup.  The reader handles are epoch-pinned snapshots taken
+    at {!create}, so store updates ({!Dolx_core.Secure_store.with_write}
+    windows) may run concurrently with evaluation — the executor keeps
+    answering from its creation-time state until shut down. *)
 
 module Store = Dolx_core.Secure_store
 module Engine = Dolx_nok.Engine
@@ -34,9 +36,19 @@ val jobs : t -> int
 (** The per-slot reader handles (for statistics inspection). *)
 val readers : t -> Store.t list
 
-(** Join the worker domains.  The executor must not be used afterwards.
-    Safe to call twice; a no-op when [jobs = 1]. *)
+(** Join the worker domains and release every reader's epoch pin (so
+    superseded page versions can be retired).  The executor must not be
+    used afterwards.  Idempotent; with [jobs = 1] there are no domains
+    but the pins are still released. *)
 val shutdown : t -> unit
+
+(** Has {!shutdown} run? *)
+val is_shutdown : t -> bool
+
+(** Worker domains still alive: [jobs] while running (0 for [jobs = 1],
+    which spawns none), 0 after {!shutdown} — teardown regression tests
+    assert on this. *)
+val live_domains : t -> int
 
 (** Bracket {!create} / {!shutdown} around [f]; the worker domains are
     joined even when [f] raises. *)

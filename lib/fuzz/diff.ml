@@ -6,6 +6,7 @@ module Dol = Dolx_core.Dol
 module Store = Dolx_core.Secure_store
 module Update = Dolx_core.Update
 module Db_file = Dolx_core.Db_file
+module Group_commit = Dolx_core.Group_commit
 module Disk = Dolx_storage.Disk
 module Tag_index = Dolx_index.Tag_index
 module Engine = Dolx_nok.Engine
@@ -191,8 +192,52 @@ let apply_access st i upd =
         Oracle.set_range st.oracle ~subject:s ~grant:g ~lo:v ~hi:(Tree.subtree_end st.tree v)
   in
   if not st.cfg.recovery then begin
-    stack_update st.store;
-    oracle_update ()
+    (* MVCC snapshot isolation: a reader pinned before the update keeps
+       the pre-update matrix; a reader opened after sees exactly the
+       post-update matrix.  Probed on the touched range plus a few
+       strided points so a stale or mixed snapshot is caught on the spot
+       (this is the deterministic companion to [check_linearizable]). *)
+    let n = Tree.size st.tree and w = Oracle.width st.oracle in
+    let v0, v1 =
+      match upd with
+      | `Node (_, _, v) -> (v, v)
+      | `Subtree (_, _, v) -> (v, Tree.subtree_end st.tree v)
+    in
+    let probes =
+      List.sort_uniq compare
+        (List.filter
+           (fun v -> v >= 0 && v < n)
+           [ 0; n - 1; v0 - 1; v0; (v0 + v1) / 2; v1; v1 + 1; n / 3 ])
+    in
+    let pre = Oracle.snapshot st.oracle in
+    let pinned = Store.reader st.store in
+    Fun.protect
+      ~finally:(fun () -> Store.release pinned)
+      (fun () ->
+        stack_update st.store;
+        oracle_update ();
+        List.iter
+          (fun v ->
+            for s = 0 to w - 1 do
+              let got = Store.accessible pinned ~subject:s v in
+              if got <> pre.(s).(v) then
+                failf tag
+                  "mvcc-stale: pinned reader s=%d v=%d saw %b, pre-update %b" s
+                  v got pre.(s).(v)
+            done)
+          probes;
+        Store.with_reader st.store (fun fresh ->
+            List.iter
+              (fun v ->
+                for s = 0 to w - 1 do
+                  let want = Oracle.accessible st.oracle ~subject:s v in
+                  if Store.accessible fresh ~subject:s v <> want then
+                    failf tag
+                      "mvcc-fresh: post-update reader s=%d v=%d saw %b, \
+                       oracle %b"
+                      s v (not want) want
+                done)
+              probes))
   end
   else begin
     let w = Oracle.width st.oracle in
@@ -219,6 +264,217 @@ let apply_access st i upd =
     install_faults st;
     st.index <- Tag_index.build st.tree
   end
+
+(* --- linearizability under genuinely concurrent updates (jobs > 1) ---
+
+   One writer (the calling domain) applies [k] accessibility updates,
+   bumping an atomic schedule counter after each publish; reader domains
+   repeatedly open an epoch-pinned reader and probe a fixed sample of
+   (subject, node) points plus one query.  Every reader iteration must
+   observe exactly one oracle state S_j with j in [lo, hi+1], where lo
+   and hi are the counter before and after the probe window (the +1
+   because the writer publishes before bumping the counter).  A torn
+   snapshot — runs from two policy states, or a page at the wrong
+   version — matches no single S_j and fails here. *)
+let check_linearizable st ~seed tag =
+  let n = Tree.size st.tree and w = Oracle.width st.oracle in
+  let prng = Prng.create seed in
+  let k = 4 in
+  let apply_to oracle (s, v, grant, subtree) =
+    if subtree then
+      Oracle.set_range oracle ~subject:s ~grant ~lo:v
+        ~hi:(Tree.subtree_end st.tree v)
+    else Oracle.set_node oracle ~subject:s ~grant v
+  in
+  let scratch = Oracle.create (Oracle.snapshot st.oracle) in
+  let states = Array.make (k + 1) (Oracle.snapshot scratch) in
+  let upds =
+    List.init k (fun j ->
+        let s = Prng.int prng w and v = Prng.int prng n in
+        let subtree = Prng.bool prng ~p:0.3 in
+        (* flip the node's current bit, so every update is a real change
+           and every consecutive pair of states is distinguishable at a
+           probed point *)
+        let u = (s, v, not (Oracle.accessible scratch ~subject:s v), subtree) in
+        apply_to scratch u;
+        states.(j + 1) <- Oracle.snapshot scratch;
+        u)
+  in
+  let probes =
+    let stride = max 1 (n / 8) in
+    let rec pts v = if v >= n then [ n - 1 ] else v :: pts (v + stride) in
+    List.sort_uniq compare (pts 0 @ List.map (fun (_, v, _, _) -> v) upds)
+  in
+  let query =
+    match st.case.Gen.queries with q :: _ -> Some q.Gen.pat | [] -> None
+  in
+  let counter = Atomic.make 0 in
+  let failures = Atomic.make [] in
+  let record f =
+    let rec add () =
+      let old = Atomic.get failures in
+      if not (Atomic.compare_and_set failures old (f :: old)) then add ()
+    in
+    add ()
+  in
+  let reader () =
+    let iter = ref 0 in
+    let continue = ref true in
+    while !continue do
+      incr iter;
+      let lo = Atomic.get counter in
+      let obs, qans =
+        Store.with_reader st.store (fun r ->
+            let obs =
+              List.map
+                (fun v -> List.init w (fun s -> Store.accessible r ~subject:s v))
+                probes
+            in
+            let qans =
+              Option.map
+                (fun pat ->
+                  (Engine.run r st.index pat (Engine.Secure 0)).Engine.answers)
+                query
+            in
+            (obs, qans))
+      in
+      let hi = min (Atomic.get counter + 1) k in
+      let matches j =
+        let m = states.(j) in
+        List.for_all2
+          (fun v row -> List.for_all2 (fun s b -> m.(s).(v) = b) (List.init w Fun.id) row)
+          probes obs
+        &&
+        match (query, qans) with
+        | Some pat, Some ans ->
+            ans = Oracle.eval st.tree (Oracle.Bound (fun v -> m.(0).(v))) pat
+        | _ -> true
+      in
+      let rec any j = j <= hi && (matches j || any (j + 1)) in
+      if not (any lo) then
+        record
+          (Printf.sprintf
+             "reader iteration %d: observation matches no single state in \
+              [%d,%d]"
+             !iter lo hi);
+      if Atomic.get counter >= k then continue := false
+    done
+  in
+  (* a reader pinned before the schedule: must read S_0 throughout,
+     checked deterministically right after the first update (which, by
+     the flip construction, changed a bit this reader must not see) and
+     again once the writer is done *)
+  let held = Store.reader st.store in
+  let check_held ctx =
+    List.iter
+      (fun v ->
+        for s = 0 to w - 1 do
+          if Store.accessible held ~subject:s v <> states.(0).(s).(v) then
+            record
+              (Printf.sprintf "pinned reader drifted off S0 at s=%d v=%d (%s)"
+                 s v ctx)
+        done)
+      probes
+  in
+  let readers =
+    List.init (max 1 (st.cfg.jobs - 1)) (fun _ -> Domain.spawn reader)
+  in
+  List.iteri
+    (fun j u ->
+      (match u with
+      | s, v, grant, true ->
+          Update.set_subtree_accessibility st.store ~subject:s ~grant v
+      | s, v, grant, false ->
+          ignore (Update.set_node_accessibility st.store ~subject:s ~grant v));
+      Atomic.set counter (j + 1);
+      if j = 0 then check_held "after first update")
+    upds;
+  List.iter Domain.join readers;
+  check_held "after full schedule";
+  Store.release held;
+  (* fold the schedule into the trace oracle so the case continues *)
+  List.iter (apply_to st.oracle) upds;
+  match Atomic.get failures with
+  | [] -> ()
+  | f :: _ -> failf tag "%s" f
+
+(* --- group commit & torn-batch recovery (recovery configs) ---
+
+   Chain three updates as journal records on a clean image: every
+   committed prefix must load as exactly the state after that many
+   records, PRNG-chosen torn cuts must load as SOME prefix state, replay
+   must be idempotent (load + re-serialize + reload preserves the
+   state), and [Group_commit.submit_batch] over the same updates from
+   the same base must produce the identical image with the predicted
+   flush count. *)
+let check_group_crash st tag =
+  let n = Tree.size st.tree and w = Oracle.width st.oracle in
+  let prng = Prng.create (st.fault_seed lxor 0x6C01) in
+  let k = 3 in
+  let upds =
+    List.init k (fun _ ->
+        (Prng.int prng w, Prng.int prng n, Prng.bool prng ~p:0.5))
+  in
+  let scratch = Oracle.create (Oracle.snapshot st.oracle) in
+  let states = Array.make (k + 1) (Oracle.snapshot scratch) in
+  List.iteri
+    (fun j (s, v, g) ->
+      Oracle.set_node scratch ~subject:s ~grant:g v;
+      states.(j + 1) <- Oracle.snapshot scratch)
+    upds;
+  let fs =
+    List.map
+      (fun (s, v, g) store ->
+        ignore (Update.set_node_accessibility store ~subject:s ~grant:g v))
+      upds
+  in
+  let base = Db_file.to_bytes st.store in
+  let images =
+    Array.of_list
+      (List.rev
+         (List.fold_left
+            (fun acc f ->
+              Db_file.append_update ~image:(List.hd acc) f :: acc)
+            [ base ] fs))
+  in
+  Array.iteri
+    (fun j img ->
+      let loaded, _ = Db_file.of_bytes img in
+      if store_matrix loaded w <> states.(j) then
+        failf tag "committed prefix %d/%d does not load as state %d" j k j;
+      (* idempotent replay: rolling the journal forward and compacting
+         must preserve the state exactly (a second recovery pass over
+         the same records is a no-op) *)
+      let replayed, _ = Db_file.of_bytes (Db_file.to_bytes loaded) in
+      if store_matrix replayed w <> states.(j) then
+        failf tag "re-serialized image %d/%d changed state on reload" j k)
+    images;
+  let final = images.(k) in
+  let base_len = Bytes.length base in
+  let span = Bytes.length final - (base_len - 1) in
+  for _ = 1 to 6 do
+    let cut = base_len - 1 + Prng.int prng (span + 1) in
+    let torn = Bytes.sub final 0 cut in
+    let loaded, _ = Db_file.of_bytes torn in
+    let m = store_matrix loaded w in
+    if not (Array.exists (fun sm -> m = sm) states) then
+      failf tag "torn image (cut at %d/%d) loads as no batch-prefix state" cut
+        (Bytes.length final)
+  done;
+  let gc = Group_commit.create base in
+  Group_commit.submit_batch gc fs;
+  if not (Bytes.equal (Group_commit.image gc) final) then
+    failf tag "group-commit image differs from sequential appends";
+  let stats = Group_commit.stats gc in
+  let mb = Group_commit.max_batch gc in
+  let want_flushes = (k + mb - 1) / mb in
+  if stats.Group_commit.flushes <> want_flushes then
+    failf tag "group commit used %d flushes for %d records (want %d)"
+      stats.Group_commit.flushes k want_flushes;
+  let clean = Group_commit.checkpoint gc in
+  let loaded, _ = Db_file.of_bytes clean in
+  if store_matrix loaded w <> states.(k) then
+    failf tag "checkpointed image does not load as the final state"
 
 let dol_of_matrix fm n =
   let w = Array.length fm in
@@ -273,15 +529,15 @@ let apply_op st i (op : Gen.op) =
       let like = Option.map (fun s -> s mod w) like in
       let s' =
         match like with
-        | Some l -> Update.add_subject (Store.dol st.store) ~like:l ()
-        | None -> Update.add_subject (Store.dol st.store) ()
+        | Some l -> Update.store_add_subject st.store ~like:l ()
+        | None -> Update.store_add_subject st.store ()
       in
       if s' <> w then
         failf (Printf.sprintf "trace[%d].add-subject" i) "new index %d, expected %d" s' w;
       Oracle.add_subject st.oracle ~like
   | Gen.Remove_subject { subject } ->
       if w > 1 then begin
-        Update.remove_subject (Store.dol st.store) (subject mod w);
+        Update.store_remove_subject st.store (subject mod w);
         Oracle.remove_subject st.oracle (subject mod w)
       end
   | Gen.Compact -> Update.compact (Store.dol st.store));
@@ -333,6 +589,15 @@ let check_params cfg (params : Gen.params) =
         case.Gen.queries;
       check_exec st "post-trace.exec"
     end;
+    (* run the schedules LAST: both mutate state (linearizable folds its
+       updates into the oracle), so running them here keeps the rest of
+       the case's trajectory — and its shrink behavior — independent of
+       these checks *)
+    if cfg.jobs > 1 then begin
+      check_linearizable st ~seed:(params.Gen.seed lxor 0x11EA) "linearizable";
+      check_matrix st "linearizable.post-matrix"
+    end;
+    if cfg.recovery then check_group_crash st "group-crash";
     None
   with
   | Check_failed (check, detail) -> Some { params; config = cfg; check; detail }
@@ -463,22 +728,24 @@ let describe m =
 
 let replay_file path =
   let ic = open_in path in
-  let fails = ref [] in
-  let lineno = ref 0 in
-  (try
-     while true do
-       let line = input_line ic in
-       incr lineno;
-       match parse_repro line with
-       | None -> ()
-       | Some p -> (
-           match check_all p with
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let fails = ref [] in
+      let lineno = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr lineno;
+           match parse_repro line with
            | None -> ()
-           | Some m -> fails := (!lineno, describe m) :: !fails)
-     done
-   with End_of_file -> ());
-  close_in ic;
-  List.rev !fails
+           | Some p -> (
+               match check_all p with
+               | None -> ()
+               | Some m -> fails := (!lineno, describe m) :: !fails)
+         done
+       with End_of_file -> ());
+      List.rev !fails)
 
 let write_corpus ~dir m =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
@@ -493,8 +760,10 @@ let write_corpus ~dir m =
       (Printf.sprintf "case-%d-%s.seed" m.params.Gen.seed (sanitize m.check))
   in
   let oc = open_out path in
-  Printf.fprintf oc "# %s [%s]\n# %s\n%s\n" m.check (config_name m.config)
-    (String.concat " " (String.split_on_char '\n' m.detail))
-    (repro_line m.params);
-  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc "# %s [%s]\n# %s\n%s\n" m.check (config_name m.config)
+        (String.concat " " (String.split_on_char '\n' m.detail))
+        (repro_line m.params));
   path

@@ -69,12 +69,16 @@ type t = {
   disk : Disk.t;
   capacity : int;
   max_read_retries : int;
+  (* [Some e]: a reader pool pinned at epoch [e] — misses resolve
+     through the disk's version chains to the image live at [e].
+     Pinned pools never hold dirty frames (readers do not write). *)
+  epoch : int option;
   frames : (int, frame) Hashtbl.t; (* page_id -> frame *)
   lru : Lru.t;
   stats : stats;
 }
 
-let create ?(capacity = 64) ?(max_read_retries = 3) disk =
+let create ?(capacity = 64) ?(max_read_retries = 3) ?epoch disk =
   if capacity < 1 then invalid_arg "Buffer_pool.create";
   if max_read_retries < 0 then
     invalid_arg "Buffer_pool.create: negative max_read_retries";
@@ -82,6 +86,7 @@ let create ?(capacity = 64) ?(max_read_retries = 3) disk =
     disk;
     capacity;
     max_read_retries;
+    epoch;
     frames = Hashtbl.create (2 * capacity);
     lru = Lru.create ~capacity_hint:capacity ();
     stats =
@@ -141,7 +146,7 @@ let evict_one t =
    bad pages and checksum mismatches are not going to get better. *)
 let read_retrying t id dst =
   let rec go attempts_left =
-    try Disk.read t.disk id dst with
+    try Disk.read ?epoch:t.epoch t.disk id dst with
     | Disk.Fault { kind = Disk.Transient_read; _ } when attempts_left > 0 ->
         t.stats.retries <- t.stats.retries + 1;
         Metrics.incr c_retries;

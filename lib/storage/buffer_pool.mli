@@ -28,9 +28,13 @@ type t
 (** [max_read_retries] (default 3) bounds how many times a miss's disk
     read is retried after a [Disk.Fault Transient_read]; permanent
     faults ([Bad_page], [Checksum_mismatch]) are never retried.
+    [?epoch] pins the pool to a snapshot: misses resolve through the
+    disk's version chains to the page images live at that (pinned)
+    epoch.  Pinned pools are for readers — they must never hold dirty
+    frames.
     @raise Invalid_argument when [capacity < 1] or
     [max_read_retries < 0]. *)
-val create : ?capacity:int -> ?max_read_retries:int -> Disk.t -> t
+val create : ?capacity:int -> ?max_read_retries:int -> ?epoch:int -> Disk.t -> t
 
 val disk : t -> Disk.t
 

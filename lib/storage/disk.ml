@@ -46,6 +46,12 @@ let g_simulated_us = Metrics.gauge "disk.simulated_us"
 
 let g_crc_us = Metrics.gauge "disk.crc_us"
 
+let c_versions_saved = Metrics.counter "disk.versions_saved"
+
+let c_versions_retired = Metrics.counter "disk.versions_retired"
+
+let g_versions_live = Metrics.gauge "disk.versions_live"
+
 type fault_kind =
   | Transient_read  (** the read failed but a retry may succeed *)
   | Bad_page  (** the page is permanently unreadable/unwritable *)
@@ -84,6 +90,8 @@ type stats = {
   mutable torn_writes : int;  (** injected torn writes *)
   mutable bit_flips : int;  (** injected bit flips *)
   mutable checksum_failures : int;  (** reads rejected by CRC verification *)
+  mutable versions_saved : int;  (** page images retained for pinned epochs *)
+  mutable versions_retired : int;  (** retained images dropped at the horizon *)
 }
 
 type t = {
@@ -103,6 +111,14 @@ type t = {
   mutable plan : fault_plan option;
   bad : (int, unit) Hashtbl.t; (* permanently failed pages *)
   zero_crc : int; (* CRC of an all-zero page, stored at allocation *)
+  (* MVCC: the epoch clock plus per-page version chains.  A chain entry
+     [(visible_until, crc, image)] is the image a page had before the
+     update window ending at epoch [visible_until] overwrote it — a
+     reader pinned at epoch [e] sees the oldest entry with
+     [visible_until > e], or the live page when the chain has none.
+     Chains are kept newest-first (descending [visible_until]). *)
+  epoch : Epoch.t;
+  versions : (int, (int * int * Page.t) list) Hashtbl.t;
   (* One device, many domains: [Dolx_exec] readers share the disk while
      holding private buffer pools, so the page store, the stats record
      and the fault machinery are serialized here.  Contention is low by
@@ -137,6 +153,8 @@ let create ?(page_size = Page.default_size) ?(read_cost_us = 100.0)
         torn_writes = 0;
         bit_flips = 0;
         checksum_failures = 0;
+        versions_saved = 0;
+        versions_retired = 0;
       };
     read_cost_us;
     write_cost_us;
@@ -147,10 +165,14 @@ let create ?(page_size = Page.default_size) ?(read_cost_us = 100.0)
     plan = None;
     bad = Hashtbl.create 8;
     zero_crc = Crc.digest (Page.create page_size);
+    epoch = Epoch.create ();
+    versions = Hashtbl.create 16;
     m = Mutex.create ();
   }
 
 let page_size t = t.page_size
+
+let epoch t = t.epoch
 
 let page_count t = t.count
 
@@ -215,11 +237,28 @@ let check t id op =
 
 let draw plan p = p > 0.0 && Prng.bool plan.fault_prng ~p
 
-(** Read page [id] into [dst] (a full-page buffer).
+(* The image of [id] visible at epoch [e]: the oldest retained version
+   with [visible_until > e], or the live page.  Chains are descending by
+   [visible_until], so the scan stops at the first entry at or below [e]. *)
+let version_at t id e =
+  match Hashtbl.find_opt t.versions id with
+  | None -> None
+  | Some chain ->
+      let rec oldest_above acc = function
+        | (vu, crc, img) :: rest when vu > e ->
+            oldest_above (Some (crc, img)) rest
+        | _ -> acc
+      in
+      oldest_above None chain
+
+(** Read page [id] into [dst] (a full-page buffer).  With [?epoch], read
+    the image that was live at that (pinned) epoch: superseded images
+    come from the version chain, still verified against the CRC they had
+    when retained.
     @raise Fault on a bad page, an injected transient error, or a
     checksum mismatch between the stored bytes and the CRC recorded at
     write time (torn write or bit rot). *)
-let read t id dst =
+let read ?epoch t id dst =
   locked t @@ fun () ->
   check t id "read";
   t.stats.reads <- t.stats.reads + 1;
@@ -236,13 +275,21 @@ let read t id dst =
       Metrics.incr c_transient_faults;
       raise (Fault { page = id; kind = Transient_read })
   | _ -> ());
-  Bytes.blit t.pages.(id) 0 dst 0 t.page_size;
+  let src, crc =
+    match epoch with
+    | None -> (t.pages.(id), t.crcs.(id))
+    | Some e -> (
+        match version_at t id e with
+        | Some (crc, img) -> (img, crc)
+        | None -> (t.pages.(id), t.crcs.(id)))
+  in
+  Bytes.blit src 0 dst 0 t.page_size;
   if t.verify_reads then begin
     t.simulated_us <- t.simulated_us +. t.crc_cost_us;
     t.crc_us <- t.crc_us +. t.crc_cost_us;
     Metrics.gauge_add g_simulated_us t.crc_cost_us;
     Metrics.gauge_add g_crc_us t.crc_cost_us;
-    if Crc.digest_sub dst ~pos:0 ~len:t.page_size <> t.crcs.(id) then begin
+    if Crc.digest_sub dst ~pos:0 ~len:t.page_size <> crc then begin
       t.stats.checksum_failures <- t.stats.checksum_failures + 1;
       Metrics.incr c_checksum_failures;
       raise (Fault { page = id; kind = Checksum_mismatch })
@@ -265,6 +312,22 @@ let write t id src =
     Metrics.incr c_bad_page_faults;
     raise (Fault { page = id; kind = Bad_page })
   end;
+  (* Copy-on-write: with readers pinned, retain the image being
+     overwritten.  All writes of one update window share the tag
+     [current + 1] (the epoch the update will publish as), so only the
+     first overwrite of a page per window saves a copy. *)
+  if Epoch.pinned t.epoch then begin
+    let vu = Epoch.current t.epoch + 1 in
+    let chain = Option.value (Hashtbl.find_opt t.versions id) ~default:[] in
+    match chain with
+    | (vu0, _, _) :: _ when vu0 = vu -> ()
+    | _ ->
+        Hashtbl.replace t.versions id
+          ((vu, t.crcs.(id), Bytes.copy t.pages.(id)) :: chain);
+        t.stats.versions_saved <- t.stats.versions_saved + 1;
+        Metrics.incr c_versions_saved;
+        Metrics.gauge_add g_versions_live 1.0
+  end;
   t.crcs.(id) <- Crc.digest_sub src ~pos:0 ~len:t.page_size;
   (match t.plan with
   | Some plan when draw plan plan.torn_write_p ->
@@ -284,3 +347,38 @@ let write t id src =
   match t.plan with
   | Some plan when draw plan plan.bad_page_p -> Hashtbl.replace t.bad id ()
   | _ -> ()
+
+(** Drop retained page versions that no reader can reach any more: a
+    version whose [visible_until] is at or below the epoch horizon (the
+    oldest pinned epoch, or the current epoch when nothing is pinned)
+    has no possible reader left.  Returns the number of versions
+    dropped. *)
+let retire t =
+  locked t @@ fun () ->
+  let horizon = Epoch.horizon t.epoch in
+  let updates =
+    Hashtbl.fold
+      (fun id chain acc ->
+        let keep = List.filter (fun (vu, _, _) -> vu > horizon) chain in
+        if List.length keep = List.length chain then acc
+        else (id, keep, List.length chain - List.length keep) :: acc)
+      t.versions []
+  in
+  let dropped = ref 0 in
+  List.iter
+    (fun (id, keep, n) ->
+      dropped := !dropped + n;
+      if keep = [] then Hashtbl.remove t.versions id
+      else Hashtbl.replace t.versions id keep)
+    updates;
+  if !dropped > 0 then begin
+    t.stats.versions_retired <- t.stats.versions_retired + !dropped;
+    Metrics.add c_versions_retired !dropped;
+    Metrics.gauge_add g_versions_live (-.float_of_int !dropped)
+  end;
+  !dropped
+
+(** Number of page versions currently retained for pinned readers. *)
+let live_versions t =
+  locked t @@ fun () ->
+  Hashtbl.fold (fun _ chain acc -> acc + List.length chain) t.versions 0

@@ -47,6 +47,8 @@ type stats = {
   mutable torn_writes : int;  (** injected torn writes *)
   mutable bit_flips : int;  (** injected bit flips *)
   mutable checksum_failures : int;  (** reads rejected by CRC verification *)
+  mutable versions_saved : int;  (** page images retained for pinned epochs *)
+  mutable versions_retired : int;  (** retained images dropped at the horizon *)
 }
 
 type t
@@ -68,6 +70,11 @@ val create :
 val page_size : t -> int
 
 val page_count : t -> int
+
+(** The epoch clock of this device.  Readers pin it to get a stable
+    image; writers advance it when they publish an update (see
+    {!Epoch}). *)
+val epoch : t -> Epoch.t
 
 val stats : t -> stats
 
@@ -101,17 +108,32 @@ val is_bad : t -> int -> bool
 (** Allocate a fresh zeroed page; returns its id. *)
 val allocate : t -> int
 
-(** Read page [id] into [dst] (a full-page buffer).
+(** Read page [id] into [dst] (a full-page buffer).  With [?epoch], read
+    the image that was live at that (pinned) epoch: superseded images
+    come from the copy-on-write version chain, still CRC-verified against
+    the checksum they had when retained.
     @raise Fault on a bad page, an injected transient error, or a
     checksum mismatch (torn write or bit rot detected).
     @raise Invalid_argument on an out-of-range id (the message names the
     page id and the page count). *)
-val read : t -> int -> Page.t -> unit
+val read : ?epoch:int -> t -> int -> Page.t -> unit
 
 (** Write [src] to page [id].  The CRC of the intended image is always
     recorded; injected torn writes and bit flips corrupt the stored
     bytes without touching it, so damage surfaces on the next verified
     read.
+    While any epoch is pinned, the image being overwritten is retained
+    on the page's version chain (copy-on-write) so pinned readers keep a
+    consistent view; see {!retire}.
     @raise Fault when the page is permanently bad.
     @raise Invalid_argument on an out-of-range id. *)
 val write : t -> int -> Page.t -> unit
+
+(** Drop retained page versions no reader can reach any more (those
+    whose visibility ends at or below {!Epoch.horizon}); returns the
+    number dropped.  Called by the store after each publish and each
+    reader release. *)
+val retire : t -> int
+
+(** Number of page versions currently retained for pinned readers. *)
+val live_versions : t -> int

@@ -34,7 +34,14 @@
     keeping all the page headers in memory … the NoK query processor can
     implement I/O optimizations" (§3.2): the in-memory page table below
     holds, per logical page, the first preorder, first code, change bit
-    and first depth, and is consulted without any I/O. *)
+    and first depth, and is consulted without any I/O.
+
+    MVCC: the whole in-memory page table lives in one immutable {!view}
+    record.  Updates never mutate a published view — {!rewrite_page}
+    builds fresh arrays and swaps the [view] pointer — so a {!freeze}-d
+    snapshot handle keeps reading a consistent table while the live
+    layout moves on (its page {e images} come from the disk's version
+    chains via an epoch-pinned buffer pool). *)
 
 module Tree = Dolx_xml.Tree
 module Varint = Dolx_util.Varint
@@ -68,17 +75,25 @@ type cursor = {
   mutable cur_gen : int;  (* layout generation the position is valid for *)
 }
 
+(* The complete in-memory page table as one immutable value: readers
+   load [t.view] once per operation and see a consistent table even
+   while the writer swaps in a successor. *)
+type view = {
+  phys : int array;        (* logical page -> physical disk page *)
+  first_pres : int array;  (* in-memory page table, logical order *)
+  first_codes : int array;
+  changes : bool array;
+  first_depths : int array;
+  n_pages : int;
+  vgen : int; (* bumped by every page rewrite; stamps cursors *)
+}
+
 type t = {
   disk : Disk.t;
-  mutable phys : int array;        (* logical page -> physical disk page *)
-  mutable first_pres : int array;  (* in-memory page table, logical order *)
-  mutable first_codes : int array;
-  mutable changes : bool array;
-  mutable first_depths : int array;
-  mutable n_pages : int;
-  mutable n_nodes : int;
-  own_cursor : cursor;    (* default cursor for single-handle use *)
-  mutable gen : int;      (* bumped by every page rewrite *)
+  mutable view : view;
+  frozen : bool; (* a snapshot handle: all mutation entry points raise *)
+  n_nodes : int;
+  own_cursor : cursor; (* default cursor for single-handle use *)
   (* Update tracking for journaled persistence: which logical pages were
      rewritten in place since the last [drain_dirty], and whether a page
      split renumbered the logical order (invalidating recorded ids). *)
@@ -99,31 +114,48 @@ type record = {
   code : int option; (* inline transition code, never on the first record *)
 }
 
-let page_count t = t.n_pages
+let page_count t = t.view.n_pages
 
 let node_count t = t.n_nodes
 
 let disk t = t.disk
 
+(** A snapshot handle over the current page table: shares the disk but
+    never observes later {!rewrite_page}s (the live layout swaps in a
+    fresh view instead of mutating this one).  Mutating a frozen handle
+    raises [Invalid_argument].  Pair it with an epoch-pinned
+    {!Buffer_pool} so the page images match the table. *)
+let freeze t =
+  {
+    t with
+    frozen = true;
+    own_cursor = fresh_cursor ();
+    dirty = Hashtbl.create 1;
+    renumbered = false;
+  }
+
+let frozen t = t.frozen
+
 (** In-memory header of logical page [lp] — no I/O. *)
 let header t lp =
-  if lp < 0 || lp >= t.n_pages then invalid_arg "Nok_layout.header";
+  let vw = t.view in
+  if lp < 0 || lp >= vw.n_pages then invalid_arg "Nok_layout.header";
   {
-    first_pre = t.first_pres.(lp);
-    first_code = t.first_codes.(lp);
-    change = t.changes.(lp);
-    first_depth = t.first_depths.(lp);
+    first_pre = vw.first_pres.(lp);
+    first_code = vw.first_codes.(lp);
+    change = vw.changes.(lp);
+    first_depth = vw.first_depths.(lp);
   }
 
 (** Logical page holding preorder [pre] — binary search of the in-memory
     page table, no I/O. *)
 let page_of t pre =
   if pre < 0 || pre >= t.n_nodes then invalid_arg "Nok_layout.page_of";
-  match Binsearch.predecessor t.first_pres pre with
+  match Binsearch.predecessor t.view.first_pres pre with
   | Some lp -> lp
   | None -> assert false
 
-let physical_page t lp = t.phys.(lp)
+let physical_page t lp = t.view.phys.(lp)
 
 (** {1 Record encoding} *)
 
@@ -257,15 +289,19 @@ let build ?(fill = 0.9) disk tree ~transitions =
   flush ();
   {
     disk;
-    phys = Int_vec.to_array phys;
-    first_pres = Int_vec.to_array first_pres;
-    first_codes = Int_vec.to_array first_codes;
-    changes = Array.of_list (List.rev !changes);
-    first_depths = Int_vec.to_array first_depths;
-    n_pages = Int_vec.length phys;
+    view =
+      {
+        phys = Int_vec.to_array phys;
+        first_pres = Int_vec.to_array first_pres;
+        first_codes = Int_vec.to_array first_codes;
+        changes = Array.of_list (List.rev !changes);
+        first_depths = Int_vec.to_array first_depths;
+        n_pages = Int_vec.length phys;
+        vgen = 0;
+      };
+    frozen = false;
     n_nodes = n;
     own_cursor = fresh_cursor ();
-    gen = 0;
     dirty = Hashtbl.create 8;
     renumbered = false;
   }
@@ -295,15 +331,19 @@ let attach disk ~n_pages =
   done;
   {
     disk;
-    phys = Array.init n_pages Fun.id;
-    first_pres;
-    first_codes;
-    changes;
-    first_depths;
-    n_pages;
+    view =
+      {
+        phys = Array.init n_pages Fun.id;
+        first_pres;
+        first_codes;
+        changes;
+        first_depths;
+        n_pages;
+        vgen = 0;
+      };
+    frozen = false;
     n_nodes = !n_nodes;
     own_cursor = fresh_cursor ();
-    gen = 0;
     dirty = Hashtbl.create 8;
     renumbered = false;
   }
@@ -311,9 +351,10 @@ let attach disk ~n_pages =
 (** Page image of logical page [lp] (for database-file export), bypassing
     the pool. *)
 let page_image t lp =
-  if lp < 0 || lp >= t.n_pages then invalid_arg "Nok_layout.page_image";
+  let vw = t.view in
+  if lp < 0 || lp >= vw.n_pages then invalid_arg "Nok_layout.page_image";
   let buf = Page.create (Disk.page_size t.disk) in
-  Disk.read t.disk t.phys.(lp) buf;
+  Disk.read t.disk vw.phys.(lp) buf;
   buf
 
 (** {1 Page-level access through a buffer pool} *)
@@ -323,12 +364,13 @@ let page_image t lp =
     capture all I/O. *)
 let touch t pool pre =
   let lp = page_of t pre in
-  ignore (Buffer_pool.get pool (t.phys.(lp)));
+  ignore (Buffer_pool.get pool (t.view.phys.(lp)));
   lp
 
 let records t pool lp =
-  if lp < 0 || lp >= t.n_pages then invalid_arg "Nok_layout.records";
-  decode_image (Buffer_pool.get pool (t.phys.(lp)))
+  let vw = t.view in
+  if lp < 0 || lp >= vw.n_pages then invalid_arg "Nok_layout.records";
+  decode_image (Buffer_pool.get pool vw.phys.(lp))
 
 (** The access-control code in force at node [pre] (§3.3): fetch the
     node's page, start from the header code and replay inline transition
@@ -338,9 +380,15 @@ let records t pool lp =
     caller's scan cursor: consecutive forward lookups on one page resume
     instead of replaying from the page start. *)
 let code_in_force_at t cu pool pre =
-  let lp = page_of t pre in
-  let page = Buffer_pool.get pool (t.phys.(lp)) in
-  if not t.changes.(lp) then t.first_codes.(lp)
+  let vw = t.view in
+  if pre < 0 || pre >= t.n_nodes then invalid_arg "Nok_layout.page_of";
+  let lp =
+    match Binsearch.predecessor vw.first_pres pre with
+    | Some lp -> lp
+    | None -> assert false
+  in
+  let page = Buffer_pool.get pool vw.phys.(lp) in
+  if not vw.changes.(lp) then vw.first_codes.(lp)
   else begin
     let n = Page.get_u16 page 0 in
     let first_pre = Page.get_u32 page 2 in
@@ -349,11 +397,11 @@ let code_in_force_at t cu pool pre =
        no rewrite invalidated the recorded byte position) *)
     let start, pos0, code0 =
       if
-        cu.cur_gen = t.gen && cu.cur_lp = lp
+        cu.cur_gen = vw.vgen && cu.cur_lp = lp
         && cu.cur_pre <= first_pre + stop
         && cu.cur_pre >= first_pre
       then (cu.cur_pre - first_pre + 1, cu.cur_pos, cu.cur_code)
-      else (0, header_bytes, t.first_codes.(lp))
+      else (0, header_bytes, vw.first_codes.(lp))
     in
     let code = ref code0 in
     let pos = ref pos0 in
@@ -374,7 +422,7 @@ let code_in_force_at t cu pool pre =
         pos := p
       end
     done;
-    cu.cur_gen <- t.gen;
+    cu.cur_gen <- vw.vgen;
     cu.cur_lp <- lp;
     cu.cur_pre <- first_pre + stop;
     cu.cur_pos <- !pos;
@@ -390,18 +438,22 @@ let code_in_force t pool pre = code_in_force_at t t.own_cursor pool pre
     keep the page's [first_pre]; its code, if any, moves into the header.
     If the encoded size exceeds the page, the page is split in two —
     "updates are confined within a contiguous region of the affected
-    data" (§3.4, update locality). *)
+    data" (§3.4, update locality).
+
+    Copy-on-write: the page-table arrays of the current view are never
+    mutated — fresh arrays go into a successor view — so frozen
+    snapshot handles sharing the old view stay consistent. *)
 let rewrite_page t pool lp records ~code_before =
-  (* invalidate every outstanding scan cursor: recorded byte positions
-     may no longer match the rewritten record stream *)
-  t.gen <- t.gen + 1;
+  if t.frozen then
+    invalid_arg "Nok_layout.rewrite_page: frozen snapshot handle";
+  let vw = t.view in
   (match records with
   | [] -> invalid_arg "Nok_layout.rewrite_page: empty"
   | r :: _ ->
-      if r.pre <> t.first_pres.(lp) then
+      if r.pre <> vw.first_pres.(lp) then
         invalid_arg "Nok_layout.rewrite_page: first preorder must be preserved");
   let page_size = Disk.page_size t.disk in
-  let encode_into lp records =
+  let encode_into ~first_depth records =
     match records with
     | [] -> assert false
     | first :: rest ->
@@ -412,7 +464,7 @@ let rewrite_page t pool lp records ~code_before =
         let change = List.exists (fun r -> r.code <> None) rest in
         let page = Page.create page_size in
         encode_records page ~n:(List.length records) ~first_pre:first.pre
-          ~first_code ~first_depth:t.first_depths.(lp) ~change records;
+          ~first_code ~first_depth ~change records;
         (page, first_code, change)
   in
   let total =
@@ -424,15 +476,20 @@ let rewrite_page t pool lp records ~code_before =
       | _ -> 0)
   in
   if total <= page_size then begin
-    let page, first_code, change = encode_into lp records in
-    let pid = t.phys.(lp) in
+    let page, first_code, change =
+      encode_into ~first_depth:vw.first_depths.(lp) records
+    in
+    let pid = vw.phys.(lp) in
     Disk.write t.disk pid page;
     if Buffer_pool.resident pool pid then begin
       Bytes.blit page 0 (Buffer_pool.get pool pid) 0 page_size;
       ()
     end;
-    t.first_codes.(lp) <- first_code;
-    t.changes.(lp) <- change;
+    let first_codes = Array.copy vw.first_codes in
+    first_codes.(lp) <- first_code;
+    let changes = Array.copy vw.changes in
+    changes.(lp) <- change;
+    t.view <- { vw with first_codes; changes; vgen = vw.vgen + 1 };
     Hashtbl.replace t.dirty lp ()
   end
   else begin
@@ -457,21 +514,22 @@ let rewrite_page t pool lp records ~code_before =
     let depth_after =
       List.fold_left
         (fun d r -> d + 1 - r.closes)
-        (t.first_depths.(lp) - 1)
+        (vw.first_depths.(lp) - 1)
         left
       (* after processing left records, depth of next node = d + 1 *)
       + 1
     in
-    t.phys <- splice t.phys new_pid;
-    t.first_pres <- splice t.first_pres right_first;
-    t.first_codes <- splice t.first_codes 0 (* fixed below *);
-    t.first_depths <- splice t.first_depths depth_after;
-    t.changes <- splice t.changes false;
-    t.n_pages <- t.n_pages + 1;
-    let page_l, first_code_l, change_l = encode_into lp left in
-    Disk.write t.disk t.phys.(lp) page_l;
-    t.first_codes.(lp) <- first_code_l;
-    t.changes.(lp) <- change_l;
+    let phys = splice vw.phys new_pid in
+    let first_pres = splice vw.first_pres right_first in
+    let first_codes = splice vw.first_codes 0 (* fixed below *) in
+    let first_depths = splice vw.first_depths depth_after in
+    let changes = splice vw.changes false in
+    let page_l, first_code_l, change_l =
+      encode_into ~first_depth:first_depths.(lp) left
+    in
+    Disk.write t.disk phys.(lp) page_l;
+    first_codes.(lp) <- first_code_l;
+    changes.(lp) <- change_l;
     (* Code in force just before the right page's first node: replay left. *)
     let code_before_right =
       List.fold_left
@@ -487,13 +545,25 @@ let rewrite_page t pool lp records ~code_before =
           right
       | [] -> assert false
     in
-    let page_r, first_code_r, change_r = encode_into (lp + 1) right in
+    let page_r, first_code_r, change_r =
+      encode_into ~first_depth:first_depths.(lp + 1) right
+    in
     Disk.write t.disk new_pid page_r;
-    t.first_codes.(lp + 1) <- first_code_r;
-    t.changes.(lp + 1) <- change_r;
+    first_codes.(lp + 1) <- first_code_r;
+    changes.(lp + 1) <- change_r;
     (* Invalidate any stale pool copy of the split page. *)
-    if Buffer_pool.resident pool t.phys.(lp) then
-      Bytes.blit page_l 0 (Buffer_pool.get pool t.phys.(lp)) 0 page_size;
+    if Buffer_pool.resident pool phys.(lp) then
+      Bytes.blit page_l 0 (Buffer_pool.get pool phys.(lp)) 0 page_size;
+    t.view <-
+      {
+        phys;
+        first_pres;
+        first_codes;
+        changes;
+        first_depths;
+        n_pages = vw.n_pages + 1;
+        vgen = vw.vgen + 1;
+      };
     (* Splitting shifts every logical page id after [lp]: previously
        recorded dirty ids no longer name the same pages. *)
     t.renumbered <- true
@@ -521,7 +591,7 @@ let drain_dirty t =
 let decode_tree t pool ~tag_table =
   let b = Tree.Builder.create ~table:tag_table () in
   let names = tag_table in
-  for lp = 0 to t.n_pages - 1 do
+  for lp = 0 to t.view.n_pages - 1 do
     List.iter
       (fun r ->
         ignore (Tree.Builder.open_element b (Dolx_xml.Tag.name names r.tag));
@@ -536,28 +606,30 @@ let decode_tree t pool ~tag_table =
     including the synthetic per-page initial transitions collapsed away:
     returns the code in force at every node — O(N), test use only. *)
 let codes_of_all_nodes t pool =
+  let vw = t.view in
   let out = Array.make t.n_nodes 0 in
   let code = ref (-1) in
-  for lp = 0 to t.n_pages - 1 do
+  for lp = 0 to vw.n_pages - 1 do
     let rs = records t pool lp in
     (match rs with
     | [] -> ()
     | first :: _ ->
         ignore first;
-        code := t.first_codes.(lp));
+        code := vw.first_codes.(lp));
     List.iteri
       (fun i r ->
         (match r.code with
         | Some c -> code := c
-        | None -> if i = 0 then code := t.first_codes.(lp));
+        | None -> if i = 0 then code := vw.first_codes.(lp))
+        ;
         out.(r.pre) <- !code)
       rs
   done;
   out
 
 (** Total bytes occupied on disk by the layout. *)
-let storage_bytes t = t.n_pages * Disk.page_size t.disk
+let storage_bytes t = t.view.n_pages * Disk.page_size t.disk
 
 (** Bytes of in-memory page headers (the paper estimates "3Mb to 10Mb as
     page header for processing 1Tb XML data"). *)
-let header_table_bytes t = t.n_pages * 11 (* 4 + 4 + 2 + 1 per entry *)
+let header_table_bytes t = t.view.n_pages * 11 (* 4 + 4 + 2 + 1 per entry *)

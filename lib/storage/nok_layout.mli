@@ -38,6 +38,16 @@ val node_count : t -> int
 
 val disk : t -> Disk.t
 
+(** A snapshot handle over the current page table: shares the disk but
+    never observes later {!rewrite_page}s (rewrites are copy-on-write —
+    the live layout swaps in a fresh table instead of mutating the one
+    this handle holds).  Pair it with an epoch-pinned {!Buffer_pool} so
+    the page images match the table.  Mutating a frozen handle raises
+    [Invalid_argument]. *)
+val freeze : t -> t
+
+val frozen : t -> bool
+
 (** In-memory header of logical page [lp] — no I/O. *)
 val header : t -> int -> header
 

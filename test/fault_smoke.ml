@@ -1,7 +1,8 @@
 (* Time-bounded robustness smoke loop for CI: replays the journaled
    crash-recovery and fail-secure quarantine properties over fresh random
    seeds until the deadline.  Usage: fault_smoke [seconds] (default 30).
-   Exits 1 on the first violation. *)
+   Violations are collected (capped at 20), every failing seed's repro
+   line is printed, and the exit status is 1 if there was any. *)
 
 module Prng = Dolx_util.Prng
 module Tree = Dolx_xml.Tree
@@ -46,7 +47,9 @@ let matrix store =
   Array.init w (fun s ->
       Array.init n (fun v -> Store.accessible store ~subject:s v))
 
-let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+exception Violation of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Violation m)) fmt
 
 let crash_recovery seed =
   let rng = Prng.create (seed * 7919) in
@@ -101,21 +104,43 @@ let quarantine seed =
         done
       done
 
+let max_failures = 20
+
 let () =
   let seconds =
     if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 30.0
   in
   let deadline = Unix.gettimeofday () +. seconds in
   let seed = ref 0 in
-  while Unix.gettimeofday () < deadline do
+  let failures = ref [] in
+  while Unix.gettimeofday () < deadline && List.length !failures < max_failures do
     incr seed;
     (* any escaping exception must still name the seed, or the failing
-       iteration is unreproducible *)
+       iteration is unreproducible; collect and keep scanning so one run
+       surfaces every failing seed *)
     try
       crash_recovery !seed;
       quarantine !seed
-    with e ->
-      Printf.eprintf "fault_smoke: seed %d raised %s\n" !seed (Printexc.to_string e);
-      exit 1
+    with
+    | Violation m ->
+        Printf.eprintf "fault_smoke: FAIL %s\n%!" m;
+        failures := (!seed, m) :: !failures
+    | e ->
+        let m =
+          Printf.sprintf "seed %d raised %s" !seed (Printexc.to_string e)
+        in
+        Printf.eprintf "fault_smoke: FAIL %s\n%!" m;
+        failures := (!seed, m) :: !failures
   done;
-  Printf.printf "fault_smoke: %d iterations, no violations\n" !seed
+  match List.rev !failures with
+  | [] -> Printf.printf "fault_smoke: %d iterations, no violations\n" !seed
+  | fails ->
+      Printf.printf "fault_smoke: %d violation(s) in %d iterations%s:\n"
+        (List.length fails) !seed
+        (if List.length fails >= max_failures then
+           Printf.sprintf " (stopped at the %d-failure cap)" max_failures
+         else "");
+      List.iter
+        (fun (s, m) -> Printf.printf "DOLX-FAULT v1 seed=%d  # %s\n" s m)
+        fails;
+      exit 1

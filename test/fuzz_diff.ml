@@ -13,7 +13,10 @@
                     <= 4 rules; exits 0 on success, writes no corpus
 
    On a mismatch the driver shrinks it, prints a self-contained repro
-   line, writes a corpus file and fuzz_repro.txt, and exits 1. *)
+   line and writes a corpus file — then KEEPS GOING, so one run surfaces
+   every failing seed (capped at 10, in case a systemic bug fails every
+   case).  All repro lines are printed again together and written to
+   fuzz_repro.txt before the driver exits 1. *)
 
 module Gen = Dolx_fuzz.Gen
 module Diff = Dolx_fuzz.Diff
@@ -51,11 +54,15 @@ let corpus_dir () =
     Filename.concat "test" "corpus"
   else "corpus"
 
+let max_failures = 10
+
+(* Shrink one mismatch, print it, write its corpus file; return the
+   shrunk mismatch for the end-of-run summary. *)
 let report ~ran m =
   let shrunk, checks = Diff.shrink m.Diff.config m.Diff.params in
   let m' = Option.value (Diff.check_params m.Diff.config shrunk) ~default:m in
-  Printf.printf "MISMATCH after %d cases (shrunk with %d re-checks):\n%s\n" ran checks
-    (Diff.describe m');
+  Printf.printf "MISMATCH after %d cases (shrunk with %d re-checks):\n%s\n%!" ran
+    checks (Diff.describe m');
   if !expect_bug then begin
     let p = m'.Diff.params in
     let rules = Gen.effective_rules p in
@@ -72,11 +79,8 @@ let report ~ran m =
   end
   else begin
     let path = Diff.write_corpus ~dir:(corpus_dir ()) m' in
-    Printf.printf "wrote %s\n" path;
-    let oc = open_out "fuzz_repro.txt" in
-    output_string oc (Diff.describe m' ^ "\n");
-    close_out oc;
-    exit 1
+    Printf.printf "wrote %s\n%!" path;
+    m'
   end
 
 let () =
@@ -84,7 +88,10 @@ let () =
   let t0 = Unix.gettimeofday () in
   let floor = if !cases > 0 then !cases else if !seconds >= 60.0 then 500 else 0 in
   let ran = ref 0 in
+  let failures = ref [] in
   let keep_going () =
+    List.length !failures < max_failures
+    &&
     if !cases > 0 then !ran < !cases
     else !ran < floor || Unix.gettimeofday () -. t0 < !seconds
   in
@@ -94,7 +101,7 @@ let () =
        let p = Gen.params_of_seed (!seed0 + i) in
        let cfg = Diff.config_for_case i in
        (match Diff.check_params cfg p with
-       | Some m -> report ~ran:!ran m
+       | Some m -> failures := report ~ran:!ran m :: !failures
        | None -> ());
        incr ran;
        if !ran mod 200 = 0 then
@@ -107,4 +114,22 @@ let () =
     Printf.printf "planted bug NOT caught in %d cases\n" !ran;
     exit 1
   end;
-  Printf.printf "ok: %d cases across the lattice in %.1fs, 0 mismatches\n" !ran dt
+  match List.rev !failures with
+  | [] ->
+      Printf.printf "ok: %d cases across the lattice in %.1fs, 0 mismatches\n" !ran dt
+  | fails ->
+      let cap =
+        if List.length fails >= max_failures then
+          Printf.sprintf " (stopped at the %d-failure cap)" max_failures
+        else ""
+      in
+      Printf.printf "\n%d failing seed(s) in %d cases%s:\n" (List.length fails) !ran
+        cap;
+      List.iter (fun m -> print_endline (Diff.repro_line m.Diff.params)) fails;
+      let oc = open_out "fuzz_repro.txt" in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          List.iter (fun m -> output_string oc (Diff.describe m ^ "\n")) fails);
+      Printf.printf "wrote fuzz_repro.txt\n";
+      exit 1

@@ -21,5 +21,6 @@ let () =
       ("coverage", Test_coverage.suite);
       ("faults", Test_faults.suite);
       ("parallel", Test_parallel.suite);
+      ("mvcc", Test_mvcc.suite);
       ("fuzz", Test_fuzz.suite);
     ]

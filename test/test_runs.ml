@@ -44,7 +44,7 @@ let prop_runs_match_dol =
           let want = Dol.accessible dol ~subject:s v in
           if Access_runs.mem r v <> want then
             QCheck2.Test.fail_reportf "mem: subject %d node %d" s v;
-          if Access_runs.accessible ri cu ~subject:s v <> want then
+          if Access_runs.accessible ri cu ~dol ~subject:s v <> want then
             QCheck2.Test.fail_reportf "cursor: subject %d node %d" s v
         done
       done;
