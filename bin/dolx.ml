@@ -128,7 +128,9 @@ let metrics_begin fmt store =
       Trace.set_enabled true;
       Trace.reset ();
       Store.reset_stats store;
-      Metrics.reset Metrics.default
+      Metrics.reset Metrics.default;
+      (* reset zeroed the structural-tier gauges; re-publish them *)
+      Store.refresh_gauges store
 
 let metrics_end fmt =
   match fmt with
@@ -146,6 +148,21 @@ let no_run_index_arg =
        & info [ "no-run-index" ]
            ~doc:"Disable the per-subject access-run index; answer access \
                  checks from the physical pages.")
+
+(* --no-succinct / --no-path-summary: the ablation sides of
+   `bench succinct` — navigate via the pointer tree, and plan without
+   DataGuide candidate pruning. *)
+let no_succinct_arg =
+  Arg.(value & flag
+       & info [ "no-succinct" ]
+           ~doc:"Disable the succinct balanced-parentheses tree tier; \
+                 navigate via the pointer-based tree.")
+
+let no_summary_arg =
+  Arg.(value & flag
+       & info [ "no-path-summary" ]
+           ~doc:"Disable DataGuide (path-summary) candidate pruning and \
+                 the summary-path plan in the engine.")
 
 (* --- generate --- *)
 
@@ -213,12 +230,16 @@ let node_path tree v =
   in
   go v ""
 
-let query doc policy mode subject path_semantics no_run_index metrics q =
+let query doc policy mode subject path_semantics no_run_index no_succinct
+    no_summary metrics q =
   let tree = load_doc doc in
   let subjects, _, labeling = compile tree policy ~mode in
   let s = subject_id subjects subject in
   let dol = Dol.of_labeling labeling in
-  let store = Store.create ~run_index:(not no_run_index) tree dol in
+  let store =
+    Store.create ~run_index:(not no_run_index) ~succinct:(not no_succinct)
+      ~path_summary:(not no_summary) tree dol
+  in
   let index = Tag_index.build tree in
   let sem = if path_semantics then Engine.Secure_path s else Engine.Secure s in
   metrics_begin metrics store;
@@ -239,7 +260,7 @@ let query_cmd =
   let q = Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY") in
   Cmd.v (Cmd.info "query" ~doc:"Evaluate a twig query as a subject")
     Term.(const query $ doc_arg $ policy_arg $ mode_arg $ subject_arg $ path_sem
-          $ no_run_index_arg $ metrics_arg $ q)
+          $ no_run_index_arg $ no_succinct_arg $ no_summary_arg $ metrics_arg $ q)
 
 (* --- query-batch --- *)
 
@@ -283,12 +304,15 @@ let semantics_name = function
   | Engine.Secure s -> Printf.sprintf "s%d" s
   | Engine.Secure_path s -> Printf.sprintf "s%d/path" s
 
-let query_batch doc policy mode jobs path_semantics no_run_index metrics
-    queries_file mix mix_seed =
+let query_batch doc policy mode jobs path_semantics no_run_index no_succinct
+    no_summary metrics queries_file mix mix_seed =
   let tree = load_doc doc in
   let subjects, _, labeling = compile tree policy ~mode in
   let dol = Dol.of_labeling labeling in
-  let store = Store.create ~run_index:(not no_run_index) tree dol in
+  let store =
+    Store.create ~run_index:(not no_run_index) ~succinct:(not no_succinct)
+      ~path_summary:(not no_summary) tree dol
+  in
   let index = Tag_index.build tree in
   let batch =
     match (queries_file, mix) with
@@ -342,7 +366,8 @@ let query_batch_cmd =
     (Cmd.info "query-batch"
        ~doc:"Evaluate a batch of twig queries on a worker-domain pool")
     Term.(const query_batch $ doc_arg $ policy_arg $ mode_arg $ jobs $ path_sem
-          $ no_run_index_arg $ metrics_arg $ queries_file $ mix $ mix_seed)
+          $ no_run_index_arg $ no_succinct_arg $ no_summary_arg $ metrics_arg
+          $ queries_file $ mix $ mix_seed)
 
 (* --- view --- *)
 
@@ -468,9 +493,12 @@ let compile_db_cmd =
        ~doc:"Compile document + policy into a single-file secured database")
     Term.(const compile_db $ doc_arg $ policy_arg $ mode_arg $ output)
 
-let query_db db subject path_semantics no_run_index metrics q =
+let query_db db subject path_semantics no_run_index no_succinct no_summary
+    metrics q =
   let store, registries = Dolx_core.Db_file.load db in
   if no_run_index then Store.set_run_index store false;
+  if no_succinct then Store.set_succinct store false;
+  if no_summary then Store.set_summary store false;
   let tree = Store.tree store in
   let index = Tag_index.build tree in
   (* subject by name when the file embeds its registry, else a bit index *)
@@ -505,7 +533,7 @@ let query_db_cmd =
   Cmd.v
     (Cmd.info "query-db" ~doc:"Evaluate a twig query against a compiled database file")
     Term.(const query_db $ db $ subject_bit $ path_sem $ no_run_index_arg
-          $ metrics_arg $ q)
+          $ no_succinct_arg $ no_summary_arg $ metrics_arg $ q)
 
 (* --- stats-db: database-file statistics --- *)
 
@@ -528,6 +556,20 @@ let stats_db db =
     (Dol.transition_count dol)
     (Dol.transition_density dol)
     (Dol.embedded_bytes dol);
+  let succ = Store.succinct store in
+  let module Succinct = Dolx_index.Succinct in
+  let module Path_summary = Dolx_index.Path_summary in
+  Printf.printf "succinct tier: %d bits (%.2f bits/node)\n"
+    (Succinct.size_bits succ) (Succinct.bits_per_node succ);
+  let ps = Store.path_summary store in
+  let st = Tree_stats.compute tree in
+  Printf.printf
+    "path summary: %d classes (%d leaf paths), %d bytes; document: %d \
+     distinct paths, %d leaf paths\n"
+    (Path_summary.node_count ps)
+    (Path_summary.leaf_path_count ps)
+    (Path_summary.bytes ps) st.Tree_stats.distinct_paths
+    st.Tree_stats.distinct_leaf_paths;
   (match registries with
   | Some (subjects, modes) ->
       let names n get count =
@@ -577,7 +619,18 @@ let stats_db db =
   Printf.printf "group commit: batches=%d records=%d flushes=%d\n"
     (Metrics.counter_value "commit.batches")
     (Metrics.counter_value "commit.records")
-    (Metrics.counter_value "commit.flushes")
+    (Metrics.counter_value "commit.flushes");
+  (* per-plan-strategy breakdown: which candidate access paths the
+     engine chose this process (nonzero after --metrics query runs) *)
+  Printf.printf
+    "plans: index_join=%d subtree_scan=%d summary_prune=%d summary_path=%d\n"
+    (Metrics.counter_value "engine.plan_index_join")
+    (Metrics.counter_value "engine.plan_subtree_scan")
+    (Metrics.counter_value "engine.plan_summary_prune")
+    (Metrics.counter_value "engine.plan_summary_path");
+  Printf.printf "  pruned: run_index=%d summary=%d\n"
+    (Metrics.counter_value "engine.candidates_pruned")
+    (Metrics.counter_value "engine.summary_pruned")
 
 let stats_db_cmd =
   let db = Arg.(required & opt (some file) None & info [ "db" ] ~docv:"FILE") in

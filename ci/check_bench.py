@@ -66,6 +66,30 @@ def check_runs(doc):
     }
 
 
+def check_succinct(doc):
+    require(doc["identical"] is True,
+            "answers diverged with the succinct tier / path summary on")
+    require(doc["batch_identical"] is True, "4-domain batch diverged from baseline")
+    require(is_num(doc["bits_per_node"]) and doc["bits_per_node"] <= 4.0,
+            f"succinct structure over budget: {doc['bits_per_node']} bits/node")
+    require(doc["dense_summary_pruned"] > 0,
+            "summary pruning elided no classes on the dense policy")
+    points = doc["points"]
+    require(points, "no measurement points")
+    for p in points:
+        for key in ("wall_off_s", "wall_on_s", "modeled_off_s", "modeled_on_s", "speedup"):
+            require(is_num(p[key]), f"bad {key} in {p}")
+        require(p["identical"] is True, f"point diverged: {p}")
+    med = statistics.median(p["speedup"] for p in points)
+    require(med >= 1.0, f"Table-1 median regressed vs tiers-off: {med:.2f}x")
+    return {
+        "points": len(points),
+        "bits_per_node": round(doc["bits_per_node"], 2),
+        "classes_pruned": doc["dense_summary_pruned"],
+        "median": round(med, 2),
+    }
+
+
 def check_obs(doc):
     require(is_num(doc["nodes"]) and doc["nodes"] > 0, "bad node count")
     require(doc["queries"], "no per-query points")
@@ -120,6 +144,7 @@ def check_mvcc(doc):
 CHECKS = {
     "parallel": check_parallel,
     "runs": check_runs,
+    "succinct": check_succinct,
     "obs": check_obs,
     "fuzz": check_fuzz,
     "mvcc": check_mvcc,

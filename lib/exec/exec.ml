@@ -265,6 +265,7 @@ let run t pattern semantics =
   let plan = Decompose.plan pattern in
   let mode = Engine.match_mode t.options semantics in
   let main = t.readers.(0) in
+  let summary = Engine.summary_analysis main pattern semantics in
   let scanned = ref 0 in
   let joins = ref 0 in
   let rec go segments roots =
@@ -285,8 +286,8 @@ let run t pattern semantics =
                 | [] -> invalid_arg "Exec: empty segment"
               in
               let dlist =
-                Engine.join_candidates ?value_index:t.value_index main t.index
-                  ~semantics ~bindings next_step.Decompose.pnode
+                Engine.join_candidates ?value_index:t.value_index ?summary main
+                  t.index ~semantics ~bindings next_step.Decompose.pnode
               in
               let pairs =
                 match semantics with
@@ -299,7 +300,7 @@ let run t pattern semantics =
               go rest (Structural_join.descendants_of_pairs pairs)
             end)
   in
-  let first_roots =
+  let first_roots () =
     match plan.Decompose.segments with
     | [] -> []
     | seg :: _ -> (
@@ -310,12 +311,23 @@ let run t pattern semantics =
         | Pattern.Descendant -> (
             match seg.Decompose.steps with
             | s :: _ ->
-                Engine.prune_candidates main semantics
-                  (Engine.index_candidates ?value_index:t.value_index main
-                     t.index s.Decompose.pnode)
+                Engine.seed_candidates ?value_index:t.value_index ?summary main
+                  t.index semantics s
             | [] -> []))
   in
-  let answers = go plan.Decompose.segments first_roots in
+  (* the summary-path plan, when it applies, runs on the main reader —
+     identical answers to the fanned-out navigational evaluation *)
+  let answers =
+    match summary with
+    | Some sp -> (
+        match
+          Engine.try_summary_path ?value_index:t.value_index ~summary:sp main
+            t.index mode semantics plan scanned
+        with
+        | Some answers -> answers
+        | None -> go plan.Decompose.segments (first_roots ()))
+    | None -> go plan.Decompose.segments (first_roots ())
+  in
   let segments = Decompose.segment_count plan in
   Metrics.incr c_queries;
   Metrics.add c_segments segments;

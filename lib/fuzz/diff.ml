@@ -14,14 +14,32 @@ module Exec = Dolx_exec.Exec
 module Prng = Dolx_util.Prng
 module Bitset = Dolx_util.Bitset
 
-type config = { run_index : bool; jobs : int; faults : bool; recovery : bool }
+type config = {
+  run_index : bool;
+  succinct : bool;
+  summary : bool;
+  jobs : int;
+  faults : bool;
+  recovery : bool;
+}
 
-let base_config = { run_index = true; jobs = 1; faults = false; recovery = false }
+let base_config =
+  {
+    run_index = true;
+    succinct = true;
+    summary = true;
+    jobs = 1;
+    faults = false;
+    recovery = false;
+  }
 
 let lattice =
   [
     base_config;
     { base_config with run_index = false };
+    { base_config with succinct = false };
+    { base_config with summary = false };
+    { base_config with succinct = false; summary = false };
     { base_config with jobs = 4 };
     { base_config with faults = true };
     { base_config with recovery = true };
@@ -33,14 +51,18 @@ let lattice =
 let config_for_case i =
   let i = abs i in
   let run_index = i land 1 = 0 in
+  let succinct = (i lsr 1) land 1 = 0 in
+  let summary = (i lsr 2) land 1 = 0 in
   match i mod 3 with
-  | 0 -> { run_index; jobs = 4; faults = false; recovery = false }
-  | 1 -> { run_index; jobs = 1; faults = true; recovery = false }
-  | _ -> { run_index; jobs = 1; faults = false; recovery = true }
+  | 0 -> { base_config with run_index; succinct; summary; jobs = 4 }
+  | 1 -> { base_config with run_index; succinct; summary; faults = true }
+  | _ -> { base_config with run_index; succinct; summary; recovery = true }
 
 let config_name c =
-  Printf.sprintf "runs=%s,jobs=%d,faults=%s,recovery=%s"
+  Printf.sprintf "runs=%s,succ=%s,sum=%s,jobs=%d,faults=%s,recovery=%s"
     (if c.run_index then "on" else "off")
+    (if c.succinct then "on" else "off")
+    (if c.summary then "on" else "off")
     c.jobs
     (if c.faults then "on" else "off")
     (if c.recovery then "on" else "off")
@@ -71,9 +93,14 @@ let install_faults st =
 
 (* Structural updates renumber preorders: rebuild the physical layout
    (as Update's contract requires) and the tag index. *)
+let apply_flags cfg store =
+  Store.set_run_index store cfg.run_index;
+  Store.set_succinct store cfg.succinct;
+  Store.set_summary store cfg.summary
+
 let rebuilt st dol' =
   st.store <- Store.rebuild st.store st.tree dol';
-  Store.set_run_index st.store st.cfg.run_index;
+  apply_flags st.cfg st.store;
   install_faults st;
   st.index <- Tag_index.build st.tree
 
@@ -258,7 +285,7 @@ let apply_access st i upd =
       images;
     (* continue the trace from the committed image, like a real restart *)
     let committed, _ = Db_file.of_bytes (List.nth images last) in
-    Store.set_run_index committed st.cfg.run_index;
+    apply_flags st.cfg committed;
     st.store <- committed;
     st.tree <- Store.tree committed;
     install_faults st;
@@ -563,7 +590,7 @@ let check_params cfg (params : Gen.params) =
     Dol.validate dol;
     let store =
       Store.create ~page_size:case.Gen.page_size ~pool_capacity:8 ~run_index:cfg.run_index
-        case.Gen.tree dol
+        ~succinct:cfg.succinct ~path_summary:cfg.summary case.Gen.tree dol
     in
     let st =
       {

@@ -17,6 +17,9 @@
 type config = {
   run_index : bool;  (** store-level run index setting (the opposite is
                          also probed inside every check) *)
+  succinct : bool;   (** navigation through the succinct BP tier *)
+  summary : bool;    (** DataGuide candidate-class pruning + the
+                         summary-path plan in the engine *)
   jobs : int;        (** > 1 adds an executor-batch cross-check *)
   faults : bool;     (** transient-read fault injection on the disk *)
   recovery : bool;   (** accessibility updates go through journaled
@@ -26,8 +29,9 @@ type config = {
 (** Plain sequential configuration: run index on, no extras. *)
 val base_config : config
 
-(** The checked points of the lattice (run index on/off, jobs 1/4,
-    faults, recovery) — used when replaying corpus seeds. *)
+(** The checked points of the lattice (run index on/off, succinct
+    on/off, summary on/off, jobs 1/4, faults, recovery) — used when
+    replaying corpus seeds. *)
 val lattice : config list
 
 (** Deterministic per-case rotation through the lattice used by the

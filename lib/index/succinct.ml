@@ -1,0 +1,269 @@
+(** Succinct balanced-parentheses tree tier (see succinct.mli).
+
+    Layout: the BP vector lives in a [Bytes.t], LSB-first within each
+    byte; '(' = 1, ')' = 0.  Directories are per 512-bit block: ones
+    before the block ([blk_rank], from which the excess at a block
+    boundary is [2*rank - pos]), and the min/max prefix excess attained
+    inside the block.  Because prefix excess is a +-1 walk, the set of
+    values it attains over a contiguous range is exactly [min, max] —
+    that is what lets [find_close] / [enclose] decide per block (and per
+    64-block superblock) whether the target excess occurs inside, then
+    finish with one bitwise scan.  Select keeps one sampled block index
+    per 256 ones.  Everything together is ~3 bits per node. *)
+
+module Tree = Dolx_xml.Tree
+
+let block_bits = 512
+
+let block_bytes = block_bits / 8
+
+let sup_blocks = 64 (* blocks per superblock *)
+
+let sel_gap = 256 (* ones per select sample *)
+
+(* Byte popcount table. *)
+let pop8 =
+  let a = Array.make 256 0 in
+  for i = 1 to 255 do
+    a.(i) <- a.(i lsr 1) + (i land 1)
+  done;
+  a
+
+type t = {
+  bits : Bytes.t;
+  len : int; (* bit length = 2n *)
+  n : int;
+  blk_rank : int array; (* nblocks+1: ones strictly before block b *)
+  blk_min : int array; (* min prefix excess attained inside block b *)
+  blk_max : int array;
+  sup_min : int array;
+  sup_max : int array;
+  sel : int array; (* sel.(j) = block holding the (j*sel_gap + 1)-th one *)
+}
+
+let node_count t = t.n
+
+let length t = t.len
+
+let bit bits i = Char.code (Bytes.unsafe_get bits (i lsr 3)) lsr (i land 7) land 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Succinct.get";
+  bit t.bits i = 1
+
+let build tree =
+  let n = Tree.size tree in
+  if n = 0 then invalid_arg "Succinct.build: empty tree";
+  let len = 2 * n in
+  let bits = Bytes.make ((len + 7) / 8) '\000' in
+  let pos = ref 0 in
+  for v = 0 to n - 1 do
+    let p = !pos in
+    Bytes.set_uint8 bits (p lsr 3)
+      (Bytes.get_uint8 bits (p lsr 3) lor (1 lsl (p land 7)));
+    (* the closes after v are 0-bits, already in place *)
+    pos := p + 1 + Tree.closes_after tree v
+  done;
+  assert (!pos = len);
+  let nblocks = (len + block_bits - 1) / block_bits in
+  let nsup = (nblocks + sup_blocks - 1) / sup_blocks in
+  let blk_rank = Array.make (nblocks + 1) 0 in
+  let blk_min = Array.make nblocks max_int in
+  let blk_max = Array.make nblocks min_int in
+  let sup_min = Array.make nsup max_int in
+  let sup_max = Array.make nsup min_int in
+  let nsel = (n + sel_gap - 1) / sel_gap in
+  let sel = Array.make (max 1 nsel) 0 in
+  let ones = ref 0 and exc = ref 0 and j = ref 0 in
+  for b = 0 to nblocks - 1 do
+    blk_rank.(b) <- !ones;
+    let lo = b * block_bits and hi = min len ((b + 1) * block_bits) in
+    for i = lo to hi - 1 do
+      if bit bits i = 1 then begin
+        incr ones;
+        incr exc
+      end
+      else decr exc;
+      if !exc < blk_min.(b) then blk_min.(b) <- !exc;
+      if !exc > blk_max.(b) then blk_max.(b) <- !exc
+    done;
+    let s = b / sup_blocks in
+    if blk_min.(b) < sup_min.(s) then sup_min.(s) <- blk_min.(b);
+    if blk_max.(b) > sup_max.(s) then sup_max.(s) <- blk_max.(b);
+    (* record the first block whose running count reaches each sample *)
+    while !j < nsel && (!j * sel_gap) + 1 <= !ones do
+      sel.(!j) <- b;
+      incr j
+    done
+  done;
+  blk_rank.(nblocks) <- !ones;
+  { bits; len; n; blk_rank; blk_min; blk_max; sup_min; sup_max; sel }
+
+let rank1 t i =
+  if i < 0 || i > t.len then invalid_arg "Succinct.rank1";
+  let b = i / block_bits in
+  let r = ref t.blk_rank.(b) in
+  let full = i lsr 3 in
+  for k = b * block_bytes to full - 1 do
+    r := !r + pop8.(Bytes.get_uint8 t.bits k)
+  done;
+  let rem = i land 7 in
+  if rem > 0 then
+    r := !r + pop8.(Bytes.get_uint8 t.bits full land ((1 lsl rem) - 1));
+  !r
+
+let excess t i = (2 * rank1 t i) - i
+
+let select1 t k =
+  if k < 1 || k > t.n then invalid_arg "Succinct.select1";
+  let b = ref t.sel.((k - 1) / sel_gap) in
+  while t.blk_rank.(!b + 1) < k do
+    incr b
+  done;
+  let rem = ref (k - t.blk_rank.(!b)) in
+  let byte = ref (!b * block_bytes) in
+  let c = ref pop8.(Bytes.get_uint8 t.bits !byte) in
+  while !c < !rem do
+    rem := !rem - !c;
+    incr byte;
+    c := pop8.(Bytes.get_uint8 t.bits !byte)
+  done;
+  let v = ref (Bytes.get_uint8 t.bits !byte) in
+  let bitpos = ref 0 in
+  while
+    if !v land 1 = 1 then begin
+      decr rem;
+      !rem > 0
+    end
+    else true
+  do
+    v := !v lsr 1;
+    incr bitpos
+  done;
+  (!byte lsl 3) + !bitpos
+
+(* Excess at a block boundary, from the rank directory alone. *)
+let blk_excess t b = (2 * t.blk_rank.(b)) - (b * block_bits)
+
+let find_close t p =
+  if p < 0 || p >= t.len || bit t.bits p = 0 then
+    invalid_arg "Succinct.find_close";
+  (* the matching close q is the first q > p with exc(q+1) = exc(p) *)
+  let target = excess t p in
+  let bend = min t.len ((p / block_bits + 1) * block_bits) in
+  let cur = ref (target + 1) in
+  let i = ref (p + 1) in
+  let res = ref (-1) in
+  while !res < 0 && !i < bend do
+    cur := !cur + (if bit t.bits !i = 1 then 1 else -1);
+    if !cur = target then res := !i else incr i
+  done;
+  if !res >= 0 then !res
+  else begin
+    let nblocks = Array.length t.blk_min in
+    let b = ref ((p / block_bits) + 1) in
+    let searching = ref true in
+    while !searching do
+      if !b >= nblocks then failwith "Succinct.find_close: unbalanced";
+      if !b mod sup_blocks = 0 && t.sup_min.(!b / sup_blocks) > target then
+        b := !b + sup_blocks
+      else if t.blk_min.(!b) > target then incr b
+      else searching := false
+    done;
+    let lo = !b * block_bits in
+    let cur = ref (blk_excess t !b) in
+    let i = ref lo in
+    let res = ref (-1) in
+    while !res < 0 do
+      cur := !cur + (if bit t.bits !i = 1 then 1 else -1);
+      if !cur = target then res := !i else incr i
+    done;
+    !res
+  end
+
+let enclose t p =
+  if p < 0 || p >= t.len || bit t.bits p = 0 then invalid_arg "Succinct.enclose";
+  let e = excess t p in
+  if e = 0 then -1 (* root *)
+  else if e = 1 then 0 (* child of the root *)
+  else begin
+    (* parent's open is the largest q < p with exc(q) = e - 1 *)
+    let target = e - 1 in
+    let bstart = p / block_bits * block_bits in
+    let cur = ref e in
+    let i = ref (p - 1) in
+    let res = ref (-1) in
+    while !res < 0 && !i >= bstart do
+      cur := !cur - (if bit t.bits !i = 1 then 1 else -1);
+      if !cur = target then res := !i else decr i
+    done;
+    if !res >= 0 then !res
+    else begin
+      let b = ref ((p / block_bits) - 1) in
+      let searching = ref true in
+      while !searching do
+        if !b < 0 then failwith "Succinct.enclose: unbalanced";
+        if
+          (!b + 1) mod sup_blocks = 0
+          &&
+          let s = !b / sup_blocks in
+          t.sup_min.(s) > target || t.sup_max.(s) < target
+        then b := !b - sup_blocks
+        else if t.blk_min.(!b) > target || t.blk_max.(!b) < target then decr b
+        else searching := false
+      done;
+      let hi = min t.len ((!b + 1) * block_bits) in
+      let cur = ref ((2 * t.blk_rank.(!b + 1)) - hi) in
+      let q = ref hi in
+      let res = ref (-1) in
+      while !res < 0 do
+        if !cur = target then res := !q
+        else begin
+          decr q;
+          cur := !cur - (if bit t.bits !q = 1 then 1 else -1)
+        end
+      done;
+      !res
+    end
+  end
+
+let pos_of t v = select1 t (v + 1)
+
+let node_of t p = rank1 t (p + 1) - 1
+
+let parent t v =
+  if v = 0 then Tree.nil
+  else
+    let q = enclose t (pos_of t v) in
+    node_of t q
+
+let first_child t v =
+  let p = pos_of t v in
+  if p + 1 < t.len && bit t.bits (p + 1) = 1 then v + 1 else Tree.nil
+
+let subtree_size t v =
+  let p = pos_of t v in
+  (find_close t p - p + 1) / 2
+
+let subtree_end t v = v + subtree_size t v - 1
+
+let next_sibling t v =
+  let p = pos_of t v in
+  let c = find_close t p in
+  if c + 1 < t.len && bit t.bits (c + 1) = 1 then v + ((c - p + 1) / 2)
+  else Tree.nil
+
+let depth t v = excess t (pos_of t v)
+
+let is_leaf t v = first_child t v = Tree.nil
+
+let is_ancestor t a d = a < d && d <= subtree_end t a
+
+let size_bits t =
+  (8 * Bytes.length t.bits)
+  + 64
+    * (Array.length t.blk_rank + Array.length t.blk_min
+     + Array.length t.blk_max + Array.length t.sup_min
+     + Array.length t.sup_max + Array.length t.sel)
+
+let bits_per_node t = float_of_int (size_bits t) /. float_of_int t.n

@@ -19,6 +19,7 @@ module Store = Dolx_core.Secure_store
 module Tree = Dolx_xml.Tree
 module Tag = Dolx_xml.Tag
 module Tag_index = Dolx_index.Tag_index
+module Path_summary = Dolx_index.Path_summary
 module Metrics = Dolx_obs.Metrics
 module Trace = Dolx_obs.Trace
 
@@ -36,7 +37,13 @@ let c_plan_index = Metrics.counter "engine.plan_index_join"
 
 let c_plan_subtree = Metrics.counter "engine.plan_subtree_scan"
 
+let c_plan_summary = Metrics.counter "engine.plan_summary_prune"
+
+let c_plan_path = Metrics.counter "engine.plan_summary_path"
+
 let c_pruned = Metrics.counter "engine.candidates_pruned"
+
+let c_summary_pruned = Metrics.counter "engine.summary_pruned"
 
 type semantics =
   | Insecure              (** plain NoK evaluation, no access control *)
@@ -105,6 +112,27 @@ let ceil_log2 n =
   let rec go acc v = if v <= 1 then acc else go (acc + 1) ((v + 1) / 2) in
   go 0 n
 
+(* Class analysis of this query against the path summary, when the
+   handle has the summary tier enabled.  Under secure semantics the
+   run index additionally kills classes whose whole extent span holds
+   no accessible node — those classes can supply no witness, bound or
+   existential.  Classes discarded either way feed the
+   [engine.summary_pruned] counter. *)
+let summary_analysis store pattern semantics =
+  if not (Store.summary_enabled store) then None
+  else begin
+    let ps = Store.path_summary store in
+    let table = Tree.tag_table (Store.tree store) in
+    let sp = Summary_prune.analyze ~table ps pattern in
+    (match subject_of semantics with
+    | Some s when Store.run_index_enabled store ->
+        let dead ~lo ~hi = Store.next_accessible store ~subject:s lo > hi in
+        ignore (Summary_prune.drop_dead_spans sp ~dead)
+    | _ -> ());
+    Metrics.add c_summary_pruned (Summary_prune.pruned_classes sp);
+    Some sp
+  end
+
 (* Candidates for the next segment's entry step at a structural join.
    Two access paths produce the same final answers — the join keeps only
    descendants of the current bindings, so probing each binding's
@@ -121,9 +149,22 @@ let ceil_log2 n =
    join sees them).  The run count enters both sides symmetrically as
    the intersection cost, so it never flips a decision between secure
    and insecure evaluation of the same query. *)
-let join_candidates ?value_index store index ~semantics ~bindings
+let join_candidates ?value_index ?summary store index ~semantics ~bindings
     (p : Pattern.pnode) =
-  let prune cands = prune_candidates store semantics cands in
+  let class_filter cands =
+    match summary with
+    | None -> cands
+    | Some sp ->
+        Metrics.incr c_plan_summary;
+        Summary_prune.restrict sp p cands
+  in
+  let prune cands = prune_candidates store semantics (class_filter cands) in
+  match summary with
+  | Some sp when Summary_prune.empty_for sp p ->
+      (* every admissible class is gone — skip the postings entirely *)
+      Metrics.incr c_plan_summary;
+      []
+  | _ -> (
   match p.Pattern.test with
   | Pattern.Wildcard -> prune (index_candidates ?value_index store index p)
   | Pattern.Tag _ when p.Pattern.value <> None && value_index <> None ->
@@ -134,7 +175,14 @@ let join_candidates ?value_index store index ~semantics ~bindings
       match Tag.find_opt (Tree.tag_table tree) name with
       | None -> []
       | Some id ->
-          let card = float_of_int (Tag_index.count index id) in
+          let card =
+            (* with the summary, the exact number of nodes on an
+               admissible tag path (classes of one tag partition its
+               extent) — tighter than the whole-tag count *)
+            match summary with
+            | Some sp -> float_of_int (Summary_prune.cardinality sp p)
+            | None -> float_of_int (Tag_index.count index id)
+          in
           let n = max 1 (Tree.size tree) in
           let spans =
             List.fold_left
@@ -165,7 +213,27 @@ let join_candidates ?value_index store index ~semantics ~bindings
           else begin
             Metrics.incr c_plan_index;
             prune (Tag_index.postings index id)
-          end)
+          end))
+
+(* Candidate roots for a first segment entered on the descendant axis:
+   index postings, class-filtered, run-pruned. *)
+let seed_candidates ?value_index ?summary store index semantics
+    (s : Decompose.step) =
+  let p = s.Decompose.pnode in
+  match summary with
+  | Some sp when Summary_prune.empty_for sp p ->
+      Metrics.incr c_plan_summary;
+      []
+  | _ ->
+      let cands = index_candidates ?value_index store index p in
+      let cands =
+        match summary with
+        | None -> cands
+        | Some sp ->
+            Metrics.incr c_plan_summary;
+            Summary_prune.restrict sp p cands
+      in
+      prune_candidates store semantics cands
 
 (* Evaluate one NoK segment from the given candidate roots (sorted).
    Returns the bindings of the segment's last trunk step, sorted and
@@ -210,10 +278,105 @@ let eval_segment store index mode (seg : Decompose.segment) roots scanned =
       let out = List.fold_left (fun bs step -> expand step bs) start rest in
       List.sort_uniq compare out
 
+(* Summary-path plan: when the trunk uses only child and descendant
+   axes and ends in a tag test, the query is resolved bottom-up from
+   the LAST step's class-filtered postings instead of top-down through
+   segment evaluation and structural joins.  [match_up i v] decides
+   whether [v] can carry step [i] with all earlier steps bound above it:
+   child edges have a unique parent; descendant edges search proper
+   ancestors, skipping any whose summary class is inadmissible for the
+   earlier step (a pure array lookup, no I/O).  Verdicts are memoized
+   per (step, node), so every distinct chain node is qualified — and its
+   page visited — at most once, however many candidates share it.
+
+   Answer-equivalent to the segment/join plan under all three
+   semantics: the same [Nok_match.qualifies] checks (tag, value,
+   predicate branches, access mode) decide membership at every
+   position, existential ancestor choice matches the semi-join
+   semantics, and descendant edges re-check connecting paths with
+   [Nok_match.path_clear], which enforces exactly the ε-STD condition
+   (and is a no-op outside path semantics). *)
+let try_summary_path ?value_index ~summary store index mode semantics
+    (plan : Decompose.plan) scanned =
+  let steps =
+    Array.of_list
+      (List.concat_map
+         (fun (s : Decompose.segment) -> s.Decompose.steps)
+         plan.Decompose.segments)
+  in
+  let k = Array.length steps - 1 in
+  let axis i = steps.(i).Decompose.pnode.Pattern.axis in
+  let usable =
+    k >= 0
+    && (match steps.(k).Decompose.pnode.Pattern.test with
+       | Pattern.Tag _ -> true
+       | Pattern.Wildcard -> false)
+    &&
+    let rec no_fs i = i > k || (axis i <> Pattern.Following_sibling && no_fs (i + 1)) in
+    no_fs 0
+  in
+  if not usable then None
+  else begin
+    Metrics.incr c_plan_path;
+    let last = steps.(k).Decompose.pnode in
+    if Summary_prune.empty_for summary last then Some []
+    else begin
+      let cands = index_candidates ?value_index store index last in
+      let cands = Summary_prune.restrict summary last cands in
+      let cands = prune_candidates store semantics cands in
+      let ps = Store.path_summary store in
+      let adm =
+        Array.map
+          (fun (st : Decompose.step) ->
+            Summary_prune.classes summary st.Decompose.pnode)
+          steps
+      in
+      let admissible i v = adm.(i).(Path_summary.class_of ps v) in
+      let qualify i v =
+        incr scanned;
+        Nok_match.qualifies store index mode steps.(i).Decompose.pnode
+          ~preds:steps.(i).Decompose.preds v
+      in
+      let n = Tree.size (Store.tree store) in
+      let memo = Hashtbl.create 512 in
+      let rec match_up i v =
+        match Hashtbl.find_opt memo ((i * n) + v) with
+        | Some b -> b
+        | None ->
+            let above =
+              if i = 0 then
+                match axis 0 with
+                | Pattern.Child -> v = Tree.root
+                | Pattern.Descendant | Pattern.Following_sibling -> true
+              else
+                match axis i with
+                | Pattern.Child ->
+                    let u = Store.parent store v in
+                    u <> Tree.nil && match_up (i - 1) u
+                | Pattern.Descendant ->
+                    let rec search u =
+                      u <> Tree.nil
+                      && ((admissible (i - 1) u
+                          && match_up (i - 1) u
+                          && Nok_match.path_clear store mode ~ctx:u v)
+                         || search (Store.parent store u))
+                    in
+                    search (Store.parent store v)
+                | Pattern.Following_sibling -> false
+            in
+            let b = above && qualify i v in
+            Hashtbl.add memo ((i * n) + v) b;
+            b
+      in
+      Some (List.filter (fun v -> match_up k v) cands)
+    end
+  end
+
 let run ?(options = default_options) ?value_index store index pattern semantics =
   Trace.with_span "engine.query" @@ fun () ->
   let plan = Decompose.plan pattern in
   let mode = match_mode options semantics in
+  let summary = summary_analysis store pattern semantics in
   let scanned = ref 0 in
   let joins = ref 0 in
   let rec go segments roots =
@@ -237,8 +400,8 @@ let run ?(options = default_options) ?value_index store index pattern semantics 
                 | [] -> invalid_arg "Engine: empty segment"
               in
               let dlist =
-                join_candidates ?value_index store index ~semantics ~bindings
-                  next_step.Decompose.pnode
+                join_candidates ?value_index ?summary store index ~semantics
+                  ~bindings next_step.Decompose.pnode
               in
               let pairs =
                 match semantics with
@@ -252,7 +415,7 @@ let run ?(options = default_options) ?value_index store index pattern semantics 
               go rest surviving
             end)
   in
-  let first_roots =
+  let first_roots () =
     Trace.with_span "engine.index_seed" @@ fun () ->
     match plan.Decompose.segments with
     | [] -> []
@@ -263,12 +426,20 @@ let run ?(options = default_options) ?value_index store index pattern semantics 
             invalid_arg "Engine: query cannot start with following-sibling::"
         | Pattern.Descendant -> (
             match seg.Decompose.steps with
-            | s :: _ ->
-                prune_candidates store semantics
-                  (index_candidates ?value_index store index s.Decompose.pnode)
+            | s :: _ -> seed_candidates ?value_index ?summary store index semantics s
             | [] -> []))
   in
-  let answers = go plan.Decompose.segments first_roots in
+  let answers =
+    match summary with
+    | Some sp -> (
+        match
+          try_summary_path ?value_index ~summary:sp store index mode semantics
+            plan scanned
+        with
+        | Some answers -> answers
+        | None -> go plan.Decompose.segments (first_roots ()))
+    | None -> go plan.Decompose.segments (first_roots ())
+  in
   let segments = Decompose.segment_count plan in
   Metrics.incr c_queries;
   Metrics.add c_segments segments;

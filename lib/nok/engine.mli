@@ -96,8 +96,37 @@ val planted_bug : bool ref
     [Dolx_exec] must use this same function so parallel plans match
     sequential ones exactly. *)
 val join_candidates :
-  ?value_index:Dolx_index.Value_index.t -> Store.t -> Dolx_index.Tag_index.t ->
+  ?value_index:Dolx_index.Value_index.t -> ?summary:Summary_prune.t ->
+  Store.t -> Dolx_index.Tag_index.t ->
   semantics:semantics -> bindings:int list -> Pattern.pnode -> int list
+
+(** Class analysis of the query against the handle's path summary
+    ({!Summary_prune}); [None] when the summary tier is disabled on this
+    handle.  Under secure semantics, classes whose extent span holds no
+    accessible node are additionally dropped via the run index.  Updates
+    the [engine.summary_pruned] counter. *)
+val summary_analysis :
+  Store.t -> Pattern.t -> semantics -> Summary_prune.t option
+
+(** Candidate roots for a first segment entered on the descendant axis:
+    index postings, class-filtered when a summary analysis is given,
+    then run-pruned.  {!run} and [Dolx_exec] share this seeding. *)
+val seed_candidates :
+  ?value_index:Dolx_index.Value_index.t -> ?summary:Summary_prune.t ->
+  Store.t -> Dolx_index.Tag_index.t -> semantics -> Decompose.step -> int list
+
+(** Summary-path plan: when the trunk uses only child and descendant
+    axes and ends in a tag test, answer the query bottom-up from the
+    last step's class-filtered postings, verifying each candidate's
+    ancestor binding chain with per-(step, node) memoization and
+    class-guided ancestor search.  [None] when the plan shape does not
+    apply (a following-sibling step, or a wildcard last step); [Some
+    answers] is identical to the segment/join result under all three
+    semantics.  [scanned] is incremented per qualification. *)
+val try_summary_path :
+  ?value_index:Dolx_index.Value_index.t -> summary:Summary_prune.t ->
+  Store.t -> Dolx_index.Tag_index.t -> Nok_match.mode -> semantics ->
+  Decompose.plan -> int ref -> int list option
 
 (** Evaluate one NoK segment from the given (sorted) candidate roots;
     returns the bindings of the segment's last trunk step, sorted and

@@ -60,9 +60,8 @@ let path_clear store mode ~ctx u =
          proves the path clear without walking (or touching) it *)
       Store.span_provably_accessible store ~subject:s ~lo:(ctx + 1) ~hi:(u - 1)
       ||
-      let tree = Store.tree store in
-      let rec up v = v = ctx || (visit store mode v && up (Tree.parent tree v)) in
-      up (Tree.parent tree u)
+      let rec up v = v = ctx || (visit store mode v && up (Store.parent store v)) in
+      up (Store.parent store u)
 
 let test_ok store (test : Pattern.test) v =
   match test with

@@ -30,7 +30,6 @@ module Tree = Dolx_xml.Tree
     returns all pairs (a, d) with [a] a proper ancestor of [d], grouped
     by descendant, innermost ancestor first within a group. *)
 let stack_tree_desc store ~alist ~dlist =
-  let tree = Store.tree store in
   let a = Array.of_list alist and d = Array.of_list dlist in
   let na = Array.length a and nd = Array.length d in
   let stack = ref [] in
@@ -38,7 +37,7 @@ let stack_tree_desc store ~alist ~dlist =
   let ai = ref 0 and di = ref 0 in
   let pop_finished v =
     let rec go = function
-      | top :: rest when not (Tree.is_ancestor tree top v) -> go rest
+      | top :: rest when not (Store.is_ancestor store top v) -> go rest
       | s -> s
     in
     stack := go !stack
@@ -76,14 +75,13 @@ let make_checker store ~subject =
     accessible?  ([a] and [d] themselves were checked when their NoK
     fragments matched.) *)
 let path_accessible store ~subject ~memo ~a ~d =
-  let tree = Store.tree store in
   (* run containment: when [a] is an ancestor of [d], every node on the
      connecting path has preorder in (a, d); a single accessible run
      covering [a+1, d-1] proves the path clear with no page access.
      (The guard matters: for non-ancestor pairs the walk climbs past [a]
      through nodes outside that span.) *)
   if
-    Tree.is_ancestor tree a d
+    Store.is_ancestor store a d
     && Store.span_provably_accessible store ~subject ~lo:(a + 1) ~hi:(d - 1)
   then true
   else
@@ -92,23 +90,22 @@ let path_accessible store ~subject ~memo ~a ~d =
       | Some f -> f
       | None -> make_checker store ~subject
     in
-    let rec up v = v = a || v = Tree.nil || (check v && up (Tree.parent tree v)) in
-    up (Tree.parent tree d)
+    let rec up v = v = a || v = Tree.nil || (check v && up (Store.parent store v)) in
+    up (Store.parent store d)
 
 (** ε-STD, unmemoized: the straw-man the paper warns about — every pair
     re-walks its connecting path against the store, so a node shared by
     many pairs is fetched and checked over and over ("this checking may
     involve lots of page reads", §4.2). *)
 let secure_stack_tree_desc_unmemoized store ~subject ~alist ~dlist =
-  let tree = Store.tree store in
   let check v =
     Store.touch store v;
     Store.accessible store ~subject v
   in
   List.filter
     (fun (a, d) ->
-      let rec up v = v = a || v = Tree.nil || (check v && up (Tree.parent tree v)) in
-      up (Tree.parent tree d))
+      let rec up v = v = a || v = Tree.nil || (check v && up (Store.parent store v)) in
+      up (Store.parent store d))
     (stack_tree_desc store ~alist ~dlist)
 
 (** ε-STD, naive: filter STD pairs by re-walking each connecting path. *)
@@ -123,7 +120,6 @@ let secure_stack_tree_desc_naive store ~subject ~alist ~dlist =
     itself is fully accessible; a pair (entry, d) is then decided by one
     running conjunction instead of a chain walk per pair. *)
 let secure_stack_tree_desc store ~subject ~alist ~dlist =
-  let tree = Store.tree store in
   let check = make_checker store ~subject in
   (* seg_acc: all nodes on the path from this entry's node (inclusive)
      up to — but excluding — the node of the entry below it are
@@ -135,7 +131,7 @@ let secure_stack_tree_desc store ~subject ~alist ~dlist =
   let ai = ref 0 and di = ref 0 in
   let pop_finished v =
     let rec go = function
-      | (top, _) :: rest when not (Tree.is_ancestor tree top v) -> go rest
+      | (top, _) :: rest when not (Store.is_ancestor store top v) -> go rest
       | s -> s
     in
     stack := go !stack
@@ -146,8 +142,8 @@ let secure_stack_tree_desc store ~subject ~alist ~dlist =
   let clear_between ~stop v =
     Store.span_provably_accessible store ~subject ~lo:(stop + 1) ~hi:(v - 1)
     ||
-    let rec up u = u = stop || u = Tree.nil || (check u && up (Tree.parent tree u)) in
-    up (Tree.parent tree v)
+    let rec up u = u = stop || u = Tree.nil || (check u && up (Store.parent store u)) in
+    up (Store.parent store v)
   in
   while !di < nd do
     if !ai < na && a.(!ai) < d.(!di) then begin

@@ -10,6 +10,8 @@ type t = {
   max_fanout : int;
   avg_fanout : float;          (** over internal nodes *)
   distinct_tags : int;
+  distinct_paths : int;
+  distinct_leaf_paths : int;
 }
 
 let compute tree =
@@ -21,12 +23,29 @@ let compute tree =
   let max_fanout = ref 0 in
   let sum_fanout = ref 0 in
   let internal = ref 0 in
+  (* inline DataGuide walk: a path class per distinct (parent class, tag)
+     pair — counts root-to-node tag paths without materializing them *)
+  let cls = Array.make (max n 1) 0 in
+  let path_tbl = Hashtbl.create 64 in
+  let n_paths = ref 0 in
+  let leafy = Hashtbl.create 64 in
   for v = 0 to n - 1 do
     let p = Tree.parent tree v in
     depths.(v) <- (if p = Tree.nil then 0 else depths.(p) + 1);
     if depths.(v) > !max_depth then max_depth := depths.(v);
     sum_depth := !sum_depth + depths.(v);
-    if Tree.is_leaf tree v then incr leaves
+    let pc = if p = Tree.nil then -1 else cls.(p) in
+    let key = (pc, (Tree.tag tree v : Tag.id)) in
+    (match Hashtbl.find_opt path_tbl key with
+    | Some c -> cls.(v) <- c
+    | None ->
+        cls.(v) <- !n_paths;
+        Hashtbl.add path_tbl key !n_paths;
+        incr n_paths);
+    if Tree.is_leaf tree v then begin
+      incr leaves;
+      Hashtbl.replace leafy cls.(v) ()
+    end
     else begin
       incr internal;
       let fanout = List.length (Tree.children tree v) in
@@ -44,10 +63,13 @@ let compute tree =
       (if !internal = 0 then 0.0
        else float_of_int !sum_fanout /. float_of_int !internal);
     distinct_tags = Tag.count (Tree.tag_table tree);
+    distinct_paths = !n_paths;
+    distinct_leaf_paths = Hashtbl.length leafy;
   }
 
 let pp ppf s =
   Fmt.pf ppf
-    "nodes=%d leaves=%d max_depth=%d avg_depth=%.2f max_fanout=%d avg_fanout=%.2f tags=%d"
+    "nodes=%d leaves=%d max_depth=%d avg_depth=%.2f max_fanout=%d \
+     avg_fanout=%.2f tags=%d paths=%d leaf_paths=%d"
     s.nodes s.leaves s.max_depth s.avg_depth s.max_fanout s.avg_fanout
-    s.distinct_tags
+    s.distinct_tags s.distinct_paths s.distinct_leaf_paths

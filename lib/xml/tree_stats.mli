@@ -10,6 +10,8 @@ type t = {
   max_fanout : int;
   avg_fanout : float;  (** over internal nodes *)
   distinct_tags : int;
+  distinct_paths : int;       (** distinct root-to-node tag paths (DataGuide size) *)
+  distinct_leaf_paths : int;  (** distinct root-to-leaf tag paths *)
 }
 
 val compute : Tree.t -> t

@@ -1,0 +1,263 @@
+(** Oracle tests for the succinct balanced-parentheses tier and the
+    path summary: every primitive and navigation op is checked against
+    brute force over the balanced-parentheses string / the arena tree,
+    on randomized documents and on the degenerate shapes (deep chain,
+    wide fan-out) where block-directory search has its edge cases. *)
+
+module Tree = Dolx_xml.Tree
+module Succinct = Dolx_index.Succinct
+module Path_summary = Dolx_index.Path_summary
+module Gen = Dolx_fuzz.Gen
+
+let check = Alcotest.check
+
+(* The BP string of [tree], as a bool array ('(' = true) — the oracle
+   the bitvector is compared against. *)
+let bp_of_tree tree =
+  let n = Tree.size tree in
+  let bits = Array.make (2 * n) false in
+  let pos = ref 0 in
+  for v = 0 to n - 1 do
+    bits.(!pos) <- true;
+    pos := !pos + 1 + Tree.closes_after tree v
+  done;
+  bits
+
+let brute_rank bits i =
+  let r = ref 0 in
+  for k = 0 to i - 1 do
+    if bits.(k) then incr r
+  done;
+  !r
+
+let brute_select bits k =
+  let seen = ref 0 and res = ref (-1) in
+  Array.iteri
+    (fun i b ->
+      if b then begin
+        incr seen;
+        if !seen = k && !res < 0 then res := i
+      end)
+    bits;
+  !res
+
+let brute_find_close bits p =
+  let depth = ref 0 and res = ref (-1) in
+  let i = ref p in
+  while !res < 0 do
+    depth := !depth + (if bits.(!i) then 1 else -1);
+    if !depth = 0 then res := !i else incr i
+  done;
+  !res
+
+let brute_enclose bits p =
+  (* innermost open whose matching close is after p *)
+  let res = ref (-1) in
+  for q = p - 1 downto 0 do
+    if !res < 0 && bits.(q) && brute_find_close bits q > p then res := q
+  done;
+  !res
+
+(* A deep chain: a > b > c > ... nested [depth] levels. *)
+let chain_tree depth =
+  let b = Tree.Builder.create () in
+  for i = 0 to depth - 1 do
+    ignore (Tree.Builder.open_element b (Printf.sprintf "t%d" (i mod 7)))
+  done;
+  for _ = 0 to depth - 1 do
+    Tree.Builder.close_element b
+  done;
+  Tree.Builder.finish b
+
+(* A wide star: one root with [fanout] leaf children. *)
+let star_tree fanout =
+  let b = Tree.Builder.create () in
+  ignore (Tree.Builder.open_element b "root");
+  for i = 0 to fanout - 1 do
+    ignore (Tree.Builder.leaf b (Printf.sprintf "c%d" (i mod 5)) "")
+  done;
+  Tree.Builder.close_element b;
+  Tree.Builder.finish b
+
+let shapes () =
+  let random =
+    List.map
+      (fun (seed, nodes) -> (Printf.sprintf "random-%d" seed, Gen.tree ~seed ~nodes))
+      [ (1, 3); (2, 64); (3, 257); (4, 600); (5, 1025) ]
+  in
+  random
+  @ [
+      ("chain-400", chain_tree 400);
+      ("chain-1100", chain_tree 1100);
+      ("star-1500", star_tree 1500);
+      ("spec", Tree.of_spec
+         (Tree.El ("a", [ Tree.El ("b", [ Tree.El ("d", []) ]);
+                          Tree.El ("c", []) ])));
+    ]
+
+let test_bitvector () =
+  List.iter
+    (fun (name, tree) ->
+      let s = Succinct.build tree in
+      let bits = bp_of_tree tree in
+      let len = Array.length bits in
+      check Alcotest.int (name ^ " length") len (Succinct.length s);
+      check Alcotest.int (name ^ " nodes") (Tree.size tree) (Succinct.node_count s);
+      for i = 0 to len - 1 do
+        if Succinct.get s i <> bits.(i) then
+          Alcotest.failf "%s: bit %d differs" name i
+      done;
+      for i = 0 to len do
+        if Succinct.rank1 s i <> brute_rank bits i then
+          Alcotest.failf "%s: rank1 %d differs" name i;
+        if Succinct.excess s i <> (2 * brute_rank bits i) - i then
+          Alcotest.failf "%s: excess %d differs" name i
+      done;
+      for k = 1 to Tree.size tree do
+        if Succinct.select1 s k <> brute_select bits k then
+          Alcotest.failf "%s: select1 %d differs" name k
+      done)
+    (shapes ())
+
+let test_matching () =
+  List.iter
+    (fun (name, tree) ->
+      let s = Succinct.build tree in
+      let bits = bp_of_tree tree in
+      Array.iteri
+        (fun p b ->
+          if b then begin
+            let fc = Succinct.find_close s p and efc = brute_find_close bits p in
+            if fc <> efc then
+              Alcotest.failf "%s: find_close %d = %d, expected %d" name p fc efc;
+            let en = Succinct.enclose s p and een = brute_enclose bits p in
+            if en <> een then
+              Alcotest.failf "%s: enclose %d = %d, expected %d" name p en een
+          end)
+        bits)
+    (shapes ())
+
+let test_navigation () =
+  List.iter
+    (fun (name, tree) ->
+      let s = Succinct.build tree in
+      for v = 0 to Tree.size tree - 1 do
+        let ck what expect got =
+          if expect <> got then
+            Alcotest.failf "%s: %s of %d = %d, expected %d" name what v got expect
+        in
+        ck "pos/node roundtrip" v (Succinct.node_of s (Succinct.pos_of s v));
+        ck "parent" (Tree.parent tree v) (Succinct.parent s v);
+        ck "first_child" (Tree.first_child tree v) (Succinct.first_child s v);
+        ck "next_sibling" (Tree.next_sibling tree v) (Succinct.next_sibling s v);
+        ck "subtree_size" (Tree.subtree_size tree v) (Succinct.subtree_size s v);
+        ck "subtree_end" (Tree.subtree_end tree v) (Succinct.subtree_end s v);
+        ck "depth" (Tree.depth tree v) (Succinct.depth s v);
+        Alcotest.(check bool)
+          (name ^ " is_leaf") (Tree.is_leaf tree v) (Succinct.is_leaf s v)
+      done;
+      (* ancestorship on sampled pairs *)
+      let n = Tree.size tree in
+      for i = 0 to 199 do
+        let a = i * 31 mod n and d = i * 97 mod n in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s is_ancestor %d %d" name a d)
+          (Tree.is_ancestor tree a d)
+          (Succinct.is_ancestor s a d)
+      done)
+    (shapes ())
+
+let test_bits_per_node () =
+  List.iter
+    (fun (name, tree) ->
+      let s = Succinct.build tree in
+      let bpn = Succinct.bits_per_node s in
+      if Tree.size tree >= 1000 && bpn > 4.0 then
+        Alcotest.failf "%s: %.2f bits/node exceeds the 4-bit budget" name bpn)
+    (shapes ())
+
+(* Path-summary oracle: group nodes by their root tag path computed by
+   walking the arena, then compare every per-class statistic. *)
+let test_summary_extents () =
+  List.iter
+    (fun (name, tree) ->
+      let ps = Path_summary.build tree in
+      let n = Tree.size tree in
+      let path v =
+        let rec up v acc =
+          if v = Tree.nil then acc
+          else up (Tree.parent tree v) (Tree.tag tree v :: acc)
+        in
+        up v []
+      in
+      let groups = Hashtbl.create 64 in
+      for v = 0 to n - 1 do
+        let k = path v in
+        Hashtbl.replace groups k (v :: Option.value ~default:[] (Hashtbl.find_opt groups k))
+      done;
+      check Alcotest.int (name ^ " classes") (Hashtbl.length groups)
+        (Path_summary.node_count ps);
+      let total = ref 0 in
+      for v = 0 to n - 1 do
+        let c = Path_summary.class_of ps v in
+        (* same class iff same path *)
+        check Alcotest.int
+          (Printf.sprintf "%s tag of class of %d" name v)
+          (Tree.tag tree v) (Path_summary.tag ps c);
+        if v > 0 then
+          check Alcotest.int
+            (Printf.sprintf "%s parent class of %d" name v)
+            (Path_summary.class_of ps (Tree.parent tree v))
+            (Path_summary.parent ps c)
+      done;
+      Hashtbl.iter
+        (fun _ vs ->
+          let c = Path_summary.class_of ps (List.hd vs) in
+          List.iter
+            (fun v ->
+              check Alcotest.int (name ^ " class agrees") c
+                (Path_summary.class_of ps v))
+            vs;
+          check Alcotest.int (name ^ " extent") (List.length vs)
+            (Path_summary.extent ps c);
+          let lo = List.fold_left min max_int vs
+          and hi = List.fold_left max (-1) vs in
+          check
+            Alcotest.(pair int int)
+            (name ^ " span") (lo, hi) (Path_summary.span ps c);
+          check Alcotest.bool (name ^ " has_leaf")
+            (List.exists (Tree.is_leaf tree) vs)
+            (Path_summary.has_leaf ps c);
+          total := !total + List.length vs)
+        groups;
+      check Alcotest.int (name ^ " extents partition") n !total;
+      (* leaf-path count against brute force *)
+      let leaf_paths = Hashtbl.create 64 in
+      for v = 0 to n - 1 do
+        if Tree.is_leaf tree v then Hashtbl.replace leaf_paths (path v) ()
+      done;
+      check Alcotest.int (name ^ " leaf paths") (Hashtbl.length leaf_paths)
+        (Path_summary.leaf_path_count ps);
+      (* classes_with_tag covers every class exactly once *)
+      let seen = Hashtbl.create 64 in
+      Dolx_xml.Tag.iter
+        (fun id _ ->
+          List.iter
+            (fun c ->
+              check Alcotest.int (name ^ " by_tag tag") id (Path_summary.tag ps c);
+              if Hashtbl.mem seen c then Alcotest.failf "%s: class listed twice" name;
+              Hashtbl.replace seen c ())
+            (Path_summary.classes_with_tag ps id))
+        (Tree.tag_table tree);
+      check Alcotest.int (name ^ " by_tag total") (Path_summary.node_count ps)
+        (Hashtbl.length seen))
+    (shapes ())
+
+let suite =
+  [
+    Alcotest.test_case "bitvector rank/select vs oracle" `Quick test_bitvector;
+    Alcotest.test_case "find_close/enclose vs oracle" `Quick test_matching;
+    Alcotest.test_case "navigation vs arena" `Quick test_navigation;
+    Alcotest.test_case "bits-per-node budget" `Quick test_bits_per_node;
+    Alcotest.test_case "path-summary extents vs traversal" `Quick test_summary_extents;
+  ]
