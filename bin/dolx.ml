@@ -4,8 +4,9 @@
      generate     emit a synthetic XMark-like document
      stats        shape statistics of an XML document
      label        compile a policy file against a document; print DOL stats
-     query        evaluate a twig query as a subject
+     query        evaluate a twig query as a subject (streamed output)
      query-batch  evaluate a batch of queries on a domain pool (--jobs)
+     serve        drive the multi-tenant streaming query service
      view         export a subject's secured view of a document
      filter       stream a document through the one-pass secure filter
      save-dol     compile a policy and persist the DOL
@@ -36,6 +37,7 @@ module Secure_view = Dolx_core.Secure_view
 module Cam = Dolx_cam.Cam
 module Engine = Dolx_nok.Engine
 module Exec = Dolx_exec.Exec
+module Serve = Dolx_serve.Serve
 module Tag_index = Dolx_index.Tag_index
 module Xmark = Dolx_workload.Xmark
 module Query_mix = Dolx_workload.Query_mix
@@ -230,6 +232,34 @@ let node_path tree v =
   in
   go v ""
 
+(* Stream answers to stdout as the engine produces them: a chunked pull
+   from Engine.stream, flushed per chunk, so output starts before the
+   result set is complete and partial output survives a mid-query
+   exception (the Fun.protect finalizer closes the stream — flushing its
+   partial statistics — and flushes stdout).  Returns the answer count. *)
+let print_stream tree store index q sem =
+  let st = Engine.stream store index (Dolx_nok.Xpath.parse q) sem in
+  Fun.protect
+    ~finally:(fun () ->
+      Engine.stream_close st;
+      flush stdout)
+    (fun () ->
+      let rec pump () =
+        match Engine.stream_next st with
+        | [] -> ()
+        | chunk ->
+            List.iter
+              (fun v ->
+                let txt = Tree.text tree v in
+                Printf.printf "%s%s\n" (node_path tree v)
+                  (if txt = "" then "" else ": " ^ txt))
+              chunk;
+            flush stdout;
+            pump ()
+      in
+      pump ());
+  Engine.stream_emitted st
+
 let query doc policy mode subject path_semantics no_run_index no_succinct
     no_summary metrics q =
   let tree = load_doc doc in
@@ -243,13 +273,8 @@ let query doc policy mode subject path_semantics no_run_index no_succinct
   let index = Tag_index.build tree in
   let sem = if path_semantics then Engine.Secure_path s else Engine.Secure s in
   metrics_begin metrics store;
-  let r = Engine.query store index q sem in
-  List.iter
-    (fun v ->
-      let txt = Tree.text tree v in
-      Printf.printf "%s%s\n" (node_path tree v) (if txt = "" then "" else ": " ^ txt))
-    r.Engine.answers;
-  Printf.eprintf "%d answers\n" (List.length r.Engine.answers);
+  let n = print_stream tree store index q sem in
+  Printf.eprintf "%d answers\n" n;
   metrics_end metrics
 
 let query_cmd =
@@ -360,7 +385,9 @@ let query_batch_cmd =
              ~doc:"Generate $(docv) queries from the XMark benchmark mix.")
   in
   let mix_seed =
-    Arg.(value & opt int 7 & info [ "mix-seed" ] ~docv:"SEED" ~doc:"Mix PRNG seed.")
+    Arg.(value & opt int 7
+         & info [ "seed"; "mix-seed" ] ~docv:"SEED"
+             ~doc:"Mix PRNG seed (reproducible workloads).")
   in
   Cmd.v
     (Cmd.info "query-batch"
@@ -368,6 +395,123 @@ let query_batch_cmd =
     Term.(const query_batch $ doc_arg $ policy_arg $ mode_arg $ jobs $ path_sem
           $ no_run_index_arg $ no_succinct_arg $ no_summary_arg $ metrics_arg
           $ queries_file $ mix $ mix_seed)
+
+(* --- serve: the multi-tenant streaming query service --- *)
+
+(* An in-process serving session: N tenants, each its own store instance
+   over the compiled labeling (private buffer pool, disk, run index),
+   driven with seeded Query_mix waves until the duration elapses.
+   Latency is measured client-side per ticket (submit to fully drained)
+   and fed into an obs histogram from this thread — histograms are
+   single-writer. *)
+let serve doc policy mode tenants jobs seed duration chunk max_queued =
+  if tenants < 1 then failwith "serve: need at least one tenant";
+  let tree = load_doc doc in
+  let subjects, _, labeling = compile tree policy ~mode in
+  let dol = Dol.of_labeling labeling in
+  let index = Tag_index.build tree in
+  let n_subjects = Subject.count subjects in
+  let tenant_name i = Printf.sprintf "tenant%d" i in
+  Serve.with_service ~jobs ~chunk ~max_queued (fun srv ->
+      for i = 0 to tenants - 1 do
+        let store = Store.create tree dol in
+        Serve.add_tenant srv (tenant_name i) (Serve.Mem (store, index))
+      done;
+      let lat = Metrics.histogram "serve.latency_ms" in
+      let t0 = Unix.gettimeofday () in
+      let deadline = t0 +. duration in
+      (* One driver domain per tenant, each draining its own tickets in
+         submission order — per-tenant in-order draining matches the
+         scheduler's FIFO dispatch, so bounded ticket buffers always
+         make progress. *)
+      let driver i () =
+        let served = ref 0 and shed = ref 0 and wave = ref 0 in
+        let lats = ref [] in
+        while Unix.gettimeofday () < deadline do
+          incr wave;
+          let entries =
+            Query_mix.generate ~n:8 ~subjects:n_subjects
+              ~seed:(seed + (1000 * !wave) + i)
+              ()
+          in
+          let tickets =
+            List.filter_map
+              (fun e ->
+                let t1 = Unix.gettimeofday () in
+                match
+                  Serve.submit srv ~tenant:(tenant_name i) e.Query_mix.xpath
+                    (engine_semantics e.Query_mix.semantics)
+                with
+                | tk -> Some (t1, tk)
+                | exception Serve.Overloaded ->
+                    incr shed;
+                    None)
+              entries
+          in
+          List.iter
+            (fun (t1, tk) ->
+              ignore (Serve.collect tk);
+              lats := ((Unix.gettimeofday () -. t1) *. 1000.) :: !lats;
+              incr served)
+            tickets
+        done;
+        (!served, !shed, !lats)
+      in
+      let drivers = Array.init tenants (fun i -> Domain.spawn (driver i)) in
+      let per_tenant = Array.map Domain.join drivers in
+      let served = ref 0 and client_shed = ref 0 in
+      Array.iter
+        (fun (n, shed, lats) ->
+          served := !served + n;
+          client_shed := !client_shed + shed;
+          List.iter (Metrics.observe lat) lats)
+        per_tenant;
+      let dt = Unix.gettimeofday () -. t0 in
+      let s = Serve.stats srv in
+      let sum = Metrics.summary lat in
+      Printf.printf
+        "served %d queries for %d tenant(s) on %d worker(s) in %.1fs: %.1f \
+         qps\n"
+        !served tenants jobs dt
+        (float_of_int !served /. Float.max dt 1e-9);
+      Printf.printf "latency ms: p50 %.3f  p95 %.3f  p99 %.3f  max %.3f\n"
+        sum.Metrics.p50 sum.Metrics.p95 sum.Metrics.p99 sum.Metrics.max;
+      Printf.printf
+        "shed %d, peak buffered %d answers (chunk %d), open shards %d\n"
+        (s.Serve.shed + !client_shed)
+        s.Serve.peak_buffered chunk s.Serve.open_shards)
+
+let serve_cmd =
+  let tenants =
+    Arg.(value & opt int 2
+         & info [ "tenants" ] ~docv:"N" ~doc:"Tenant shards to register.")
+  in
+  let jobs =
+    Arg.(value & opt int 2
+         & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains draining the queues.")
+  in
+  let seed =
+    Arg.(value & opt int 7
+         & info [ "seed" ] ~docv:"SEED" ~doc:"Query-mix PRNG seed (reproducible load).")
+  in
+  let duration =
+    Arg.(value & opt float 10.0
+         & info [ "duration" ] ~docv:"SECONDS" ~doc:"How long to drive the service.")
+  in
+  let chunk =
+    Arg.(value & opt int 256
+         & info [ "chunk" ] ~docv:"N" ~doc:"Answers per stream chunk.")
+  in
+  let max_queued =
+    Arg.(value & opt int 1024
+         & info [ "max-queued" ] ~docv:"N"
+             ~doc:"Admission bound; excess submissions are shed.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Drive the multi-tenant streaming query service with a seeded mix")
+    Term.(const serve $ doc_arg $ policy_arg $ mode_arg $ tenants $ jobs $ seed
+          $ duration $ chunk $ max_queued)
 
 (* --- view --- *)
 
@@ -512,13 +656,8 @@ let query_db db subject path_semantics no_run_index no_succinct no_summary
   in
   let sem = if path_semantics then Engine.Secure_path bit else Engine.Secure bit in
   metrics_begin metrics store;
-  let r = Engine.query store index q sem in
-  List.iter
-    (fun v ->
-      let txt = Tree.text tree v in
-      Printf.printf "%s%s\n" (node_path tree v) (if txt = "" then "" else ": " ^ txt))
-    r.Engine.answers;
-  Printf.eprintf "%d answers\n" (List.length r.Engine.answers);
+  let n = print_stream tree store index q sem in
+  Printf.eprintf "%d answers\n" n;
   metrics_end metrics
 
 let query_db_cmd =
@@ -643,7 +782,8 @@ let main_cmd =
     (Cmd.info "dolx" ~version:"1.0.0"
        ~doc:"Compact access-control labeling for secure XML query evaluation")
     [
-      generate_cmd; stats_cmd; label_cmd; query_cmd; query_batch_cmd; view_cmd;
+      generate_cmd; stats_cmd; label_cmd; query_cmd; query_batch_cmd; serve_cmd;
+      view_cmd;
       filter_cmd;
       save_dol_cmd; inspect_dol_cmd; compile_db_cmd; query_db_cmd;
       stats_db_cmd; explain_cmd;

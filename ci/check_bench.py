@@ -141,6 +141,39 @@ def check_mvcc(doc):
     }
 
 
+def check_serve(doc):
+    require(doc["identical"] is True,
+            "streamed answers diverged from materialized Engine.run")
+    require(doc["tenants"] >= 4, "serve ran with fewer than 4 tenants")
+    require(doc["total_subjects"] >= 1000,
+            "serve mix covered fewer than 1000 subjects")
+    require(doc["served"] > 0, "serve completed no queries")
+    require(is_num(doc["qps"]) and doc["qps"] > 0, "bad qps")
+    lat = doc["latency_ms"]
+    for key in ("p50", "p95", "p99", "max"):
+        require(is_num(lat[key]), f"latency_ms: bad {key}")
+    require(lat["count"] > 0, "no latency observations")
+    require(is_num(doc["shed"]), "shed count missing")
+    require(doc["peak_ok"] is True,
+            f"buffered answers {doc['peak_buffered']} exceeded the "
+            f"chunk bound {doc['peak_bound']}")
+    require(doc["max_answers"] > doc["peak_bound"],
+            "largest result within the buffer bound — the memory bound "
+            "was never exercised (grow DOLX_BENCH_SERVE_NODES)")
+    require(is_num(doc["qps_ratio"]), "bad qps_ratio")
+    require(doc["qps_ratio"] >= 0.25,
+            f"streaming service at {100 * doc['qps_ratio']:.1f}% of the "
+            "sequential materialized drain (gate: 25%)")
+    return {
+        "qps": round(doc["qps"], 1),
+        "qps_ratio": round(doc["qps_ratio"], 3),
+        "p99_ms": round(lat["p99"], 3),
+        "served": doc["served"],
+        "shed": doc["shed"],
+        "peak": f"{doc['peak_buffered']}<={doc['peak_bound']}",
+    }
+
+
 CHECKS = {
     "parallel": check_parallel,
     "runs": check_runs,
@@ -148,6 +181,7 @@ CHECKS = {
     "obs": check_obs,
     "fuzz": check_fuzz,
     "mvcc": check_mvcc,
+    "serve": check_serve,
 }
 
 

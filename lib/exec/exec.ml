@@ -301,19 +301,8 @@ let run t pattern semantics =
             end)
   in
   let first_roots () =
-    match plan.Decompose.segments with
-    | [] -> []
-    | seg :: _ -> (
-        match seg.Decompose.entry_axis with
-        | Pattern.Child -> [ Dolx_xml.Tree.root ]
-        | Pattern.Following_sibling ->
-            invalid_arg "Exec: query cannot start with following-sibling::"
-        | Pattern.Descendant -> (
-            match seg.Decompose.steps with
-            | s :: _ ->
-                Engine.seed_candidates ?value_index:t.value_index ?summary main
-                  t.index semantics s
-            | [] -> []))
+    Engine.first_roots ?value_index:t.value_index ?summary main t.index
+      semantics plan
   in
   (* the summary-path plan, when it applies, runs on the main reader —
      identical answers to the fanned-out navigational evaluation *)
@@ -342,6 +331,87 @@ let run t pattern semantics =
   }
 
 let query t xpath semantics = run t (Xpath.parse xpath) semantics
+
+(** {1 Streaming evaluation}
+
+    The pooled counterpart of {!Engine.stream}: staging (every segment
+    but the last, and the joins between them) fans each segment out with
+    {!par_eval_segment}; the last segment's roots are then pulled
+    through an {!Engine.stream_of_source} cursor in groups big enough to
+    keep the pool busy ([4 * min_chunk * jobs] roots per refill), so the
+    stream parallelizes refills while the cursor's barrier logic keeps
+    emission in exact document order.  Draining equals {!run}'s answers
+    byte for byte; jobs = 1 degenerates to the sequential engine. *)
+
+let stream ?chunk t pattern semantics =
+  let plan = Decompose.plan pattern in
+  let mode = Engine.match_mode t.options semantics in
+  let main = t.readers.(0) in
+  let summary = Engine.summary_analysis main pattern semantics in
+  let scanned = ref 0 in
+  let joins = ref 0 in
+  let rec stage segments roots =
+    match segments with
+    | [] -> Engine.Filtered ([], fun _ -> true)
+    | [ (seg : Decompose.segment) ] ->
+        Engine.Tail
+          {
+            roots;
+            group = 4 * min_chunk * t.pool.jobs;
+            eval =
+              (fun group ->
+                let out, seg_scanned = par_eval_segment t mode seg group in
+                scanned := !scanned + seg_scanned;
+                out);
+          }
+    | (seg : Decompose.segment) :: (next :: _ as rest) ->
+        let bindings, seg_scanned = par_eval_segment t mode seg roots in
+        scanned := !scanned + seg_scanned;
+        if bindings = [] then Engine.Filtered ([], fun _ -> true)
+        else begin
+          incr joins;
+          let next_step =
+            match next.Decompose.steps with
+            | s :: _ -> s
+            | [] -> invalid_arg "Exec: empty segment"
+          in
+          let dlist =
+            Engine.join_candidates ?value_index:t.value_index ?summary main
+              t.index ~semantics ~bindings next_step.Decompose.pnode
+          in
+          let pairs =
+            match semantics with
+            | Engine.Secure_path subject ->
+                Structural_join.secure_stack_tree_desc main ~subject
+                  ~alist:bindings ~dlist
+            | Engine.Insecure | Engine.Secure _ ->
+                Structural_join.stack_tree_desc main ~alist:bindings ~dlist
+          in
+          stage rest (Structural_join.descendants_of_pairs pairs)
+        end
+  in
+  let staged () =
+    stage plan.Decompose.segments
+      (Engine.first_roots ?value_index:t.value_index ?summary main t.index
+         semantics plan)
+  in
+  let source =
+    match summary with
+    | Some sp -> (
+        match
+          Engine.summary_path_filter ?value_index:t.value_index ~summary:sp
+            main t.index mode semantics plan scanned
+        with
+        | Some (cands, keep) -> Engine.Filtered (cands, keep)
+        | None -> staged ())
+    | None -> staged ()
+  in
+  Engine.stream_of_source ?chunk
+    ~segments:(Decompose.segment_count plan)
+    ~scanned ~joins source
+
+let stream_query ?chunk t xpath semantics =
+  stream ?chunk t (Xpath.parse xpath) semantics
 
 (** {1 Statistics} *)
 

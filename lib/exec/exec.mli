@@ -79,6 +79,20 @@ val run : t -> Dolx_nok.Pattern.t -> Engine.semantics -> Engine.result
 (** {!run} on an XPath string. *)
 val query : t -> string -> Engine.semantics -> Engine.result
 
+(** {1 Streaming evaluation} *)
+
+(** Pooled counterpart of {!Engine.stream}: staging fans every non-final
+    segment out across the pool; the last segment's candidate roots are
+    then evaluated lazily in pool-sized groups as the cursor is pulled.
+    Drained answers equal {!run}'s byte for byte ([jobs = 1] degenerates
+    to the sequential engine).  The stream borrows the executor's
+    readers — exhaust or {!Engine.stream_close} it before {!shutdown}. *)
+val stream :
+  ?chunk:int -> t -> Dolx_nok.Pattern.t -> Engine.semantics -> Engine.stream
+
+(** {!stream} on an XPath string. *)
+val stream_query : ?chunk:int -> t -> string -> Engine.semantics -> Engine.stream
+
 (** {1 Statistics} *)
 
 (** Sum of the per-reader pool/store statistics; the shared disk's

@@ -295,8 +295,14 @@ let eval_segment store index mode (seg : Decompose.segment) roots scanned =
    position, existential ancestor choice matches the semi-join
    semantics, and descendant edges re-check connecting paths with
    [Nok_match.path_clear], which enforces exactly the ε-STD condition
-   (and is a no-op outside path semantics). *)
-let try_summary_path ?value_index ~summary store index mode semantics
+   (and is a no-op outside path semantics).
+
+   [summary_path_filter] returns the plan as data — the sorted
+   candidate list and the qualification predicate — so the streaming
+   evaluator can apply the filter lazily, one candidate at a time,
+   instead of materializing the whole answer list.  [try_summary_path]
+   is the eager composition the materializing paths use. *)
+let summary_path_filter ?value_index ~summary store index mode semantics
     (plan : Decompose.plan) scanned =
   let steps =
     Array.of_list
@@ -319,7 +325,7 @@ let try_summary_path ?value_index ~summary store index mode semantics
   else begin
     Metrics.incr c_plan_path;
     let last = steps.(k).Decompose.pnode in
-    if Summary_prune.empty_for summary last then Some []
+    if Summary_prune.empty_for summary last then Some ([], fun _ -> false)
     else begin
       let cands = index_candidates ?value_index store index last in
       let cands = Summary_prune.restrict summary last cands in
@@ -368,9 +374,86 @@ let try_summary_path ?value_index ~summary store index mode semantics
             Hashtbl.add memo ((i * n) + v) b;
             b
       in
-      Some (List.filter (fun v -> match_up k v) cands)
+      Some (cands, fun v -> match_up k v)
     end
   end
+
+let try_summary_path ?value_index ~summary store index mode semantics plan
+    scanned =
+  match
+    summary_path_filter ?value_index ~summary store index mode semantics plan
+      scanned
+  with
+  | None -> None
+  | Some (cands, keep) -> Some (List.filter keep cands)
+
+(* Candidate roots of the plan's first segment: the document root for a
+   child entry, class-filtered + run-pruned index postings for a
+   descendant entry. *)
+let first_roots ?value_index ?summary store index semantics
+    (plan : Decompose.plan) =
+  Trace.with_span "engine.index_seed" @@ fun () ->
+  match plan.Decompose.segments with
+  | [] -> []
+  | seg :: _ -> (
+      match seg.Decompose.entry_axis with
+      | Pattern.Child -> [ Tree.root ]
+      | Pattern.Following_sibling ->
+          invalid_arg "Engine: query cannot start with following-sibling::"
+      | Pattern.Descendant -> (
+          match seg.Decompose.steps with
+          | s :: _ -> seed_candidates ?value_index ?summary store index semantics s
+          | [] -> []))
+
+(* The segment/join pipeline, stopped just short of the last segment:
+   either the answers are already decided ([Done]), or evaluation has
+   narrowed to the last segment over its sorted candidate roots
+   ([Last]).  [run] finishes with one [eval_segment] call; [stream]
+   finishes by pulling the same roots through the cursor — both see
+   exactly the intermediate state this function computed, so their
+   answers and statistics agree by construction. *)
+type staged =
+  | Done of int list
+  | Last of Decompose.segment * int list
+
+let stage ?value_index ?summary store index mode semantics ~scanned ~joins
+    (plan : Decompose.plan) =
+  let rec go segments roots =
+    match segments with
+    | [] -> Done []
+    | [ (seg : Decompose.segment) ] -> Last (seg, roots)
+    | (seg : Decompose.segment) :: (next :: _ as rest) ->
+        let bindings =
+          Trace.with_span "engine.segment" @@ fun () ->
+          eval_segment store index mode seg roots scanned
+        in
+        if bindings = [] then Done []
+        else begin
+          incr joins;
+          Trace.with_span "engine.join" @@ fun () ->
+          let next_step =
+            match next.Decompose.steps with
+            | s :: _ -> s
+            | [] -> invalid_arg "Engine: empty segment"
+          in
+          let dlist =
+            join_candidates ?value_index ?summary store index ~semantics
+              ~bindings next_step.Decompose.pnode
+          in
+          let pairs =
+            match semantics with
+            | Secure_path subject ->
+                Structural_join.secure_stack_tree_desc store ~subject
+                  ~alist:bindings ~dlist
+            | Insecure | Secure _ ->
+                Structural_join.stack_tree_desc store ~alist:bindings ~dlist
+          in
+          let surviving = Structural_join.descendants_of_pairs pairs in
+          go rest surviving
+        end
+  in
+  go plan.Decompose.segments
+    (first_roots ?value_index ?summary store index semantics plan)
 
 let run ?(options = default_options) ?value_index store index pattern semantics =
   Trace.with_span "engine.query" @@ fun () ->
@@ -379,66 +462,25 @@ let run ?(options = default_options) ?value_index store index pattern semantics 
   let summary = summary_analysis store pattern semantics in
   let scanned = ref 0 in
   let joins = ref 0 in
-  let rec go segments roots =
-    match segments with
-    | [] -> roots
-    | (seg : Decompose.segment) :: rest ->
-        let bindings =
-          Trace.with_span "engine.segment" @@ fun () ->
-          eval_segment store index mode seg roots scanned
-        in
-        (match rest with
-        | [] -> bindings
-        | next :: _ ->
-            if bindings = [] then []
-            else begin
-              incr joins;
-              Trace.with_span "engine.join" @@ fun () ->
-              let next_step =
-                match next.Decompose.steps with
-                | s :: _ -> s
-                | [] -> invalid_arg "Engine: empty segment"
-              in
-              let dlist =
-                join_candidates ?value_index ?summary store index ~semantics
-                  ~bindings next_step.Decompose.pnode
-              in
-              let pairs =
-                match semantics with
-                | Secure_path subject ->
-                    Structural_join.secure_stack_tree_desc store ~subject
-                      ~alist:bindings ~dlist
-                | Insecure | Secure _ ->
-                    Structural_join.stack_tree_desc store ~alist:bindings ~dlist
-              in
-              let surviving = Structural_join.descendants_of_pairs pairs in
-              go rest surviving
-            end)
-  in
-  let first_roots () =
-    Trace.with_span "engine.index_seed" @@ fun () ->
-    match plan.Decompose.segments with
-    | [] -> []
-    | seg :: _ -> (
-        match seg.Decompose.entry_axis with
-        | Pattern.Child -> [ Tree.root ]
-        | Pattern.Following_sibling ->
-            invalid_arg "Engine: query cannot start with following-sibling::"
-        | Pattern.Descendant -> (
-            match seg.Decompose.steps with
-            | s :: _ -> seed_candidates ?value_index ?summary store index semantics s
-            | [] -> []))
-  in
-  let answers =
+  let staged =
     match summary with
     | Some sp -> (
         match
           try_summary_path ?value_index ~summary:sp store index mode semantics
             plan scanned
         with
-        | Some answers -> answers
-        | None -> go plan.Decompose.segments (first_roots ()))
-    | None -> go plan.Decompose.segments (first_roots ())
+        | Some answers -> Done answers
+        | None ->
+            stage ?value_index ?summary store index mode semantics ~scanned
+              ~joins plan)
+    | None -> stage ?value_index store index mode semantics ~scanned ~joins plan
+  in
+  let answers =
+    match staged with
+    | Done answers -> answers
+    | Last (seg, roots) ->
+        Trace.with_span "engine.segment" @@ fun () ->
+        eval_segment store index mode seg roots scanned
   in
   let segments = Decompose.segment_count plan in
   Metrics.incr c_queries;
@@ -447,6 +489,213 @@ let run ?(options = default_options) ?value_index store index pattern semantics 
   Metrics.add c_candidates !scanned;
   Metrics.add c_answers (List.length answers);
   { answers; segments; joins = !joins; candidates_scanned = !scanned }
+
+(** {1 Streaming evaluation}
+
+    A pull cursor over the same pipeline: staging (every segment but the
+    last, with its joins) runs once when the stream is built; answers
+    are then produced chunk by chunk from the last segment's candidate
+    roots, so per-query result memory is bounded by the chunk size plus
+    the document-order reorder margin — never by the answer count.
+
+    Ordering invariant: every answer produced from a candidate root [r]
+    has preorder >= [r] (the root binds the segment's first trunk step,
+    and child / following-sibling expansion only moves forward in
+    preorder).  Roots are consumed in ascending order, so once every
+    root below a barrier has been evaluated, buffered answers below that
+    barrier are final and can be emitted — the emitted sequence is
+    exactly [sort_uniq] of the per-root outputs, i.e. byte-identical to
+    {!run}'s answer list. *)
+
+(* Union of two sorted duplicate-free lists. *)
+let merge_uniq xs ys =
+  let rec go acc xs ys =
+    match (xs, ys) with
+    | [], l | l, [] -> List.rev_append acc l
+    | x :: xs', y :: ys' ->
+        if x < y then go (x :: acc) xs' ys
+        else if y < x then go (y :: acc) xs ys'
+        else go (x :: acc) xs' ys'
+  in
+  go [] xs ys
+
+let rec take_n n l =
+  if n = 0 then ([], l)
+  else match l with [] -> ([], []) | x :: rest ->
+    let taken, rem = take_n (n - 1) rest in
+    (x :: taken, rem)
+
+type stream_source =
+  | Filtered of int list * (int -> bool)
+  | Tail of { roots : int list; group : int; eval : int list -> int list }
+
+type stream = {
+  st_chunk : int;
+  st_segments : int;
+  st_scanned : int ref;
+  st_joins : int ref;
+  mutable st_src : src;
+  mutable st_emitted : int;
+  mutable st_peak : int;  (* high-water mark of buffered answers *)
+  mutable st_done : bool; (* terminal: counters flushed, no more chunks *)
+}
+
+and src =
+  | S_filter of int list * (int -> bool)
+  | S_tail of tail
+  | S_end
+
+and tail = {
+  tl_eval : int list -> int list;
+  tl_group : int;
+  mutable tl_roots : int list;   (* remaining candidate roots, ascending *)
+  mutable tl_pending : int list; (* sorted answers >= the next barrier *)
+}
+
+let stream_of_source ?(chunk = 256) ~segments ~scanned ~joins source =
+  if chunk < 1 then invalid_arg "Engine.stream: chunk must be >= 1";
+  let src =
+    match source with
+    | Filtered (cands, keep) -> S_filter (cands, keep)
+    | Tail { roots; group; eval } ->
+        if group < 1 then invalid_arg "Engine.stream: group must be >= 1";
+        S_tail { tl_eval = eval; tl_group = group; tl_roots = roots; tl_pending = [] }
+  in
+  {
+    st_chunk = chunk;
+    st_segments = segments;
+    st_scanned = scanned;
+    st_joins = joins;
+    st_src = src;
+    st_emitted = 0;
+    st_peak = 0;
+    st_done = false;
+  }
+
+(* Flush the stream's totals into the process counters exactly once —
+   at exhaustion, or at [stream_close] for a stream abandoned early (the
+   partial tallies are what the query actually cost). *)
+let stream_finalize st =
+  if not st.st_done then begin
+    st.st_done <- true;
+    st.st_src <- S_end;
+    Metrics.incr c_queries;
+    Metrics.add c_segments st.st_segments;
+    Metrics.add c_joins !(st.st_joins);
+    Metrics.add c_candidates !(st.st_scanned);
+    Metrics.add c_answers st.st_emitted
+  end
+
+let stream_next st =
+  if st.st_done then []
+  else begin
+    let buf = ref [] in
+    let n = ref 0 in
+    let emit v =
+      buf := v :: !buf;
+      incr n;
+      st.st_emitted <- st.st_emitted + 1
+    in
+    let rec fill () =
+      if !n < st.st_chunk then
+        match st.st_src with
+        | S_end -> ()
+        | S_filter ([], _) -> st.st_src <- S_end
+        | S_filter (v :: rest, keep) ->
+            st.st_src <- S_filter (rest, keep);
+            if keep v then begin
+              emit v;
+              st.st_peak <- max st.st_peak !n
+            end;
+            fill ()
+        | S_tail t -> (
+            let barrier =
+              match t.tl_roots with r :: _ -> r | [] -> max_int
+            in
+            match t.tl_pending with
+            | a :: rest when a < barrier ->
+                t.tl_pending <- rest;
+                emit a;
+                fill ()
+            | _ -> (
+                match t.tl_roots with
+                | [] ->
+                    (* pending is empty: everything below max_int was
+                       emittable and the branch above drained it *)
+                    st.st_src <- S_end
+                | _ ->
+                    let group, rest = take_n t.tl_group t.tl_roots in
+                    t.tl_roots <- rest;
+                    t.tl_pending <- merge_uniq t.tl_pending (t.tl_eval group);
+                    st.st_peak <-
+                      max st.st_peak (!n + List.length t.tl_pending);
+                    fill ()))
+    in
+    fill ();
+    if !n = 0 then begin
+      stream_finalize st;
+      []
+    end
+    else List.rev !buf
+  end
+
+let stream_close st = stream_finalize st
+
+let stream_finished st = st.st_done
+
+let stream_emitted st = st.st_emitted
+
+let stream_peak_buffered st = st.st_peak
+
+let stream_chunk_size st = st.st_chunk
+
+let stream_scanned st = !(st.st_scanned)
+
+let stream_joins st = !(st.st_joins)
+
+let stream_segments st = st.st_segments
+
+let stream ?(options = default_options) ?value_index ?chunk store index pattern
+    semantics =
+  let plan = Decompose.plan pattern in
+  let mode = match_mode options semantics in
+  let summary = summary_analysis store pattern semantics in
+  let scanned = ref 0 in
+  let joins = ref 0 in
+  let staged_source () =
+    match stage ?value_index ?summary store index mode semantics ~scanned ~joins plan with
+    | Done answers -> Filtered (answers, fun _ -> true)
+    | Last (seg, roots) ->
+        (* group 1: pending never holds more than one root's overlap *)
+        Tail
+          {
+            roots;
+            group = 1;
+            eval = (fun g -> eval_segment store index mode seg g scanned);
+          }
+  in
+  let source =
+    Trace.with_span "engine.stream_stage" @@ fun () ->
+    match summary with
+    | Some sp -> (
+        match
+          summary_path_filter ?value_index ~summary:sp store index mode
+            semantics plan scanned
+        with
+        | Some (cands, keep) -> Filtered (cands, keep)
+        | None -> staged_source ())
+    | None -> staged_source ()
+  in
+  stream_of_source ?chunk ~segments:(Decompose.segment_count plan) ~scanned
+    ~joins source
+
+(* Drain a stream to a list — the reference the equality tests compare
+   against [run]. *)
+let stream_collect st =
+  let rec go acc =
+    match stream_next st with [] -> List.concat (List.rev acc) | c -> go (c :: acc)
+  in
+  go []
 
 (** {1 Full binding tuples}
 

@@ -128,9 +128,88 @@ val try_summary_path :
   Store.t -> Dolx_index.Tag_index.t -> Nok_match.mode -> semantics ->
   Decompose.plan -> int ref -> int list option
 
+(** Lazy form of {!try_summary_path}: instead of filtering eagerly,
+    returns the sorted candidate list together with the qualification
+    predicate, so a stream can apply it candidate by candidate.
+    [try_summary_path] = [List.filter keep cands]. *)
+val summary_path_filter :
+  ?value_index:Dolx_index.Value_index.t -> summary:Summary_prune.t ->
+  Store.t -> Dolx_index.Tag_index.t -> Nok_match.mode -> semantics ->
+  Decompose.plan -> int ref -> (int list * (int -> bool)) option
+
+(** Candidate roots of the plan's first segment: the document root for a
+    child entry, class-filtered + run-pruned index postings for a
+    descendant entry. *)
+val first_roots :
+  ?value_index:Dolx_index.Value_index.t -> ?summary:Summary_prune.t ->
+  Store.t -> Dolx_index.Tag_index.t -> semantics -> Decompose.plan -> int list
+
 (** Evaluate one NoK segment from the given (sorted) candidate roots;
     returns the bindings of the segment's last trunk step, sorted and
     deduplicated.  [scanned] is incremented per candidate examined. *)
 val eval_segment :
   Store.t -> Dolx_index.Tag_index.t -> Nok_match.mode -> Decompose.segment ->
   int list -> int ref -> int list
+
+(** {1 Streaming evaluation}
+
+    A pull cursor over the {!run} pipeline: all segments but the last
+    (and their joins) are staged when the stream is built; answers are
+    then produced chunk by chunk from the last segment's candidate
+    roots, so per-query buffered-result memory is bounded by the chunk
+    size plus the document-order reorder margin — never by the answer
+    count.  Draining a stream yields exactly {!run}'s answer list and
+    flushes the same [engine.*] counters, once, at exhaustion (or at
+    {!stream_close} for a stream abandoned early). *)
+
+(** Where a stream draws its answers from.  [Filtered] walks a sorted
+    candidate list through a qualification predicate (summary-path
+    plans, or already-final answers with a constant-true predicate).
+    [Tail] evaluates the plan's last segment lazily: [roots] are its
+    sorted candidate roots, [eval] maps a group of roots to that group's
+    sorted answers, and [group] is how many roots each refill evaluates
+    at once (bigger groups amortize [eval] overhead — e.g. a parallel
+    fan-out — at the cost of a larger reorder margin). *)
+type stream_source =
+  | Filtered of int list * (int -> bool)
+  | Tail of { roots : int list; group : int; eval : int list -> int list }
+
+type stream
+
+(** Build a stream over a staged source.  [chunk] (default 256) bounds
+    each {!stream_next} batch; [segments]/[scanned]/[joins] are the
+    plan's statistics, flushed into the process counters at
+    finalization.  @raise Invalid_argument on [chunk < 1] or a [Tail]
+    group [< 1]. *)
+val stream_of_source :
+  ?chunk:int -> segments:int -> scanned:int ref -> joins:int ref ->
+  stream_source -> stream
+
+(** Stage a pattern into a stream (the lazy counterpart of {!run}). *)
+val stream :
+  ?options:options -> ?value_index:Dolx_index.Value_index.t -> ?chunk:int ->
+  Store.t -> Dolx_index.Tag_index.t -> Pattern.t -> semantics -> stream
+
+(** Next chunk of answers, document order, distinct, at most [chunk]
+    long.  [[]] means exhausted; the stream is finalized and every later
+    call returns [[]]. *)
+val stream_next : stream -> int list
+
+(** Finalize early: flush the partial statistics and drop the source.
+    Idempotent; a later {!stream_next} returns [[]]. *)
+val stream_close : stream -> unit
+
+(** Drain to a list — equals [(run ...).answers] from the same inputs. *)
+val stream_collect : stream -> int list
+
+val stream_finished : stream -> bool
+val stream_emitted : stream -> int
+
+(** High-water mark of answers buffered at once (chunk in progress +
+    reorder margin) — the bound asserted by [bench serve]. *)
+val stream_peak_buffered : stream -> int
+
+val stream_chunk_size : stream -> int
+val stream_scanned : stream -> int
+val stream_joins : stream -> int
+val stream_segments : stream -> int

@@ -24,4 +24,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("mvcc", Test_mvcc.suite);
       ("fuzz", Test_fuzz.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -1,0 +1,471 @@
+(** Streaming evaluation and the multi-tenant query service.
+
+    The streaming cursor must be byte-identical to materialized
+    evaluation — across all three semantics, quarantined stores, the
+    succinct/run-index/summary toggle lattice, chunk sizes, and the
+    4-domain pooled path — while keeping buffered-result memory bounded
+    and releasing its epoch pin on early close.  The service must be
+    answer-correct per tenant, weighted-fair under flooding, and shed
+    (never drop) work past the admission bound. *)
+
+module Tree = Dolx_xml.Tree
+module Dol = Dolx_core.Dol
+module Store = Dolx_core.Secure_store
+module Db_file = Dolx_core.Db_file
+module Disk = Dolx_storage.Disk
+module Epoch = Dolx_storage.Epoch
+module Nok_layout = Dolx_storage.Nok_layout
+module Tag_index = Dolx_index.Tag_index
+module Engine = Dolx_nok.Engine
+module Exec = Dolx_exec.Exec
+module Serve = Dolx_serve.Serve
+module Xmark = Dolx_workload.Xmark
+module Synth_acl = Dolx_workload.Synth_acl
+module Query_mix = Dolx_workload.Query_mix
+
+let check = Alcotest.check
+
+let semantics = function
+  | Query_mix.Insecure -> Engine.Insecure
+  | Query_mix.Secure s -> Engine.Secure s
+  | Query_mix.Secure_path s -> Engine.Secure_path s
+
+let make_store ?(nodes = 2500) ?(page_size = 1024) ?(pool_capacity = 16)
+    ?(subjects = 6) seed =
+  let tree = Xmark.generate_nodes ~seed nodes in
+  let labeling =
+    Synth_acl.generate_multi tree ~seed:(seed + 1) ~n_subjects:subjects ()
+  in
+  let dol = Dol.of_labeling labeling in
+  let store = Store.create ~page_size ~pool_capacity tree dol in
+  let index = Tag_index.build tree in
+  (store, index)
+
+let make_quarantined_store seed =
+  let tree = Xmark.generate_nodes ~seed 1500 in
+  let n = Tree.size tree in
+  let labeling = Synth_acl.generate_multi tree ~seed:(seed + 1) ~n_subjects:4 () in
+  let dol = Dol.of_labeling labeling in
+  let disk = Disk.create ~page_size:1024 () in
+  let layout =
+    Nok_layout.build disk tree ~transitions:(Array.of_list (Dol.transitions dol))
+  in
+  let quarantine = [ (n / 5, n / 4); (n / 2, n / 2 + 60) ] in
+  let store =
+    Store.assemble ~pool_capacity:16 ~quarantine ~tree ~dol ~disk ~layout ()
+  in
+  (store, Tag_index.build tree)
+
+let pin_count store = Epoch.pin_count (Disk.epoch (Store.disk store))
+
+(* A seeded pool of queries exercising child steps, descendant chains
+   and predicates, plus the Query_mix generator's output. *)
+let queries ~subjects ~seed =
+  let mix = Query_mix.generate ~n:8 ~subjects ~seed () in
+  List.map (fun e -> (e.Query_mix.xpath, semantics e.Query_mix.semantics)) mix
+  @ [
+      ("//item", Engine.Insecure);
+      ("//item/name", Engine.Secure 1);
+      ("//region//item[name]", Engine.Secure_path 2);
+      ("/site/people/person", Engine.Secure 0);
+    ]
+
+(* --- stream vs run: answers and statistics, across the lattice --- *)
+
+let stream_vs_run ?chunk name store index xpath sem =
+  let expected = Engine.query store index xpath sem in
+  let st = Engine.stream ?chunk store index (Dolx_nok.Xpath.parse xpath) sem in
+  let got = Engine.stream_collect st in
+  check Alcotest.(list int) (name ^ ": answers") expected.Engine.answers got;
+  check Alcotest.int (name ^ ": scanned") expected.Engine.candidates_scanned
+    (Engine.stream_scanned st);
+  check Alcotest.int (name ^ ": joins") expected.Engine.joins
+    (Engine.stream_joins st);
+  check Alcotest.int (name ^ ": segments") expected.Engine.segments
+    (Engine.stream_segments st);
+  check Alcotest.int (name ^ ": emitted") (List.length expected.Engine.answers)
+    (Engine.stream_emitted st);
+  check Alcotest.bool (name ^ ": finished") true (Engine.stream_finished st)
+
+let test_stream_vs_run () =
+  List.iter
+    (fun doc_seed ->
+      let store, index = make_store doc_seed in
+      List.iteri
+        (fun i (xpath, sem) ->
+          stream_vs_run
+            (Printf.sprintf "doc %d q%d %s" doc_seed i xpath)
+            store index xpath sem)
+        (queries ~subjects:6 ~seed:(doc_seed * 7)))
+    [ 41; 42; 43 ]
+
+let test_stream_vs_run_quarantined () =
+  let store, index = make_quarantined_store 77 in
+  List.iteri
+    (fun i (xpath, sem) ->
+      stream_vs_run (Printf.sprintf "quarantined q%d %s" i xpath) store index
+        xpath sem)
+    (queries ~subjects:4 ~seed:900)
+
+(* The succinct / run-index / path-summary toggle lattice: the stream
+   must agree with run under every handle configuration. *)
+let test_stream_toggle_lattice () =
+  let store, index = make_store 55 in
+  let combos =
+    [
+      (true, true, true);
+      (false, true, true);
+      (true, false, true);
+      (true, true, false);
+      (false, false, false);
+    ]
+  in
+  List.iter
+    (fun (succinct, runs, summary) ->
+      Store.set_succinct store succinct;
+      Store.set_run_index store runs;
+      Store.set_summary store summary;
+      List.iteri
+        (fun i (xpath, sem) ->
+          stream_vs_run
+            (Printf.sprintf "lattice(%b,%b,%b) q%d" succinct runs summary i)
+            store index xpath sem)
+        (queries ~subjects:6 ~seed:414))
+    combos;
+  Store.set_succinct store true;
+  Store.set_run_index store true;
+  Store.set_summary store true
+
+(* Chunk size must not change the emitted sequence, and buffered-result
+   memory must stay bounded by the chunk, not the answer count. *)
+let test_stream_chunk_sizes () =
+  let store, index = make_store 66 in
+  let xpath = "//text" in
+  let expected = (Engine.query store index xpath Engine.Insecure).Engine.answers in
+  check Alcotest.bool "enough answers to stream" true
+    (List.length expected > 64);
+  List.iter
+    (fun chunk ->
+      let st =
+        Engine.stream ~chunk store index (Dolx_nok.Xpath.parse xpath)
+          Engine.Insecure
+      in
+      let got = Engine.stream_collect st in
+      check Alcotest.(list int)
+        (Printf.sprintf "chunk %d answers" chunk)
+        expected got;
+      check Alcotest.bool
+        (Printf.sprintf "chunk %d peak %d bounded" chunk
+           (Engine.stream_peak_buffered st))
+        true
+        (Engine.stream_peak_buffered st < List.length expected))
+    [ 1; 7; 16 ]
+
+(* Early close: counters flush once, with the partial tallies; further
+   pulls return nothing. *)
+let test_stream_early_close () =
+  let store, index = make_store 31 in
+  let q_before = Dolx_obs.Metrics.counter_value "engine.queries" in
+  let st =
+    Engine.stream ~chunk:8 store index (Dolx_nok.Xpath.parse "//item")
+      Engine.Insecure
+  in
+  let first = Engine.stream_next st in
+  check Alcotest.int "one chunk pulled" 8 (List.length first);
+  Engine.stream_close st;
+  Engine.stream_close st;
+  check Alcotest.(list int) "closed stream yields nothing" []
+    (Engine.stream_next st);
+  check Alcotest.int "one query counted, once"
+    (q_before + 1)
+    (Dolx_obs.Metrics.counter_value "engine.queries")
+
+(* --- pooled streaming: jobs=4 must equal the sequential engine --- *)
+
+let test_exec_stream_matches_sequential () =
+  let store, index = make_store 42 in
+  Exec.with_executor ~jobs:4 store index (fun exec ->
+      List.iteri
+        (fun i (xpath, sem) ->
+          let expected = Engine.query store index xpath sem in
+          let st = Exec.stream_query ~chunk:16 exec xpath sem in
+          let got = Engine.stream_collect st in
+          check Alcotest.(list int)
+            (Printf.sprintf "exec stream q%d %s" i xpath)
+            expected.Engine.answers got;
+          check Alcotest.int
+            (Printf.sprintf "exec stream q%d scanned" i)
+            expected.Engine.candidates_scanned (Engine.stream_scanned st))
+        (queries ~subjects:6 ~seed:4242))
+
+(* --- the service: per-tenant answer correctness --- *)
+
+let test_serve_answers () =
+  let store_a, index_a = make_store 101 in
+  let store_b, index_b = make_store ~nodes:1800 102 in
+  Serve.with_service ~jobs:3 ~chunk:32 (fun srv ->
+      Serve.add_tenant srv "alpha" (Serve.Mem (store_a, index_a));
+      Serve.add_tenant srv "beta" (Serve.Mem (store_b, index_b));
+      let qs = queries ~subjects:6 ~seed:77 in
+      let tickets =
+        List.concat_map
+          (fun (xpath, sem) ->
+            [
+              (store_a, index_a, xpath, sem, Serve.submit srv ~tenant:"alpha" xpath sem);
+              (store_b, index_b, xpath, sem, Serve.submit srv ~tenant:"beta" xpath sem);
+            ])
+          qs
+      in
+      List.iteri
+        (fun i (store, index, xpath, sem, tk) ->
+          let expected = (Engine.query store index xpath sem).Engine.answers in
+          check Alcotest.(list int)
+            (Printf.sprintf "serve q%d %s" i xpath)
+            expected (Serve.collect tk))
+        tickets;
+      let stats = Serve.stats srv in
+      check Alcotest.int "all served" (List.length tickets) stats.Serve.served;
+      check Alcotest.int "nothing shed" 0 stats.Serve.shed)
+
+(* A worker-side failure (malformed query) surfaces through the ticket,
+   and the service keeps serving. *)
+let test_serve_error_propagates () =
+  let store, index = make_store 33 in
+  Serve.with_service ~jobs:1 (fun srv ->
+      Serve.add_tenant srv "t" (Serve.Mem (store, index));
+      let bad = Serve.submit srv ~tenant:"t" "//item[" Engine.Insecure in
+      (match Serve.collect bad with
+      | exception _ -> ()
+      | _ -> Alcotest.fail "malformed query did not error");
+      let ok = Serve.submit srv ~tenant:"t" "//item" Engine.Insecure in
+      check Alcotest.(list int) "service still serves"
+        (Engine.query store index "//item" Engine.Insecure).Engine.answers
+        (Serve.collect ok))
+
+(* --- epoch pins: drained and early-closed streams both release --- *)
+
+let test_serve_releases_epoch_pins () =
+  let store, index = make_store 21 in
+  let baseline = pin_count store in
+  Serve.with_service ~jobs:2 ~chunk:8 (fun srv ->
+      Serve.add_tenant srv "t" (Serve.Mem (store, index));
+      (* full drain *)
+      let tk = Serve.submit srv ~tenant:"t" "//item" (Engine.Secure 1) in
+      ignore (Serve.collect tk);
+      Serve.await_release tk;
+      check Alcotest.int "drained stream released its pin" baseline
+        (pin_count store);
+      (* early close after one chunk *)
+      let tk = Serve.submit srv ~tenant:"t" "//item" Engine.Insecure in
+      let first = Serve.next_chunk tk in
+      check Alcotest.bool "got a first chunk" true (first <> []);
+      Serve.close tk;
+      Serve.await_release tk;
+      check Alcotest.int "closed stream released its pin" baseline
+        (pin_count store);
+      (* the worker slot is free again: the next query completes *)
+      let tk = Serve.submit srv ~tenant:"t" "//site" Engine.Insecure in
+      ignore (Serve.collect tk));
+  check Alcotest.int "shutdown leaves no pins" baseline (pin_count store)
+
+(* --- fairness and admission control --- *)
+
+(* Wedge the single worker: buffer_chunks=1 and an undrained multi-chunk
+   query block it inside ticket_push, so submissions queue
+   deterministically behind it. *)
+let with_blocked_worker store index ~max_queued f =
+  Serve.with_service ~jobs:1 ~chunk:4 ~buffer_chunks:1 ~max_queued (fun srv ->
+      Serve.add_tenant srv "flood" (Serve.Mem (store, index));
+      Serve.add_tenant srv "light" (Serve.Mem (store, index));
+      let blocker = Serve.submit srv ~tenant:"flood" "//item" Engine.Insecure in
+      (* wait until the worker has produced the first chunk — it is now
+         blocked pushing the second *)
+      let first = Serve.next_chunk blocker in
+      check Alcotest.int "blocker first chunk" 4 (List.length first);
+      f srv blocker)
+
+let test_serve_fairness () =
+  let store, index = make_store ~nodes:1200 7 in
+  with_blocked_worker store index ~max_queued:1024 (fun srv blocker ->
+      let flood =
+        List.init 30 (fun _ ->
+            Serve.submit srv ~tenant:"flood" "/site" Engine.Insecure)
+      in
+      let light =
+        List.init 5 (fun _ ->
+            Serve.submit srv ~tenant:"light" "/site" Engine.Insecure)
+      in
+      (* release the worker; every queued job now drains under WFQ *)
+      ignore (Serve.collect blocker);
+      List.iter (fun tk -> ignore (Serve.collect tk)) flood;
+      List.iter (fun tk -> ignore (Serve.collect tk)) light;
+      (* with equal weights the scheduler alternates between backlogged
+         tenants: the light tenant's 5 jobs all finish within the first
+         ~10 completions after the blocker, not after the flood's 30 *)
+      let light_last =
+        List.fold_left
+          (fun acc tk -> max acc (Serve.completion_seq tk))
+          (-1) light
+      in
+      check Alcotest.bool
+        (Printf.sprintf "light tenant not starved (last seq %d)" light_last)
+        true
+        (light_last <= 1 + (2 * 5) + 1);
+      let stats = Serve.stats srv in
+      check Alcotest.int "everything served" 36 stats.Serve.served)
+
+let test_serve_weighted_fairness () =
+  let store, index = make_store ~nodes:1200 8 in
+  (* both tenants backlogged with 12 jobs each, but slow has weight 1 vs
+     fast's 3: the heavier weight drains its backlog ~3x as fast *)
+  Serve.with_service ~jobs:1 ~chunk:4 ~buffer_chunks:1 ~max_queued:1024
+    (fun srv ->
+      Serve.add_tenant srv "slow" (Serve.Mem (store, index));
+      Serve.add_tenant srv ~weight:3.0 "fast" (Serve.Mem (store, index));
+      let blocker = Serve.submit srv ~tenant:"slow" "//item" Engine.Insecure in
+      let first = Serve.next_chunk blocker in
+      check Alcotest.int "blocker first chunk" 4 (List.length first);
+      let slow =
+        List.init 12 (fun _ ->
+            Serve.submit srv ~tenant:"slow" "/site" Engine.Insecure)
+      in
+      let fast =
+        List.init 12 (fun _ ->
+            Serve.submit srv ~tenant:"fast" "/site" Engine.Insecure)
+      in
+      ignore (Serve.collect blocker);
+      List.iter (fun tk -> ignore (Serve.collect tk)) slow;
+      List.iter (fun tk -> ignore (Serve.collect tk)) fast;
+      let last tks =
+        List.fold_left (fun acc tk -> max acc (Serve.completion_seq tk)) (-1) tks
+      in
+      let fast_last = last fast and slow_last = last slow in
+      check Alcotest.bool
+        (Printf.sprintf "weight-3 tenant drains first (fast %d vs slow %d)"
+           fast_last slow_last)
+        true
+        (fast_last < slow_last);
+      (* 12 fast jobs at weight 3 interleave with ~4 slow ones *)
+      check Alcotest.bool
+        (Printf.sprintf "weight-3 backlog done by seq %d" fast_last)
+        true (fast_last <= 1 + 12 + 6))
+
+let test_serve_admission_control () =
+  let store, index = make_store ~nodes:1200 9 in
+  with_blocked_worker store index ~max_queued:6 (fun srv blocker ->
+      (* fill the queue to the admission bound *)
+      let accepted =
+        List.init 6 (fun _ ->
+            Serve.submit srv ~tenant:"light" "/site" Engine.Insecure)
+      in
+      (* past the bound: shed with Overloaded, not accepted, not dropped *)
+      (match Serve.submit srv ~tenant:"flood" "/site" Engine.Insecure with
+      | exception Serve.Overloaded -> ()
+      | _ -> Alcotest.fail "submission past the bound was not shed");
+      let stats = Serve.stats srv in
+      check Alcotest.int "shed counted" 1 stats.Serve.shed;
+      check Alcotest.int "queue at the bound" 6 stats.Serve.queued;
+      (* every accepted job still completes with correct answers *)
+      ignore (Serve.collect blocker);
+      let expected = (Engine.query store index "/site" Engine.Insecure).Engine.answers in
+      List.iter
+        (fun tk ->
+          check Alcotest.(list int) "accepted job served" expected
+            (Serve.collect tk))
+        accepted;
+      let stats = Serve.stats srv in
+      check Alcotest.int "all accepted served" 7 stats.Serve.served)
+
+(* Shutdown must fail queued-but-never-run jobs loudly. *)
+let test_serve_shutdown_fails_queued () =
+  let store, index = make_store ~nodes:1200 11 in
+  let queued = ref [] in
+  Serve.with_service ~jobs:1 ~chunk:4 ~buffer_chunks:1 (fun srv ->
+      Serve.add_tenant srv "t" (Serve.Mem (store, index));
+      let blocker = Serve.submit srv ~tenant:"t" "//item" Engine.Insecure in
+      ignore (Serve.next_chunk blocker);
+      queued :=
+        List.init 3 (fun _ ->
+            Serve.submit srv ~tenant:"t" "/site" Engine.Insecure));
+  check Alcotest.int "three queued tickets" 3 (List.length !queued);
+  List.iter
+    (fun tk ->
+      match Serve.collect tk with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "queued job silently dropped at shutdown")
+    !queued
+
+(* --- Db_file-backed shards: open on demand, LRU-evict when idle --- *)
+
+let test_serve_shard_lru () =
+  let mk seed =
+    let store, index = make_store ~nodes:1200 ~subjects:4 seed in
+    let path = Filename.temp_file "dolx_shard" ".dolx" in
+    Db_file.save path store;
+    (path, store, index)
+  in
+  let shards = List.map mk [ 201; 202; 203 ] in
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun (p, _, _) -> Sys.remove p) shards)
+    (fun () ->
+      Serve.with_service ~jobs:1 ~shard_cap:2 (fun srv ->
+          List.iteri
+            (fun i (path, _, _) ->
+              Serve.add_tenant srv (Printf.sprintf "t%d" i) (Serve.Db path))
+            shards;
+          let ask tenant (_, store, index) =
+            let expected =
+              (Engine.query store index "//item" (Engine.Secure 1)).Engine.answers
+            in
+            let tk = Serve.submit srv ~tenant "//item" (Engine.Secure 1) in
+            check Alcotest.(list int) (tenant ^ " answers from Db shard")
+              expected (Serve.collect tk)
+          in
+          let s = Array.of_list shards in
+          ask "t0" s.(0);
+          ask "t1" s.(1);
+          ask "t2" s.(2);
+          (* t0 was evicted to admit t2; asking again reopens it *)
+          ask "t0" s.(0);
+          let stats = Serve.stats srv in
+          check Alcotest.int "four Db opens" 4 stats.Serve.shard_opens;
+          check Alcotest.bool
+            (Printf.sprintf "evictions happened (%d)" stats.Serve.shard_evictions)
+            true
+            (stats.Serve.shard_evictions >= 2);
+          check Alcotest.bool
+            (Printf.sprintf "open shards bounded (%d)" stats.Serve.open_shards)
+            true
+            (stats.Serve.open_shards <= 2)))
+
+let suite =
+  [
+    Alcotest.test_case "stream = run (3 docs x mixed queries)" `Quick
+      test_stream_vs_run;
+    Alcotest.test_case "stream = run on a quarantined store" `Quick
+      test_stream_vs_run_quarantined;
+    Alcotest.test_case "stream = run across the toggle lattice" `Quick
+      test_stream_toggle_lattice;
+    Alcotest.test_case "chunk size invariance + bounded buffering" `Quick
+      test_stream_chunk_sizes;
+    Alcotest.test_case "early close flushes counters once" `Quick
+      test_stream_early_close;
+    Alcotest.test_case "exec stream jobs=4 = sequential" `Quick
+      test_exec_stream_matches_sequential;
+    Alcotest.test_case "service: per-tenant answers correct" `Quick
+      test_serve_answers;
+    Alcotest.test_case "service: worker error surfaces via ticket" `Quick
+      test_serve_error_propagates;
+    Alcotest.test_case "service: epoch pins released (drain + close)" `Quick
+      test_serve_releases_epoch_pins;
+    Alcotest.test_case "service: flooding tenant cannot starve" `Quick
+      test_serve_fairness;
+    Alcotest.test_case "service: weights skew the schedule" `Quick
+      test_serve_weighted_fairness;
+    Alcotest.test_case "service: admission sheds with Overloaded" `Quick
+      test_serve_admission_control;
+    Alcotest.test_case "service: shutdown fails queued jobs loudly" `Quick
+      test_serve_shutdown_fails_queued;
+    Alcotest.test_case "service: Db shards open on demand + LRU evict" `Quick
+      test_serve_shard_lru;
+  ]
