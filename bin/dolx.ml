@@ -7,6 +7,8 @@
      query        evaluate a twig query as a subject (streamed output)
      query-batch  evaluate a batch of queries on a domain pool (--jobs)
      serve        drive the multi-tenant streaming query service
+                  (--socket PATH exposes it over a Unix-socket wire server)
+     connect      wire-protocol client for a serve --socket server
      view         export a subject's secured view of a document
      filter       stream a document through the one-pass secure filter
      save-dol     compile a policy and persist the DOL
@@ -43,6 +45,8 @@ module Xmark = Dolx_workload.Xmark
 module Query_mix = Dolx_workload.Query_mix
 module Metrics = Dolx_obs.Metrics
 module Trace = Dolx_obs.Trace
+module Wire_server = Dolx_wire.Server
+module Wire_client = Dolx_wire.Client
 
 (* reference the module so its commit.* counters register even in
    binaries that only read them by name (stats-db, --metrics) *)
@@ -404,7 +408,54 @@ let query_batch_cmd =
    Latency is measured client-side per ticket (submit to fully drained)
    and fed into an obs histogram from this thread — histograms are
    single-writer. *)
-let serve doc policy mode tenants jobs seed duration chunk max_queued =
+(* serve --socket PATH: expose the service over the wire protocol and
+   block until SIGINT/SIGTERM or the --duration watchdog fires.  After
+   the wire server stops, every disconnect must already have closed its
+   tickets, so the pinned-reader count is polled back to zero before the
+   workers shut down — a leak here is a hard failure. *)
+let serve_socket srv ~tenants ~jobs ~duration path =
+  let wire = Wire_server.start srv ~path ~name:"dolx" in
+  let stop = ref false in
+  let handler _ = stop := true in
+  let old_int = Sys.signal Sys.sigint (Sys.Signal_handle handler) in
+  let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle handler) in
+  Printf.printf "serving on %s: %d tenant(s), %d worker(s)\n%!" path tenants
+    jobs;
+  let deadline =
+    if duration <= 0.0 then infinity else Unix.gettimeofday () +. duration
+  in
+  while (not !stop) && Unix.gettimeofday () < deadline do
+    try Unix.sleepf 0.2 with Unix.Unix_error (EINTR, _, _) -> ()
+  done;
+  Wire_server.stop wire;
+  Sys.set_signal Sys.sigint old_int;
+  Sys.set_signal Sys.sigterm old_term;
+  (* tickets are closed; their workers release reader pins at the next
+     chunk boundary — give them a moment before declaring a leak *)
+  let rec await_pins tries =
+    let pins = Serve.pinned_readers srv in
+    if pins = 0 || tries = 0 then pins
+    else begin
+      Unix.sleepf 0.05;
+      await_pins (tries - 1)
+    end
+  in
+  let pins = await_pins 100 in
+  let s = Serve.stats srv in
+  Printf.printf
+    "clean shutdown: served %d, shed %d, %d session(s) accepted, %d \
+     disconnect(s), pinned readers %d\n\
+     %!"
+    s.Serve.served s.Serve.shed
+    (Wire_server.accepted wire)
+    (Wire_server.disconnects wire)
+    pins;
+  if pins <> 0 then begin
+    Printf.eprintf "FAIL: %d reader pin(s) leaked past shutdown\n" pins;
+    exit 1
+  end
+
+let serve doc policy mode tenants jobs seed duration chunk max_queued socket =
   if tenants < 1 then failwith "serve: need at least one tenant";
   let tree = load_doc doc in
   let subjects, _, labeling = compile tree policy ~mode in
@@ -417,6 +468,9 @@ let serve doc policy mode tenants jobs seed duration chunk max_queued =
         let store = Store.create tree dol in
         Serve.add_tenant srv (tenant_name i) (Serve.Mem (store, index))
       done;
+      match socket with
+      | Some path -> serve_socket srv ~tenants ~jobs ~duration path
+      | None ->
       let lat = Metrics.histogram "serve.latency_ms" in
       let t0 = Unix.gettimeofday () in
       let deadline = t0 +. duration in
@@ -507,11 +561,183 @@ let serve_cmd =
          & info [ "max-queued" ] ~docv:"N"
              ~doc:"Admission bound; excess submissions are shed.")
   in
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Serve over the wire protocol on a Unix socket at \
+                   $(docv) instead of driving a built-in mix; runs until \
+                   SIGINT/SIGTERM or $(b,--duration) seconds elapse \
+                   (0 = no watchdog).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Drive the multi-tenant streaming query service with a seeded mix")
     Term.(const serve $ doc_arg $ policy_arg $ mode_arg $ tenants $ jobs $ seed
-          $ duration $ chunk $ max_queued)
+          $ duration $ chunk $ max_queued $ socket)
+
+(* --- connect: wire-protocol client --- *)
+
+(* Drives a serve --socket server from a separate OS process: positional
+   queries, or seeded Query_mix waves (--mix N), optionally repeated
+   until --duration elapses.  --abort-after K slams the connection shut
+   after the Kth chunk, mid-stream — the server must treat it as a
+   disconnect and release the query's reader pin. *)
+let connect socket tenant subject path_semantics mix mix_subjects seed duration
+    show_stats print_ids abort_after report queries =
+  let cl = Wire_client.connect ~retry_for:10.0 ~client:"dolx-connect" socket in
+  let aborted = ref false in
+  Fun.protect
+    ~finally:(fun () -> if not !aborted then Wire_client.close cl)
+    (fun () ->
+      let served = ref 0 and shed = ref 0 and answers = ref 0 in
+      let chunks_pulled = ref 0 in
+      let sem_of_subject () =
+        match subject with
+        | None -> Engine.Insecure
+        | Some s ->
+            if path_semantics then Engine.Secure_path s else Engine.Secure s
+      in
+      (* Runs one query; returns false once the connection is gone. *)
+      let run_one (q, sem) =
+        let t1 = Unix.gettimeofday () in
+        match Wire_client.submit cl ~tenant q sem with
+        | exception Serve.Overloaded ->
+            incr shed;
+            true
+        | st ->
+            let ids = ref [] in
+            let rec drain () =
+              match Wire_client.next_chunk st with
+              | [] -> true
+              | chunk ->
+                  ids := List.rev_append chunk !ids;
+                  incr chunks_pulled;
+                  if abort_after > 0 && !chunks_pulled >= abort_after then begin
+                    (* no goodbye: what a killed client looks like *)
+                    Wire_client.abort cl;
+                    aborted := true;
+                    Printf.eprintf "aborted connection after %d chunk(s)\n%!"
+                      !chunks_pulled;
+                    false
+                  end
+                  else drain ()
+            in
+            let finished = drain () in
+            if finished then begin
+              incr served;
+              answers := !answers + List.length !ids;
+              if report then
+                Printf.printf "DOLX-LAT %.3f\n"
+                  ((Unix.gettimeofday () -. t1) *. 1000.);
+              if print_ids then
+                Printf.printf "%s\t%s\n" q
+                  (String.concat " "
+                     (List.rev_map string_of_int !ids |> List.rev))
+            end;
+            finished
+      in
+      let batch wave =
+        match (queries, mix) with
+        | q :: _, _ ->
+            if wave = 0 then
+              List.map (fun q -> (q, sem_of_subject ())) (q :: List.tl queries)
+            else []
+        | [], Some n ->
+            Query_mix.generate ~n ~subjects:mix_subjects
+              ~seed:(seed + (1000 * wave))
+              ()
+            |> List.map (fun e ->
+                   (e.Query_mix.xpath, engine_semantics e.Query_mix.semantics))
+        | [], None -> []
+      in
+      let deadline =
+        if duration <= 0.0 then 0.0 else Unix.gettimeofday () +. duration
+      in
+      let rec waves wave =
+        match batch wave with
+        | [] -> ()
+        | entries ->
+            if List.for_all run_one entries
+               && deadline > 0.0
+               && Unix.gettimeofday () < deadline
+            then waves (wave + 1)
+      in
+      waves 0;
+      if show_stats && not !aborted then
+        List.iter
+          (fun (k, v) -> Printf.printf "%s %d\n" k v)
+          (Wire_client.stats cl);
+      if report then
+        Printf.printf "DOLX-DONE served=%d shed=%d answers=%d\n%!" !served
+          !shed !answers)
+
+let connect_cmd =
+  let socket =
+    Arg.(required & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH" ~doc:"Server socket to dial.")
+  in
+  let tenant =
+    Arg.(value & opt string "tenant0"
+         & info [ "tenant" ] ~docv:"NAME" ~doc:"Tenant shard to query.")
+  in
+  let subject =
+    Arg.(value & opt (some int) None
+         & info [ "subject" ] ~docv:"BIT"
+             ~doc:"Subject bit for positional queries (omit = insecure).")
+  in
+  let path_sem =
+    Arg.(value & flag & info [ "path-semantics" ]
+           ~doc:"Use the Gabillon-Bruno semantics for positional queries.")
+  in
+  let mix =
+    Arg.(value & opt (some int) None
+         & info [ "mix" ] ~docv:"N"
+             ~doc:"Drive $(docv) queries per wave from the benchmark mix.")
+  in
+  let mix_subjects =
+    Arg.(value & opt int 16
+         & info [ "subjects" ] ~docv:"N"
+             ~doc:"Subject population for $(b,--mix) semantics draws.")
+  in
+  let seed =
+    Arg.(value & opt int 7
+         & info [ "seed" ] ~docv:"SEED" ~doc:"Mix PRNG seed.")
+  in
+  let duration =
+    Arg.(value & opt float 0.0
+         & info [ "duration" ] ~docv:"SECONDS"
+             ~doc:"Repeat $(b,--mix) waves until $(docv) elapse (0 = one \
+                   wave).")
+  in
+  let show_stats =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Print server statistics as $(i,key value) lines after \
+                   the queries (or alone, with no queries).")
+  in
+  let print_ids =
+    Arg.(value & flag
+         & info [ "print-ids" ] ~doc:"Print each query's answer ids.")
+  in
+  let abort_after =
+    Arg.(value & opt int 0
+         & info [ "abort-after" ] ~docv:"K"
+             ~doc:"Slam the connection shut after the $(docv)th chunk, \
+                   mid-stream (disconnect-handling test aid).")
+  in
+  let report =
+    Arg.(value & flag
+         & info [ "report" ]
+             ~doc:"Print DOLX-LAT per-query latency lines and a final \
+                   DOLX-DONE summary.")
+  in
+  let queries = Arg.(value & pos_all string [] & info [] ~docv:"QUERY") in
+  Cmd.v
+    (Cmd.info "connect"
+       ~doc:"Query a serve --socket server over the wire protocol")
+    Term.(const connect $ socket $ tenant $ subject $ path_sem $ mix
+          $ mix_subjects $ seed $ duration $ show_stats $ print_ids
+          $ abort_after $ report $ queries)
 
 (* --- view --- *)
 
@@ -783,6 +1009,7 @@ let main_cmd =
        ~doc:"Compact access-control labeling for secure XML query evaluation")
     [
       generate_cmd; stats_cmd; label_cmd; query_cmd; query_batch_cmd; serve_cmd;
+      connect_cmd;
       view_cmd;
       filter_cmd;
       save_dol_cmd; inspect_dol_cmd; compile_db_cmd; query_db_cmd;

@@ -14,6 +14,7 @@ mismatches).  Exits non-zero on the first failing file.
 
 import glob
 import json
+import os
 import statistics
 import sys
 
@@ -174,6 +175,34 @@ def check_serve(doc):
     }
 
 
+def check_wire(doc):
+    require(doc["identical"] is True,
+            "socket answers diverged from materialized Engine.query")
+    require(doc["served"] > 0, "no queries served over the socket")
+    require(is_num(doc["qps"]) and doc["qps"] > 0, "bad qps")
+    require(doc["clients"] >= 2, "wire bench ran with fewer than 2 clients")
+    lat = doc["latency_ms"]
+    require(lat["count"] > 0, "no latency observations")
+    for key in ("p50", "p95", "p99", "max"):
+        require(is_num(lat[key]), f"latency_ms: bad {key}")
+    require(lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"],
+            f"latency percentiles out of order: p50={lat['p50']} "
+            f"p95={lat['p95']} p99={lat['p99']} max={lat['max']}")
+    require(is_num(doc["shed"]), "shed count missing")
+    require(doc["leaked_pins"] == 0,
+            f"{doc['leaked_pins']} reader pin(s) leaked after client "
+            "disconnects")
+    require(doc["unclean_exits"] == 0,
+            f"{doc['unclean_exits']} client process(es) exited unclean")
+    return {
+        "qps": round(doc["qps"], 1),
+        "p99_ms": round(lat["p99"], 3),
+        "served": doc["served"],
+        "clients": f"{doc['clients']} ({doc['client_mode']})",
+        "leaked_pins": doc["leaked_pins"],
+    }
+
+
 CHECKS = {
     "parallel": check_parallel,
     "runs": check_runs,
@@ -182,6 +211,7 @@ CHECKS = {
     "fuzz": check_fuzz,
     "mvcc": check_mvcc,
     "serve": check_serve,
+    "wire": check_wire,
 }
 
 
@@ -203,6 +233,12 @@ def main(argv):
         return 0
     paths = argv or sorted(glob.glob("BENCH_*.json"))
     require(paths, "no BENCH_*.json files found")
+    # Explicitly named artifacts must exist: a bench that crashed before
+    # writing its JSON must fail the gate loudly, not be skipped.
+    missing = [p for p in paths if not os.path.exists(p)]
+    require(not missing,
+            "expected bench artifact(s) missing: " + ", ".join(missing)
+            + " (did the bench step run and write its JSON?)")
     for path in paths:
         doc = json.load(open(path))
         kind = doc.get("bench")

@@ -522,7 +522,36 @@ type stats = {
   shard_evictions : int;
   open_shards : int;
   peak_buffered : int;
+  pinned_readers : int;
 }
+
+(* Epoch pins held across every distinct store the service can reach —
+   open shards and resident Mem shards alike (an evicted Db shard has no
+   store, hence no pins).  Stores are deduplicated by physical identity:
+   several tenants may share one store.  The pin counts are read after
+   releasing [t.m] — [Epoch.pin_count] takes the epoch lock, and we
+   never hold both. *)
+let pinned_readers t =
+  Mutex.lock t.m;
+  let stores =
+    Hashtbl.fold
+      (fun _ tn acc ->
+        let store =
+          match (tn.tn_shard.sh_open, tn.tn_shard.sh_source) with
+          | Some (store, _), _ -> Some store
+          | None, Mem (store, _) -> Some store
+          | None, Db _ -> None
+        in
+        match store with
+        | Some s when not (List.memq s acc) -> s :: acc
+        | _ -> acc)
+      t.tenants []
+  in
+  Mutex.unlock t.m;
+  List.fold_left
+    (fun n s ->
+      n + Dolx_storage.Epoch.pin_count (Dolx_storage.Disk.epoch (Store.disk s)))
+    0 stores
 
 let stats t =
   Mutex.lock t.m;
@@ -539,7 +568,8 @@ let stats t =
       shard_evictions = t.shard_evictions;
       open_shards = open_shards t;
       peak_buffered = t.peak_buffered;
+      pinned_readers = 0;
     }
   in
   Mutex.unlock t.m;
-  s
+  { s with pinned_readers = pinned_readers t }

@@ -126,6 +126,16 @@ type stats = {
   shard_evictions : int;         (* idle shards dropped past the cap *)
   open_shards : int;             (* currently resident shards *)
   peak_buffered : int;           (* max stream high-water across queries *)
+  pinned_readers : int;          (* epoch pins live across all shards *)
 }
 
 val stats : t -> stats
+
+(** Epoch pins currently held across every store the service can reach
+    (deduplicated by physical identity).  Each in-flight query holds
+    exactly one pin from submission pickup until its stream drains,
+    fails, or is {!close}d — so after all tickets release, this returns
+    to the service's baseline.  The wire layer exposes it so a leaked
+    pin after a client disconnect is observable from outside the
+    process. *)
+val pinned_readers : t -> int

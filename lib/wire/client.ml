@@ -1,0 +1,127 @@
+(** Wire client; see client.mli. *)
+
+module Engine = Dolx_nok.Engine
+module Serve = Dolx_serve.Serve
+
+exception Server_error of string
+
+type t = {
+  conn : Conn.t;
+  m : Mutex.t;  (* serializes request/response exchanges *)
+  mutable name : string;
+  mutable next_id : int;
+}
+
+type stream = { cl : t; id : int; mutable finished : bool }
+
+(* One request, one response: send, then block for the reply.  The
+   protocol is strictly alternating per connection, so the next frame
+   is always the answer to [req]. *)
+let exchange t req =
+  Mutex.lock t.m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.m)
+    (fun () ->
+      Conn.send t.conn (Frame.Request req);
+      match Conn.recv t.conn with
+      | Frame.Response resp -> resp
+      | Frame.Request _ ->
+          raise (Server_error "protocol violation: server sent a request"))
+
+let connect ?(retry_for = 0.0) ?max_frame ?(client = "dolx-client") path =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let deadline = Unix.gettimeofday () +. retry_for in
+  let rec dial () =
+    let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+    match Unix.connect fd (ADDR_UNIX path) with
+    | () -> fd
+    | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _)
+      when Unix.gettimeofday () < deadline ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Unix.sleepf 0.05;
+        dial ()
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+  in
+  let t =
+    {
+      conn = Conn.of_fd ?max_frame (dial ());
+      m = Mutex.create ();
+      name = "";
+      next_id = 0;
+    }
+  in
+  (match exchange t (Frame.Hello { client }) with
+  | Frame.Welcome { server } -> t.name <- server
+  | resp ->
+      Conn.close t.conn;
+      raise (Server_error (Format.asprintf "bad hello reply: %a" Frame.pp
+                             (Frame.Response resp))));
+  t
+
+let server_name t = t.name
+
+let close t = Conn.close t.conn
+
+let abort t = Conn.close t.conn
+
+let submit t ~tenant xpath semantics =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  match exchange t (Frame.Submit { id; tenant; xpath; semantics }) with
+  | Frame.Accepted { id = id' } when id' = id -> { cl = t; id; finished = false }
+  | Frame.Overloaded { id = id' } when id' = id -> raise Serve.Overloaded
+  | Frame.Error { id = id'; message } when id' = id -> raise (Server_error message)
+  | resp ->
+      raise
+        (Server_error
+           (Format.asprintf "unexpected submit reply: %a" Frame.pp
+              (Frame.Response resp)))
+
+let next_chunk st =
+  if st.finished then []
+  else
+    match exchange st.cl (Frame.Next { id = st.id }) with
+    | Frame.Chunk { id; answers } when id = st.id -> answers
+    | Frame.End { id } when id = st.id ->
+        st.finished <- true;
+        []
+    | Frame.Error { id; message } when id = st.id ->
+        st.finished <- true;
+        raise (Server_error message)
+    | resp ->
+        raise
+          (Server_error
+             (Format.asprintf "unexpected next reply: %a" Frame.pp
+                (Frame.Response resp)))
+
+let collect st =
+  let rec go acc =
+    match next_chunk st with
+    | [] -> List.concat (List.rev acc)
+    | chunk -> go (chunk :: acc)
+  in
+  go []
+
+let close_stream st =
+  if not st.finished then begin
+    st.finished <- true;
+    match exchange st.cl (Frame.Close { id = st.id }) with
+    | Frame.End _ -> ()
+    | resp ->
+        raise
+          (Server_error
+             (Format.asprintf "unexpected close reply: %a" Frame.pp
+                (Frame.Response resp)))
+  end
+
+let stats t =
+  match exchange t Frame.Stats with
+  | Frame.Stats_reply kvs -> kvs
+  | resp ->
+      raise
+        (Server_error
+           (Format.asprintf "unexpected stats reply: %a" Frame.pp
+              (Frame.Response resp)))

@@ -11,6 +11,12 @@
      --expect-bug   self-test mode: a planted bug (DOLX_FUZZ_PLANT_BUG)
                     must be caught and shrink to <= 20 nodes and
                     <= 4 rules; exits 0 on success, writes no corpus
+     --frames N     fuzz the wire frame codec instead: N seeded
+                    property cases (round trip, re-chunking, torn
+                    prefixes, hostile input, length bounds); failures
+                    print DOLX-WIRE-FUZZ seed=S repro lines.  With
+                    --expect-bug the planted frame decoder bug
+                    (DOLX_FUZZ_PLANT_BUG=frame) must be caught.
 
    On a mismatch the driver shrinks it, prints a self-contained repro
    line and writes a corpus file — then KEEPS GOING, so one run surfaces
@@ -26,12 +32,16 @@ let cases = ref 0
 let seed0 = ref 1
 let corpus = ref ""
 let expect_bug = ref false
+let frames = ref 0
 
 let parse_args () =
   let rec go = function
     | [] -> ()
     | "--cases" :: n :: rest ->
         cases := int_of_string n;
+        go rest
+    | "--frames" :: n :: rest ->
+        frames := int_of_string n;
         go rest
     | "--seed" :: s :: rest ->
         seed0 := int_of_string s;
@@ -83,8 +93,65 @@ let report ~ran m =
     m'
   end
 
+(* --frames: the wire-codec property fuzzer.  Same contract as the
+   differential mode — repro lines, fuzz_repro.txt, the failure cap,
+   --expect-bug as the canary self-test — but seeds map to frame
+   batches, so a repro replays with just the seed. *)
+let run_frames n =
+  let t0 = Unix.gettimeofday () in
+  let failures = ref [] in
+  let record seed msg =
+    Printf.printf "DOLX-WIRE-FUZZ seed=%d: %s\n%!" seed msg;
+    failures := (seed, msg) :: !failures;
+    if !expect_bug then begin
+      Printf.printf "planted frame bug caught at seed %d: OK\n" seed;
+      exit 0
+    end
+  in
+  (match Dolx_wire.Frame_fuzz.check_length_bounds () with
+  | Some msg -> record !seed0 msg
+  | None -> ());
+  let i = ref 0 in
+  while !i < n && List.length !failures < max_failures do
+    let seed = !seed0 + !i in
+    (match Dolx_wire.Frame_fuzz.check_seed seed with
+    | Some msg -> record seed msg
+    | None -> ());
+    incr i;
+    if !i mod 1000 = 0 then
+      Printf.printf "%d frame cases, %.0f cases/s\n%!" !i
+        (float_of_int !i /. (Unix.gettimeofday () -. t0 +. 1e-9))
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  if !expect_bug then begin
+    Printf.printf "planted frame bug NOT caught in %d cases\n" !i;
+    exit 1
+  end;
+  match List.rev !failures with
+  | [] ->
+      Printf.printf "ok: %d frame-codec cases in %.1fs, 0 failures\n" !i dt
+  | fails ->
+      Printf.printf "\n%d failing frame seed(s) in %d cases:\n"
+        (List.length fails) !i;
+      let oc = open_out "fuzz_repro.txt" in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          List.iter
+            (fun (seed, msg) ->
+              let line = Printf.sprintf "DOLX-WIRE-FUZZ seed=%d: %s" seed msg in
+              print_endline line;
+              output_string oc (line ^ "\n"))
+            fails);
+      Printf.printf "wrote fuzz_repro.txt\n";
+      exit 1
+
 let () =
   parse_args ();
+  if !frames > 0 then begin
+    run_frames !frames;
+    exit 0
+  end;
   let t0 = Unix.gettimeofday () in
   let floor = if !cases > 0 then !cases else if !seconds >= 60.0 then 500 else 0 in
   let ran = ref 0 in

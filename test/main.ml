@@ -25,4 +25,5 @@ let () =
       ("mvcc", Test_mvcc.suite);
       ("fuzz", Test_fuzz.suite);
       ("serve", Test_serve.suite);
+      ("wire", Test_wire.suite);
     ]
