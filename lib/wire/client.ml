@@ -16,17 +16,21 @@ type stream = { cl : t; id : int; mutable finished : bool }
 
 (* One request, one response: send, then block for the reply.  The
    protocol is strictly alternating per connection, so the next frame
-   is always the answer to [req]. *)
-let exchange t req =
+   is always the answer to [req].  [mk_req] runs under the mutex so any
+   per-connection state it reads (e.g. next_id) is race-free. *)
+let exchange_with t mk_req =
   Mutex.lock t.m;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.m)
     (fun () ->
+      let req = mk_req () in
       Conn.send t.conn (Frame.Request req);
       match Conn.recv t.conn with
       | Frame.Response resp -> resp
       | Frame.Request _ ->
           raise (Server_error "protocol violation: server sent a request"))
+
+let exchange t req = exchange_with t (fun () -> req)
 
 let connect ?(retry_for = 0.0) ?max_frame ?(client = "dolx-client") path =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -68,9 +72,15 @@ let close t = Conn.close t.conn
 let abort t = Conn.close t.conn
 
 let submit t ~tenant xpath semantics =
-  let id = t.next_id in
-  t.next_id <- id + 1;
-  match exchange t (Frame.Submit { id; tenant; xpath; semantics }) with
+  let id = ref (-1) in
+  let resp =
+    exchange_with t (fun () ->
+        id := t.next_id;
+        t.next_id <- !id + 1;
+        Frame.Submit { id = !id; tenant; xpath; semantics })
+  in
+  let id = !id in
+  match resp with
   | Frame.Accepted { id = id' } when id' = id -> { cl = t; id; finished = false }
   | Frame.Overloaded { id = id' } when id' = id -> raise Serve.Overloaded
   | Frame.Error { id = id'; message } when id' = id -> raise (Server_error message)

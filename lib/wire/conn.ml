@@ -71,9 +71,10 @@ let abort t = close t
 
 (* A write error means the peer vanished (the reader will also see it);
    surface every flavor as Closed. *)
-let write_or_closed t buf off len =
+let rec write_or_closed t buf off len =
   match Unix.write t.fd buf off len with
   | n -> n
+  | exception Unix.Unix_error (EINTR, _, _) -> write_or_closed t buf off len
   | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF | ENOTCONN), _, _)
     ->
       raise (Closed { mid_frame = false })
@@ -132,16 +133,16 @@ let rec recv t =
       Metrics.incr c_frames_in;
       frame
   | None ->
-      let n =
-        if t.closed then 0
-        else
-          match Unix.read t.fd t.rbuf 0 (Bytes.length t.rbuf) with
-          | n -> n
-          | exception
-              Unix.Unix_error ((ECONNRESET | EBADF | ENOTCONN | EPIPE), _, _)
-            ->
-              0
+      let rec read_retrying () =
+        match Unix.read t.fd t.rbuf 0 (Bytes.length t.rbuf) with
+        | n -> n
+        | exception Unix.Unix_error (EINTR, _, _) -> read_retrying ()
+        | exception
+            Unix.Unix_error ((ECONNRESET | EBADF | ENOTCONN | EPIPE), _, _)
+          ->
+            0
       in
+      let n = if t.closed then 0 else read_retrying () in
       if n = 0 then raise (Closed { mid_frame = Frame.buffered t.dec > 0 })
       else begin
         Frame.feed t.dec t.rbuf 0 n;

@@ -186,7 +186,8 @@ let read_varint d pos ~limit =
 
 let read_string d pos ~limit =
   let n = read_varint d pos ~limit in
-  if n < 0 || !pos + n > limit then corrupt "string runs past the frame body";
+  (* subtraction form: [!pos + n] could overflow for n near max_int *)
+  if n < 0 || n > limit - !pos then corrupt "string runs past the frame body";
   let s = Bytes.sub_string d.data !pos n in
   pos := !pos + n;
   s
@@ -223,7 +224,12 @@ let decode_body d lo ~limit =
       (* each answer is >= 1 byte, so a count beyond the remaining body
          cannot be legal: reject before allocating the list *)
       if n > limit - !pos then corrupt "chunk count %d exceeds frame body" n;
-      let answers = List.init n (fun _ -> varint ()) in
+      (* explicit loop: List.init's evaluation order is unspecified *)
+      let answers = ref [] in
+      for _ = 1 to n do
+        answers := varint () :: !answers
+      done;
+      let answers = List.rev !answers in
       let answers =
         if !planted_bug && n > 1 then List.filteri (fun i _ -> i < n - 1) answers
         else answers
@@ -239,13 +245,13 @@ let decode_body d lo ~limit =
       let n = varint () in
       if n > (limit - !pos) / 2 then
         corrupt "stats count %d exceeds frame body" n;
-      let kvs =
-        List.init n (fun _ ->
-            let k = string () in
-            let v = varint () in
-            (k, v))
-      in
-      Response (Stats_reply kvs)
+      let kvs = ref [] in
+      for _ = 1 to n do
+        let k = string () in
+        let v = varint () in
+        kvs := (k, v) :: !kvs
+      done;
+      Response (Stats_reply (List.rev !kvs))
     end
     else corrupt "unknown frame tag 0x%02x" tag
   in

@@ -125,26 +125,34 @@ let unregister t sid ~disconnected =
 let session_loop t sid conn =
   let tickets : (int, Serve.ticket) Hashtbl.t = Hashtbl.create 8 in
   let disconnected = ref false in
-  (try
-     let rec loop () =
-       match Conn.recv conn with
-       | Frame.Request req ->
-           Conn.send conn (handle_request t tickets req);
-           loop ()
-       | Frame.Response _ ->
-           (* a client must never send response frames *)
-           Metrics.incr c_protocol_errors;
-           disconnected := true
-     in
-     loop ()
-   with
-  | Conn.Closed _ -> disconnected := true
-  | Frame.Corrupt _ ->
-      Metrics.incr c_protocol_errors;
-      disconnected := true);
-  Hashtbl.iter (fun _ tk -> Serve.close tk) tickets;
-  Conn.close conn;
-  unregister t sid ~disconnected:!disconnected
+  Fun.protect
+    ~finally:(fun () ->
+      Hashtbl.iter (fun _ tk -> Serve.close tk) tickets;
+      Conn.close conn;
+      unregister t sid ~disconnected:!disconnected)
+    (fun () ->
+      try
+        let rec loop () =
+          match Conn.recv conn with
+          | Frame.Request req ->
+              Conn.send conn (handle_request t tickets req);
+              loop ()
+          | Frame.Response _ ->
+              (* a client must never send response frames *)
+              Metrics.incr c_protocol_errors;
+              disconnected := true
+        in
+        loop ()
+      with
+      | Conn.Closed _ -> disconnected := true
+      | Frame.Corrupt _ ->
+          Metrics.incr c_protocol_errors;
+          disconnected := true
+      | _ ->
+          (* anything else (codec bug, stray Unix_error) still counts as
+             a protocol error and must not skip ticket/fd cleanup *)
+          Metrics.incr c_protocol_errors;
+          disconnected := true)
 
 let accept_loop t =
   let rec loop () =

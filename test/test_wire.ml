@@ -210,9 +210,24 @@ let test_corrupt_payload () =
   let padded = Bytes.create (n + 1) in
   Bytes.blit good 0 padded 0 n;
   Bytes.set_int32_be padded 0 (Int32.of_int (n + 1 - 4));
-  match decode_all padded with
+  (match decode_all padded with
   | exception Frame.Corrupt _ -> ()
-  | _ -> Alcotest.fail "trailing bytes accepted"
+  | _ -> Alcotest.fail "trailing bytes accepted");
+  (* a string length claiming max_int must hit the bounds check as
+     Corrupt, not wrap [pos + n] negative and escape as Invalid_argument
+     from Bytes.sub (regression: hostile ~15-byte hello frame) *)
+  let varint = Bytes.create Dolx_util.Varint.max_len in
+  let vn = Dolx_util.Varint.write varint 0 max_int in
+  let hostile = Bytes.create (4 + 1 + vn) in
+  Bytes.set_int32_be hostile 0 (Int32.of_int (1 + vn));
+  Bytes.set hostile 4 '\x01' (* hello *);
+  Bytes.blit varint 0 hostile 5 vn;
+  match decode_all hostile with
+  | exception Frame.Corrupt _ -> ()
+  | exception e ->
+      Alcotest.fail
+        ("max_int string length escaped as " ^ Printexc.to_string e)
+  | _ -> Alcotest.fail "max_int string length accepted"
 
 let test_codec_properties () =
   for seed = 0 to 249 do
